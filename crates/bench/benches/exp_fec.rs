@@ -1,0 +1,17 @@
+//! Criterion bench regenerating experiment E6 (adaptive FEC ladder).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rackfabric_bench::*;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp_fec");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("exp_fec", |b| b.iter(|| std::hint::black_box(e6_adaptive_fec())));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

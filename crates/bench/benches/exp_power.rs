@@ -1,0 +1,17 @@
+//! Criterion bench regenerating experiment E4 (power vs offered load).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rackfabric_bench::*;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp_power");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("exp_power", |b| b.iter(|| std::hint::black_box(e4_power_vs_load(&[0.25, 1.0]))));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

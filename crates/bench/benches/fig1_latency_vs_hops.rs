@@ -1,0 +1,17 @@
+//! Criterion bench regenerating the paper's Figure 1 (media vs switching latency).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rackfabric_bench::*;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_latency_vs_hops");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("fig1_latency_vs_hops", |b| b.iter(|| std::hint::black_box(fig1_latency_vs_hops(8))));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Prints every experiment's data series and headline numbers.
+//!
+//! ```text
+//! cargo run --release -p rackfabric-bench --bin experiments          # all
+//! cargo run --release -p rackfabric-bench --bin experiments fig1 e5  # some
+//! ```
+
+use rackfabric_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let results = if args.is_empty() {
+        run_all()
+    } else {
+        let mut out = Vec::new();
+        for arg in &args {
+            match arg.as_str() {
+                "fig1" => out.push(fig1_latency_vs_hops(21)),
+                "fig2" => out.push(fig2_reconfiguration(64)),
+                "e3" => out.push(e3_mapreduce_scaling(&[3, 4, 5, 6], 32)),
+                "e4" => out.push(e4_power_vs_load(&[0.1, 0.25, 0.5, 0.75, 1.0])),
+                "e5" => out.push(e5_breakeven()),
+                "e6" => out.push(e6_adaptive_fec()),
+                "e7" => out.push(e7_validation()),
+                "e8" => out.push(e8_bypass(8)),
+                other => eprintln!("unknown experiment id: {other}"),
+            }
+        }
+        out
+    };
+    for r in results {
+        print!("{}", r.render());
+    }
+}

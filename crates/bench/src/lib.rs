@@ -1,0 +1,462 @@
+//! Experiment harness regenerating every figure of the paper plus the
+//! derived experiments listed in `DESIGN.md`.
+//!
+//! Each `fig*`/`e*` function builds the workload, runs the fabric simulation
+//! (and the baseline where applicable), and returns a printable
+//! [`ExperimentResult`]. The `experiments` binary prints them; the Criterion
+//! benches under `benches/` time the same functions.
+
+use rackfabric::prelude::*;
+use rackfabric_netfpga::validate_against_des;
+use rackfabric_phy::adaptive_fec::AdaptiveFecController;
+use rackfabric_phy::fec::invert_ber_to_snr_db;
+use rackfabric_phy::FecMode;
+use rackfabric_sim::prelude::*;
+use rackfabric_sim::stats::Series;
+use rackfabric_topo::NodeId;
+use rackfabric_workload::{Flow, MapReduceShuffle, UniformWorkload, Workload, WorkloadFlowId};
+use rackfabric_workload::{ArrivalProcess, FlowSizeDistribution};
+
+/// A printable experiment result: a headline, one or more data series, and
+/// free-form notes.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Experiment identifier ("fig1", "e3", ...).
+    pub id: &'static str,
+    /// One-line description.
+    pub title: &'static str,
+    /// The data series that regenerate the figure.
+    pub series: Vec<Series>,
+    /// Key/value rows printed under the series.
+    pub rows: Vec<(String, String)>,
+}
+
+impl ExperimentResult {
+    /// Renders the result as the text block recorded in `EXPERIMENTS.md`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        for s in &self.series {
+            out.push_str(&s.to_table());
+        }
+        for (k, v) in &self.rows {
+            out.push_str(&format!("{k:<44} {v}\n"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+fn fast_sim(seed: u64, horizon_ms: u64) -> SimConfig {
+    SimConfig::with_seed(seed).horizon(SimTime::from_millis(horizon_ms))
+}
+
+/// **Figure 1** — latency due to media propagation vs. latency due to packet
+/// switching, as a path crosses 1..=21 cut-through switches spaced 2 m apart.
+///
+/// For each hop count a single 1500-byte packet is pushed through a line
+/// topology in the full DES model and its latency breakdown recorded.
+pub fn fig1_latency_vs_hops(max_hops: usize) -> ExperimentResult {
+    let mut media = Series::new("media_propagation_ns");
+    let mut switching = Series::new("switching_logic_ns");
+    let mut total = Series::new("end_to_end_ns");
+    // `switches` counts the cut-through switches traversed; the path has one
+    // more link than that (the paper assumes a switch every 2 m).
+    for switches in 1..=max_hops {
+        let spec = TopologySpec::line(switches + 2, 4);
+        let mut config = FabricConfig::baseline(spec);
+        config.sim = fast_sim(1, 10);
+        let flows = vec![Flow {
+            id: WorkloadFlowId(0),
+            src: NodeId(0),
+            dst: NodeId(switches as u32 + 1),
+            size: Bytes::new(1500),
+            start_at: SimTime::ZERO,
+        }];
+        let fabric = run_fabric(config, flows);
+        let b = &fabric.metrics.breakdown;
+        media.push(switches as f64, b.propagation.as_nanos_f64());
+        switching.push(switches as f64, b.switching.as_nanos_f64());
+        total.push(switches as f64, b.total().as_nanos_f64());
+    }
+    let last = max_hops as f64;
+    let ratio = switching
+        .points()
+        .last()
+        .map(|&(_, s)| s)
+        .unwrap_or(0.0)
+        / media.points().last().map(|&(_, m)| m.max(1e-9)).unwrap_or(1.0);
+    ExperimentResult {
+        id: "fig1",
+        title: "media propagation vs. cut-through switching latency (switch every 2 m)",
+        series: vec![media, switching, total],
+        rows: vec![
+            ("hops swept".into(), format!("1..={max_hops}")),
+            (
+                format!("switching / media latency ratio at {last} hops"),
+                format!("{ratio:.1}x"),
+            ),
+        ],
+    }
+}
+
+/// **Figure 2** — the Closed Ring Control observes a congested 2-lane 4x4
+/// grid and reconfigures it into a 1-lane 4x4 torus within the same lane
+/// budget. The same shuffle is also run on the static grid for comparison.
+pub fn fig2_reconfiguration(partition_kib: u64) -> ExperimentResult {
+    let flows = MapReduceShuffle::all_to_all(16, Bytes::from_kib(partition_kib))
+        .generate(&mut DetRng::new(42));
+
+    let mut adaptive_cfg = FabricConfig::adaptive(TopologySpec::grid(4, 4, 2));
+    adaptive_cfg.upgrade_spec = Some(TopologySpec::torus(4, 4, 1));
+    adaptive_cfg.crc.epoch = SimDuration::from_micros(20);
+    adaptive_cfg.sim = fast_sim(42, 500);
+    let adaptive = run_fabric(adaptive_cfg, flows.clone());
+
+    let mut baseline_cfg = FabricConfig::baseline(TopologySpec::grid(4, 4, 2));
+    baseline_cfg.sim = fast_sim(42, 500);
+    let baseline = run_fabric(baseline_cfg, flows);
+
+    let a = adaptive.metrics.summary();
+    let b = baseline.metrics.summary();
+    let reconfig_at = adaptive
+        .metrics
+        .reconfig_events
+        .iter()
+        .find(|(_, name)| name.starts_with("topology"))
+        .map(|(t, _)| *t);
+
+    ExperimentResult {
+        id: "fig2",
+        title: "CRC-driven grid(2-lane) -> torus(1-lane) reconfiguration under a 16-node shuffle",
+        series: vec![
+            adaptive.metrics.throughput_series.clone(),
+            adaptive.metrics.power_series.clone(),
+        ],
+        rows: vec![
+            (
+                "topology reconfigurations".into(),
+                format!("{}", a.topology_reconfigurations),
+            ),
+            (
+                "reconfiguration time (us into run)".into(),
+                reconfig_at.map_or("none".into(), |t| format!("{t:.1}")),
+            ),
+            (
+                "adaptive shuffle completion (us)".into(),
+                format!("{:.1}", a.job_completion_us.unwrap_or(f64::NAN)),
+            ),
+            (
+                "static grid shuffle completion (us)".into(),
+                format!("{:.1}", b.job_completion_us.unwrap_or(f64::NAN)),
+            ),
+            (
+                "speedup".into(),
+                format!(
+                    "{:.2}x",
+                    b.job_completion_us.unwrap_or(f64::NAN) / a.job_completion_us.unwrap_or(f64::NAN)
+                ),
+            ),
+            ("final topology".into(), adaptive.current_spec.name.clone()),
+        ],
+    }
+}
+
+/// **E3** — shuffle completion time vs. rack size, static grid baseline vs.
+/// adaptive fabric (which may escalate to a torus).
+pub fn e3_mapreduce_scaling(sides: &[usize], partition_kib: u64) -> ExperimentResult {
+    let mut base_series = Series::new("baseline_grid_completion_us");
+    let mut adaptive_series = Series::new("adaptive_completion_us");
+    for &k in sides {
+        let nodes = k * k;
+        let flows = MapReduceShuffle::all_to_all(nodes, Bytes::from_kib(partition_kib))
+            .generate(&mut DetRng::new(7));
+        let mut b = FabricConfig::baseline(TopologySpec::grid(k, k, 2));
+        b.sim = fast_sim(7, 2_000);
+        let base = run_fabric(b, flows.clone());
+        let mut a = FabricConfig::adaptive(TopologySpec::grid(k, k, 2));
+        a.upgrade_spec = Some(TopologySpec::torus(k, k, 1));
+        a.crc.epoch = SimDuration::from_micros(20);
+        a.sim = fast_sim(7, 2_000);
+        let adaptive = run_fabric(a, flows);
+        base_series.push(
+            nodes as f64,
+            base.metrics.summary().job_completion_us.unwrap_or(f64::NAN),
+        );
+        adaptive_series.push(
+            nodes as f64,
+            adaptive
+                .metrics
+                .summary()
+                .job_completion_us
+                .unwrap_or(f64::NAN),
+        );
+    }
+    ExperimentResult {
+        id: "e3",
+        title: "MapReduce shuffle completion vs rack size (baseline grid vs adaptive fabric)",
+        series: vec![base_series, adaptive_series],
+        rows: vec![("partition size (KiB)".into(), format!("{partition_kib}"))],
+    }
+}
+
+/// **E4** — interconnect power vs offered load, power-cap policy against a
+/// latency-only policy that never sheds lanes.
+pub fn e4_power_vs_load(loads: &[f64]) -> ExperimentResult {
+    let mut capped = Series::new("power_cap_policy_mean_w");
+    let mut uncapped = Series::new("latency_policy_mean_w");
+    for &load in loads {
+        for adaptive_power in [true, false] {
+            let spec = TopologySpec::grid(4, 4, 4);
+            let mut cfg = FabricConfig::adaptive(spec);
+            cfg.crc.policy = if adaptive_power {
+                CrcPolicy::PowerCap {
+                    budget: rackfabric_sim::units::Power::from_kilowatts(2),
+                }
+            } else {
+                CrcPolicy::LatencyMinimize
+            };
+            cfg.crc.epoch = SimDuration::from_micros(50);
+            cfg.stop_when_done = false;
+            cfg.sim = fast_sim(11, 2);
+            // Offered load scales the number of uniform flows.
+            let flows = UniformWorkload {
+                nodes: 16,
+                flows: (load * 200.0) as usize,
+                sizes: FlowSizeDistribution::Fixed(Bytes::from_kib(16)),
+                arrivals: ArrivalProcess::Poisson {
+                    mean_interarrival: SimDuration::from_micros(2),
+                    start: SimTime::ZERO,
+                },
+            }
+            .generate(&mut DetRng::new(11));
+            let fabric = run_fabric(cfg, flows);
+            let mean_power = fabric.metrics.summary().mean_power_w;
+            if adaptive_power {
+                capped.push(load, mean_power);
+            } else {
+                uncapped.push(load, mean_power);
+            }
+        }
+    }
+    ExperimentResult {
+        id: "e4",
+        title: "interconnect power vs offered load (power-cap policy vs latency-only policy)",
+        series: vec![capped, uncapped],
+        rows: vec![],
+    }
+}
+
+/// **E5** — minimum flow size for which reconfiguration pays off, vs
+/// reconfiguration time (25 -> 100 Gb/s uplift).
+pub fn e5_breakeven() -> ExperimentResult {
+    let times: Vec<SimDuration> = [1u64, 5, 10, 20, 50, 100, 500, 1_000, 5_000, 10_000]
+        .iter()
+        .map(|&us| SimDuration::from_micros(us))
+        .collect();
+    let mut series = Series::new("min_worthwhile_flow_kib");
+    for (t, size) in rackfabric::breakeven::sweep_min_flow_size(
+        BitRate::from_gbps(25),
+        BitRate::from_gbps(100),
+        &times,
+    ) {
+        series.push(t.as_micros_f64(), size.as_u64() as f64 / 1024.0);
+    }
+    ExperimentResult {
+        id: "e5",
+        title: "minimum flow size for which reconfiguration is worth the cost (25G -> 100G)",
+        series: vec![series],
+        rows: vec![(
+            "threshold at 20 us reconfiguration".into(),
+            format!(
+                "{}",
+                rackfabric::breakeven::min_flow_size(&BreakEvenInput {
+                    before: BitRate::from_gbps(25),
+                    after: BitRate::from_gbps(100),
+                    reconfig_time: SimDuration::from_micros(20),
+                })
+                .unwrap()
+            ),
+        )],
+    }
+}
+
+/// **E6** — adaptive FEC: the codec chosen, post-FEC BER and added latency as
+/// the channel's pre-FEC BER degrades.
+pub fn e6_adaptive_fec() -> ExperimentResult {
+    let controller = AdaptiveFecController::default();
+    let mut chosen = Series::new("chosen_fec_mode_index");
+    let mut post = Series::new("post_fec_ber_log10");
+    let mut latency = Series::new("added_latency_ns");
+    let pre_bers = [1e-15, 1e-12, 1e-10, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4];
+    for &ber in &pre_bers {
+        let mode = controller.weakest_sufficient(ber, controller.ber_target);
+        let idx = FecMode::ALL.iter().position(|m| *m == mode).unwrap();
+        let snr = invert_ber_to_snr_db(ber);
+        chosen.push(ber.log10(), idx as f64);
+        post.push(ber.log10(), mode.post_fec_ber(snr).log10());
+        latency.push(ber.log10(), mode.added_latency().as_nanos_f64());
+    }
+    ExperimentResult {
+        id: "e6",
+        title: "adaptive FEC: codec choice, post-FEC BER and latency vs channel BER",
+        series: vec![chosen, post, latency],
+        rows: vec![(
+            "FEC ladder".into(),
+            "None -> FireCode -> RS(528,514) -> RS(544,514)".into(),
+        )],
+    }
+}
+
+/// **E7** — cross-validation of the event-driven switch model against the
+/// cycle-level NetFPGA-SUME model.
+pub fn e7_validation() -> ExperimentResult {
+    let report = validate_against_des(&[64, 128, 256, 512, 1024, 1500]);
+    let mut des = Series::new("des_model_latency_ns");
+    let mut cyc = Series::new("cycle_model_latency_ns");
+    for p in &report.points {
+        des.push(p.frame_bytes as f64, p.des_latency_ns);
+        cyc.push(p.frame_bytes as f64, p.cycle_latency_ns);
+    }
+    ExperimentResult {
+        id: "e7",
+        title: "small-scale DES switch model vs cycle-level NetFPGA SUME model",
+        series: vec![des, cyc],
+        rows: vec![
+            (
+                "worst relative error".into(),
+                format!("{:.1}%", report.worst_relative_error * 100.0),
+            ),
+            (
+                "validation (<=25% tolerance)".into(),
+                if report.passes(0.25) { "PASS".into() } else { "FAIL".into() },
+            ),
+        ],
+    }
+}
+
+/// **E8** — the high-speed bypass primitive: end-to-end latency of an N-hop
+/// path as intermediate switches are replaced by PHY-level bypasses.
+pub fn e8_bypass(hops: usize) -> ExperimentResult {
+    use rackfabric_sim::Simulator;
+    let mut series = Series::new("end_to_end_latency_ns_vs_bypassed_nodes");
+    for bypassed in 0..hops.saturating_sub(1) + 1 {
+        let spec = TopologySpec::line(hops + 1, 4);
+        let mut config = FabricConfig::baseline(spec);
+        config.sim = fast_sim(3, 10);
+        let flows = vec![Flow {
+            id: WorkloadFlowId(0),
+            src: NodeId(0),
+            dst: NodeId(hops as u32),
+            size: Bytes::new(1500),
+            start_at: SimTime::ZERO,
+        }];
+        let mut fabric = AdaptiveFabric::new(config, flows);
+        // Install bypasses at the first `bypassed` intermediate nodes.
+        let executor = rackfabric_phy::PlpExecutor::default();
+        for node in 1..=bypassed.min(hops.saturating_sub(1)) {
+            let in_link = fabric.topo.links_between(NodeId(node as u32 - 1), NodeId(node as u32))[0];
+            let out_link = fabric.topo.links_between(NodeId(node as u32), NodeId(node as u32 + 1))[0];
+            executor
+                .execute(
+                    &mut fabric.phy,
+                    &PlpCommand::EnableBypass {
+                        at_node: node as u32,
+                        in_link,
+                        out_link,
+                    },
+                )
+                .expect("bypass installation");
+        }
+        let mut sim = Simulator::new(fabric, 3);
+        sim.run_until(SimTime::from_millis(10));
+        let fabric = sim.into_model();
+        let latency = fabric.metrics.packet_latency.summary().mean;
+        series.push(bypassed as f64, latency / 1000.0);
+    }
+    let first = series.points().first().map(|&(_, y)| y).unwrap_or(0.0);
+    let last = series.last_y().unwrap_or(0.0);
+    ExperimentResult {
+        id: "e8",
+        title: "high-speed bypass: latency of an N-hop path vs number of bypassed switches",
+        series: vec![series],
+        rows: vec![
+            ("path length (switch hops)".into(), format!("{hops}")),
+            (
+                "latency reduction with all intermediate nodes bypassed".into(),
+                format!("{:.1}%", (1.0 - last / first.max(1e-9)) * 100.0),
+            ),
+        ],
+    }
+}
+
+/// Runs every experiment at the scale used for `EXPERIMENTS.md`.
+pub fn run_all() -> Vec<ExperimentResult> {
+    vec![
+        fig1_latency_vs_hops(21),
+        fig2_reconfiguration(64),
+        e3_mapreduce_scaling(&[3, 4, 5, 6], 32),
+        e4_power_vs_load(&[0.1, 0.25, 0.5, 0.75, 1.0]),
+        e5_breakeven(),
+        e6_adaptive_fec(),
+        e7_validation(),
+        e8_bypass(8),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_shows_switching_dominating_media() {
+        let r = fig1_latency_vs_hops(4);
+        let media = &r.series[0];
+        let switching = &r.series[1];
+        assert_eq!(media.len(), 4);
+        // At every switch count, switching latency exceeds media latency by a
+        // large factor — the paper's core motivation.
+        for (m, s) in media.points().iter().zip(switching.points()) {
+            assert!(s.1 > 5.0 * m.1, "switching {s:?} must dwarf media {m:?}");
+        }
+        // Both grow with hop count.
+        assert!(media.points()[3].1 > media.points()[0].1);
+        assert!(switching.points()[3].1 > switching.points()[0].1);
+    }
+
+    #[test]
+    fn e5_and_e6_are_cheap_and_consistent() {
+        let e5 = e5_breakeven();
+        assert_eq!(e5.series[0].len(), 10);
+        let e6 = e6_adaptive_fec();
+        // The chosen codec index is non-decreasing as the channel degrades.
+        let idx: Vec<f64> = e6.series[0].points().iter().map(|&(_, y)| y).collect();
+        assert!(idx.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn e7_validation_passes() {
+        let r = e7_validation();
+        assert!(r.rows.iter().any(|(_, v)| v == "PASS"));
+    }
+
+    #[test]
+    fn e8_bypass_reduces_latency_monotonically() {
+        let r = e8_bypass(4);
+        let pts: Vec<f64> = r.series[0].points().iter().map(|&(_, y)| y).collect();
+        assert_eq!(pts.len(), 4);
+        assert!(
+            pts.windows(2).all(|w| w[1] <= w[0] + 1e-9),
+            "latency must not increase as more switches are bypassed: {pts:?}"
+        );
+        assert!(pts.last().unwrap() < &(pts[0] * 0.8), "full bypass saves >20%");
+    }
+
+    #[test]
+    fn render_produces_tables() {
+        let r = e5_breakeven();
+        let text = r.render();
+        assert!(text.contains("== e5"));
+        assert!(text.contains("min_worthwhile_flow_kib"));
+    }
+}

@@ -1,0 +1,691 @@
+//! The adaptive fabric simulation: PLP + CRC + switching + workload, wired
+//! into one discrete-event model.
+//!
+//! [`AdaptiveFabric`] implements [`Model`] for the DES engine. It owns the
+//! physical state (links, lanes, bypasses), the topology graph, one egress
+//! queue per directed link use, the per-node NICs, the workload's flows, and
+//! — when `adaptive` is enabled — a [`ClosedRingControl`] that runs every
+//! control epoch. With `adaptive` disabled the very same model is the static
+//! packet-switched baseline the paper compares against.
+
+use crate::controller::{ClosedRingControl, CrcConfig};
+use crate::metrics::FabricMetrics;
+use crate::price::PriceBook;
+use crate::reconfigure;
+use rackfabric_phy::{PhyState, PlpExecutor, PlpTiming};
+use rackfabric_sim::config::SimConfig;
+use rackfabric_sim::event::{Context, Model};
+use rackfabric_sim::time::{SimDuration, SimTime};
+use rackfabric_sim::units::{BitRate, Bytes};
+use rackfabric_switch::model::SwitchModel;
+use rackfabric_switch::nic::Nic;
+use rackfabric_switch::packet::{FlowId, Packet, PacketId};
+use rackfabric_switch::queue::{EgressQueue, EnqueueOutcome};
+use rackfabric_topo::routing::{self, Route, RoutingAlgorithm};
+use rackfabric_topo::spec::TopologySpec;
+use rackfabric_topo::{NodeId, Topology};
+use rackfabric_workload::Flow;
+use std::collections::HashMap;
+
+/// Configuration of a fabric run.
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// Engine-level configuration (seed, horizon).
+    pub sim: SimConfig,
+    /// The topology the rack starts in.
+    pub spec: TopologySpec,
+    /// A topology the CRC may escalate to under sustained congestion (the
+    /// paper's grid-to-torus move). `None` disables topology escalation.
+    pub upgrade_spec: Option<TopologySpec>,
+    /// Per-lane signalling rate.
+    pub lane_rate: BitRate,
+    /// The switch datapath model used at every node.
+    pub switch: SwitchModel,
+    /// Routing algorithm used when admitting flows.
+    pub routing: RoutingAlgorithm,
+    /// Whether the Closed Ring Control is active (false = static baseline).
+    pub adaptive: bool,
+    /// CRC configuration (policy, epoch, price normalisation).
+    pub crc: CrcConfig,
+    /// Reconfiguration latency table for the PLP executor.
+    pub plp_timing: PlpTiming,
+    /// Egress buffer per port.
+    pub port_buffer: Bytes,
+    /// Packetisation size.
+    pub mtu: Bytes,
+    /// How long to wait before re-injecting after a drop.
+    pub retry_delay: SimDuration,
+    /// Stop the simulation as soon as every flow completes.
+    pub stop_when_done: bool,
+}
+
+impl FabricConfig {
+    /// An adaptive fabric over `spec` with the default CRC (hybrid policy).
+    pub fn adaptive(spec: TopologySpec) -> Self {
+        FabricConfig {
+            sim: SimConfig::default(),
+            spec,
+            upgrade_spec: None,
+            lane_rate: BitRate::from_gbps(25),
+            switch: SwitchModel::cut_through(),
+            routing: RoutingAlgorithm::MinCost,
+            adaptive: true,
+            crc: CrcConfig::default(),
+            plp_timing: PlpTiming::default(),
+            port_buffer: Bytes::from_kib(256),
+            mtu: Bytes::new(1500),
+            retry_delay: SimDuration::from_micros(10),
+            stop_when_done: true,
+        }
+    }
+
+    /// The static packet-switched baseline over the same topology: no CRC, no
+    /// PLP commands, shortest-hop routing.
+    pub fn baseline(spec: TopologySpec) -> Self {
+        FabricConfig {
+            adaptive: false,
+            routing: RoutingAlgorithm::ShortestHop,
+            ..FabricConfig::adaptive(spec)
+        }
+    }
+}
+
+/// Per-flow progress.
+#[derive(Debug, Clone, Default)]
+struct FlowProgress {
+    injected: u64,
+    delivered: u64,
+    completed: bool,
+}
+
+/// Events driving the fabric model.
+#[derive(Debug, Clone)]
+pub enum FabricEvent {
+    /// A workload flow becomes ready to send.
+    FlowStart(usize),
+    /// Inject the next packet of a flow at its source.
+    InjectNext(usize),
+    /// A packet finishes arriving at a node.
+    HopArrive {
+        /// The packet (carries its accumulated latency breakdown).
+        packet: Packet,
+        /// The route the packet is following.
+        route: Route,
+    },
+    /// One Closed Ring Control epoch.
+    CrcEpoch,
+    /// A set of links finishes reconfiguring (informational; availability is
+    /// tracked by timestamps).
+    PlpComplete,
+}
+
+/// The fabric simulation model.
+pub struct AdaptiveFabric {
+    /// Run configuration.
+    pub config: FabricConfig,
+    /// The physical interconnect state.
+    pub phy: PhyState,
+    /// The topology graph.
+    pub topo: Topology,
+    /// The spec the fabric currently matches.
+    pub current_spec: TopologySpec,
+    /// Per-node NICs (counters).
+    pub nics: Vec<Nic>,
+    /// Collected metrics.
+    pub metrics: FabricMetrics,
+    crc: ClosedRingControl,
+    executor: PlpExecutor,
+    flows: Vec<Flow>,
+    progress: Vec<FlowProgress>,
+    queues: HashMap<(u32, rackfabric_phy::LinkId), EgressQueue>,
+    bytes_this_epoch: HashMap<rackfabric_phy::LinkId, u64>,
+    reconfiguring_until: HashMap<rackfabric_phy::LinkId, SimTime>,
+    price_book: PriceBook,
+    epoch_start: SimTime,
+    completed_flows: usize,
+    next_packet_seq: u64,
+    topology_upgraded: bool,
+}
+
+impl AdaptiveFabric {
+    /// Builds the fabric and registers the workload's flows.
+    pub fn new(config: FabricConfig, flows: Vec<Flow>) -> Self {
+        let mut phy = PhyState::new();
+        let topo = config.spec.instantiate(&mut phy, config.lane_rate);
+        let nics = (0..config.spec.nodes as u32)
+            .map(|n| Nic::new(NodeId(n), config.port_buffer))
+            .collect();
+        let progress = vec![FlowProgress::default(); flows.len()];
+        let crc = ClosedRingControl::new(config.crc);
+        let executor = PlpExecutor::new(config.plp_timing);
+        AdaptiveFabric {
+            current_spec: config.spec.clone(),
+            config,
+            phy,
+            topo,
+            nics,
+            metrics: FabricMetrics::default(),
+            crc,
+            executor,
+            flows,
+            progress,
+            queues: HashMap::new(),
+            bytes_this_epoch: HashMap::new(),
+            reconfiguring_until: HashMap::new(),
+            price_book: PriceBook::default(),
+            epoch_start: SimTime::ZERO,
+            completed_flows: 0,
+            next_packet_seq: 0,
+            topology_upgraded: false,
+        }
+    }
+
+    /// The flows registered with the fabric.
+    pub fn flows(&self) -> &[Flow] {
+        &self.flows
+    }
+
+    /// True once every registered flow has delivered all of its bytes.
+    pub fn all_flows_complete(&self) -> bool {
+        self.completed_flows == self.flows.len()
+    }
+
+    fn link_available(&self, link: rackfabric_phy::LinkId, now: SimTime) -> bool {
+        if let Some(&until) = self.reconfiguring_until.get(&link) {
+            if now < until {
+                return false;
+            }
+        }
+        self.phy
+            .link(link)
+            .map(|l| matches!(l.state, rackfabric_phy::LinkState::Up) && l.capacity() > BitRate::ZERO)
+            .unwrap_or(false)
+    }
+
+    fn compute_route(&self, src: NodeId, dst: NodeId, flow_seq: u64) -> Option<Route> {
+        match self.config.routing {
+            RoutingAlgorithm::ShortestHop => routing::shortest_path(&self.topo, src, dst),
+            RoutingAlgorithm::MinCost => {
+                let costs = self.price_book.as_cost_map();
+                routing::dijkstra(&self.topo, src, dst, &costs, 1.0)
+            }
+            RoutingAlgorithm::Ecmp => routing::ecmp_select(&self.topo, src, dst, flow_seq),
+            RoutingAlgorithm::DimensionOrdered => {
+                routing::dimension_ordered(&self.current_spec, &self.topo, src, dst)
+                    .or_else(|| routing::shortest_path(&self.topo, src, dst))
+            }
+        }
+    }
+
+    /// Offers a packet to the egress queue of `(from, link)`; returns the
+    /// instants at which it departs, or `None` when the packet is dropped.
+    fn enqueue_on_link(
+        &mut self,
+        from: NodeId,
+        link_id: rackfabric_phy::LinkId,
+        size: Bytes,
+        now: SimTime,
+    ) -> Option<(SimDuration, SimDuration, SimTime)> {
+        if !self.link_available(link_id, now) {
+            return None;
+        }
+        let capacity = self.phy.link(link_id)?.capacity();
+        let queue = self
+            .queues
+            .entry((from.as_u32(), link_id))
+            .or_insert_with(|| EgressQueue::new(self.config.port_buffer));
+        match queue.enqueue(now, size, capacity) {
+            EnqueueOutcome::Accepted {
+                queueing,
+                serialization,
+                departs_at,
+                ..
+            } => {
+                *self.bytes_this_epoch.entry(link_id).or_insert(0) += size.as_u64();
+                if let Some(l) = self.phy.link_mut(link_id) {
+                    l.record_traffic(now, size.as_u64());
+                }
+                Some((queueing, serialization, departs_at))
+            }
+            EnqueueOutcome::Dropped => None,
+        }
+    }
+
+    /// Handles a dropped packet: the bytes will be re-sent by the source.
+    fn handle_drop(&mut self, ctx: &mut Context<FabricEvent>, flow_idx: usize, size: Bytes) {
+        self.metrics.dropped_packets.incr();
+        let p = &mut self.progress[flow_idx];
+        p.injected = p.injected.saturating_sub(size.as_u64());
+        ctx.schedule_in(self.config.retry_delay, FabricEvent::InjectNext(flow_idx));
+    }
+
+    fn inject_next(&mut self, ctx: &mut Context<FabricEvent>, flow_idx: usize) {
+        let flow = self.flows[flow_idx];
+        let remaining = flow
+            .size
+            .as_u64()
+            .saturating_sub(self.progress[flow_idx].injected);
+        if remaining == 0 || self.progress[flow_idx].completed {
+            return;
+        }
+        let size = Bytes::new(remaining.min(self.config.mtu.as_u64()));
+        let now = ctx.now();
+
+        let Some(route) = self.compute_route(flow.src, flow.dst, flow.id.0) else {
+            // No usable path right now (mid-reconfiguration); retry later.
+            ctx.schedule_in(self.config.retry_delay, FabricEvent::InjectNext(flow_idx));
+            return;
+        };
+        if route.hops() == 0 {
+            // Degenerate self-flow: deliver immediately.
+            self.progress[flow_idx].injected += size.as_u64();
+            self.progress[flow_idx].delivered += size.as_u64();
+            self.check_flow_completion(ctx, flow_idx);
+            ctx.schedule_now(FabricEvent::InjectNext(flow_idx));
+            return;
+        }
+
+        let first_link = route.links[0];
+        self.progress[flow_idx].injected += size.as_u64();
+        match self.enqueue_on_link(flow.src, first_link, size, now) {
+            None => self.handle_drop(ctx, flow_idx, size),
+            Some((queueing, serialization, departs_at)) => {
+                self.next_packet_seq += 1;
+                let mut packet = Packet::new(
+                    PacketId(self.next_packet_seq),
+                    FlowId(flow_idx as u64),
+                    flow.src,
+                    flow.dst,
+                    size,
+                    now,
+                );
+                packet.breakdown.queueing += queueing;
+                packet.breakdown.serialization += serialization;
+                let link = self.phy.link(first_link).expect("available link exists");
+                packet.breakdown.propagation += link.propagation_delay();
+                packet.breakdown.fec += link.fec_latency();
+                let arrive_at = departs_at + link.propagation_delay() + link.fec_latency();
+                packet.hop_index = 1;
+                ctx.schedule_at(arrive_at, FabricEvent::HopArrive { packet, route });
+                // Pipeline the next packet right behind this one.
+                ctx.schedule_at(departs_at, FabricEvent::InjectNext(flow_idx));
+            }
+        }
+    }
+
+    fn hop_arrive(&mut self, ctx: &mut Context<FabricEvent>, mut packet: Packet, route: Route) {
+        let now = ctx.now();
+        let at_node = route.nodes[packet.hop_index];
+        let flow_idx = packet.flow.0 as usize;
+
+        if at_node == packet.dst {
+            // Delivered.
+            self.nics[at_node.index()].deliver(&packet);
+            self.metrics.delivered_packets.incr();
+            self.metrics.delivered_bytes += packet.size.as_u64();
+            self.metrics
+                .packet_latency
+                .record_duration(packet.latency_at(now));
+            self.metrics
+                .queueing_latency
+                .record_duration(packet.breakdown.queueing);
+            self.metrics.breakdown.accumulate(&packet.breakdown);
+            self.progress[flow_idx].delivered += packet.size.as_u64();
+            self.check_flow_completion(ctx, flow_idx);
+            return;
+        }
+
+        // Forward to the next hop.
+        let in_link = route.links[packet.hop_index - 1];
+        let out_link = route.links[packet.hop_index];
+
+        // PLP #2: a bypass at this node short-circuits the switching logic.
+        let bypass = self
+            .phy
+            .bypasses
+            .lookup(at_node.as_u32(), in_link)
+            .copied()
+            .filter(|b| b.out_link == out_link);
+        if let Some(bypass) = bypass {
+            if self.link_available(out_link, now) {
+                let link = self.phy.link(out_link).expect("available link exists");
+                packet.breakdown.bypass += bypass.latency;
+                packet.breakdown.propagation += link.propagation_delay();
+                packet.breakdown.fec += link.fec_latency();
+                packet.breakdown.bypassed_hops += 1;
+                *self.bytes_this_epoch.entry(out_link).or_insert(0) += packet.size.as_u64();
+                let arrive_at =
+                    now + bypass.latency + link.propagation_delay() + link.fec_latency();
+                packet.hop_index += 1;
+                ctx.schedule_at(arrive_at, FabricEvent::HopArrive { packet, route });
+                return;
+            }
+        }
+
+        // Normal switched forwarding.
+        let Some(out) = self.phy.link(out_link) else {
+            // The route's link disappeared in a reconfiguration; resend.
+            self.handle_drop(ctx, flow_idx, packet.size);
+            return;
+        };
+        let switch_latency = self.config.switch.traversal_latency(packet.size, out);
+        let ready_at = now + switch_latency;
+        match self.enqueue_on_link(at_node, out_link, packet.size, ready_at) {
+            None => self.handle_drop(ctx, flow_idx, packet.size),
+            Some((queueing, _serialization, departs_at)) => {
+                packet.breakdown.switching += switch_latency;
+                packet.breakdown.switch_hops += 1;
+                packet.breakdown.queueing += queueing;
+                let link = self.phy.link(out_link).expect("just used");
+                packet.breakdown.propagation += link.propagation_delay();
+                packet.breakdown.fec += link.fec_latency();
+                let arrive_at = departs_at + link.propagation_delay() + link.fec_latency();
+                packet.hop_index += 1;
+                ctx.schedule_at(arrive_at, FabricEvent::HopArrive { packet, route });
+            }
+        }
+    }
+
+    fn check_flow_completion(&mut self, ctx: &mut Context<FabricEvent>, flow_idx: usize) {
+        let flow = self.flows[flow_idx];
+        let p = &mut self.progress[flow_idx];
+        if !p.completed && p.delivered >= flow.size.as_u64() {
+            p.completed = true;
+            self.completed_flows += 1;
+            let fct = ctx.now().saturating_since(flow.start_at);
+            self.metrics.flow_completions.push((flow.id, fct));
+            if self.completed_flows == self.flows.len() {
+                self.metrics.job_completion = Some(ctx.now());
+                if self.config.stop_when_done {
+                    ctx.stop();
+                }
+            }
+        }
+    }
+
+    fn crc_epoch(&mut self, ctx: &mut Context<FabricEvent>) {
+        let now = ctx.now();
+        let epoch = now.saturating_since(self.epoch_start);
+        let epoch_s = epoch.as_secs_f64().max(1e-12);
+
+        // Assemble per-link utilization / occupancy / throughput.
+        let mut utilization = HashMap::new();
+        let mut throughput = HashMap::new();
+        let mut queue_bytes: HashMap<rackfabric_phy::LinkId, f64> = HashMap::new();
+        for id in self.phy.link_ids() {
+            let bytes = self.bytes_this_epoch.get(&id).copied().unwrap_or(0);
+            let bps = bytes as f64 * 8.0 / epoch_s;
+            throughput.insert(id, BitRate::from_bps(bps as u64));
+            let cap = self.phy.link(id).map(|l| l.capacity()).unwrap_or(BitRate::ZERO);
+            let util = if cap.is_zero() { 0.0 } else { bps / cap.as_bps() as f64 };
+            utilization.insert(id, util);
+        }
+        for ((_, link), q) in self.queues.iter_mut() {
+            let occ = q.mean_occupancy(now);
+            let entry = queue_bytes.entry(*link).or_insert(0.0);
+            *entry = entry.max(occ);
+        }
+
+        let report = self
+            .phy
+            .telemetry_report(now, &utilization, &queue_bytes, &throughput);
+        self.metrics
+            .power_series
+            .push_at(now, report.total_power.as_watts_f64());
+        self.metrics
+            .utilization_series
+            .push_at(now, report.mean_utilization());
+        let total_gbps: f64 = throughput.values().map(|r| r.as_gbps_f64()).sum();
+        self.metrics.throughput_series.push_at(now, total_gbps);
+
+        self.price_book = self.crc.price(&report);
+
+        if self.config.adaptive {
+            let decision = self.crc.decide(&report, &self.phy);
+            for command in &decision.commands {
+                match self.executor.execute(&mut self.phy, command) {
+                    Ok(completion) => {
+                        for link in &completion.affected {
+                            let until = now + completion.duration;
+                            let entry = self
+                                .reconfiguring_until
+                                .entry(*link)
+                                .or_insert(SimTime::ZERO);
+                            *entry = (*entry).max(until);
+                        }
+                        self.metrics
+                            .reconfig_events
+                            .push((now.as_micros_f64(), completion.command.clone()));
+                    }
+                    Err(_) => {
+                        // A rejected command (e.g. a link went down between
+                        // telemetry and actuation) is skipped; the next epoch
+                        // will re-evaluate.
+                    }
+                }
+            }
+            if decision.escalate_topology && !self.topology_upgraded {
+                if let Some(target) = self.config.upgrade_spec.clone() {
+                    self.upgrade_topology(now, &target);
+                }
+            }
+        }
+
+        // Reset epoch accounting and reschedule.
+        self.bytes_this_epoch.clear();
+        self.epoch_start = now;
+        ctx.schedule_in(self.config.crc.epoch, FabricEvent::CrcEpoch);
+    }
+
+    fn upgrade_topology(&mut self, now: SimTime, target: &TopologySpec) {
+        match reconfigure::plan(&self.current_spec, target, &self.topo, &self.phy) {
+            Ok(plan) if !plan.is_empty() => {
+                match reconfigure::apply(&plan, &self.executor, &mut self.phy, &mut self.topo) {
+                    Ok(duration) => {
+                        // Traffic pauses on every link while the fabric
+                        // re-trains (worst case, conservative).
+                        for id in self.phy.link_ids() {
+                            let entry = self
+                                .reconfiguring_until
+                                .entry(id)
+                                .or_insert(SimTime::ZERO);
+                            *entry = (*entry).max(now + duration);
+                        }
+                        self.current_spec = plan.target.clone();
+                        self.topology_upgraded = true;
+                        self.metrics.topology_reconfigurations += 1;
+                        self.metrics
+                            .reconfig_events
+                            .push((now.as_micros_f64(), format!("topology->{}", target.name)));
+                    }
+                    Err(_) => {}
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Model for AdaptiveFabric {
+    type Event = FabricEvent;
+
+    fn init(&mut self, ctx: &mut Context<FabricEvent>) {
+        for (idx, flow) in self.flows.iter().enumerate() {
+            ctx.schedule_at(flow.start_at, FabricEvent::FlowStart(idx));
+        }
+        ctx.schedule_in(self.config.crc.epoch, FabricEvent::CrcEpoch);
+    }
+
+    fn handle(&mut self, ctx: &mut Context<FabricEvent>, event: FabricEvent) {
+        match event {
+            FabricEvent::FlowStart(idx) | FabricEvent::InjectNext(idx) => {
+                self.inject_next(ctx, idx)
+            }
+            FabricEvent::HopArrive { packet, route } => self.hop_arrive(ctx, packet, route),
+            FabricEvent::CrcEpoch => self.crc_epoch(ctx),
+            FabricEvent::PlpComplete => {}
+        }
+    }
+}
+
+/// Runs a fabric configuration against a workload and returns the model with
+/// its collected metrics.
+pub fn run_fabric(config: FabricConfig, flows: Vec<Flow>) -> AdaptiveFabric {
+    let horizon = config.sim.horizon;
+    let seed = config.sim.seed;
+    let budget = config.sim.event_budget;
+    let mut sim = rackfabric_sim::Simulator::new(AdaptiveFabric::new(config, flows), seed)
+        .with_event_budget(budget);
+    sim.run_until(horizon);
+    sim.into_model()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rackfabric_sim::time::SimTime;
+    use rackfabric_workload::{MapReduceShuffle, Workload};
+    use rackfabric_sim::DetRng;
+
+    fn small_shuffle(nodes: usize, partition: Bytes) -> Vec<Flow> {
+        MapReduceShuffle::all_to_all(nodes, partition).generate(&mut DetRng::new(7))
+    }
+
+    fn quick_config(spec: TopologySpec) -> FabricConfig {
+        let mut c = FabricConfig::adaptive(spec);
+        c.sim = SimConfig::with_seed(1).horizon(SimTime::from_millis(50));
+        c
+    }
+
+    #[test]
+    fn single_flow_completes_with_sane_latency() {
+        let spec = TopologySpec::line(4, 4);
+        let mut config = quick_config(spec);
+        config.adaptive = false;
+        config.routing = RoutingAlgorithm::ShortestHop;
+        let flows = vec![Flow {
+            id: rackfabric_workload::WorkloadFlowId(0),
+            src: NodeId(0),
+            dst: NodeId(3),
+            size: Bytes::from_kib(15),
+            start_at: SimTime::ZERO,
+        }];
+        let fabric = run_fabric(config, flows);
+        assert!(fabric.all_flows_complete());
+        let s = fabric.metrics.summary();
+        assert_eq!(s.completed_flows, 1);
+        assert_eq!(s.delivered_bytes, 15 * 1024);
+        assert_eq!(s.dropped_packets, 0);
+        // Three switch hops... actually two intermediate switches (nodes 1, 2).
+        assert!(s.packet_latency.p50 > 0.0);
+        // Per-packet latency should be of order a few microseconds at most on
+        // an idle 4-node line.
+        assert!(
+            s.packet_latency.max < 20_000_000.0,
+            "p_max latency {} ps is implausibly high",
+            s.packet_latency.max
+        );
+        assert!(fabric.metrics.breakdown.switch_hops > 0);
+    }
+
+    #[test]
+    fn shuffle_completes_on_grid_baseline_and_adaptive() {
+        let flows = small_shuffle(9, Bytes::from_kib(8));
+        let baseline = {
+            let mut c = FabricConfig::baseline(TopologySpec::grid(3, 3, 2));
+            c.sim = SimConfig::with_seed(2).horizon(SimTime::from_millis(100));
+            run_fabric(c, flows.clone())
+        };
+        let adaptive = {
+            let mut c = quick_config(TopologySpec::grid(3, 3, 2));
+            c.sim = SimConfig::with_seed(2).horizon(SimTime::from_millis(100));
+            run_fabric(c, flows)
+        };
+        assert!(baseline.all_flows_complete(), "baseline must finish the shuffle");
+        assert!(adaptive.all_flows_complete(), "adaptive must finish the shuffle");
+        assert_eq!(baseline.metrics.summary().completed_flows, 72);
+        assert_eq!(adaptive.metrics.summary().completed_flows, 72);
+        // Both delivered the same volume.
+        assert_eq!(
+            baseline.metrics.delivered_bytes,
+            adaptive.metrics.delivered_bytes
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_the_same_seed() {
+        let flows = small_shuffle(4, Bytes::from_kib(4));
+        let run = |seed| {
+            let mut c = quick_config(TopologySpec::grid(2, 2, 2));
+            c.sim = SimConfig::with_seed(seed).horizon(SimTime::from_millis(50));
+            let f = run_fabric(c, flows.clone());
+            (
+                f.metrics.summary().job_completion_us,
+                f.metrics.delivered_bytes,
+                f.metrics.summary().packet_latency.p99,
+            )
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn self_flows_complete_trivially() {
+        let spec = TopologySpec::line(2, 2);
+        let config = quick_config(spec);
+        let flows = vec![Flow {
+            id: rackfabric_workload::WorkloadFlowId(0),
+            src: NodeId(1),
+            dst: NodeId(1),
+            size: Bytes::from_kib(4),
+            start_at: SimTime::ZERO,
+        }];
+        let fabric = run_fabric(config, flows);
+        assert!(fabric.all_flows_complete());
+    }
+
+    #[test]
+    fn adaptive_fabric_issues_plp_commands_under_idle_power_policy() {
+        use crate::policy::CrcPolicy;
+        use rackfabric_sim::units::Power;
+        // An idle-ish fabric under a power-cap policy sheds lanes.
+        let mut config = quick_config(TopologySpec::grid(3, 3, 4));
+        config.crc.policy = CrcPolicy::PowerCap {
+            budget: Power::from_kilowatts(10),
+        };
+        config.stop_when_done = false;
+        config.sim = SimConfig::with_seed(3).horizon(SimTime::from_millis(2));
+        let flows = vec![Flow {
+            id: rackfabric_workload::WorkloadFlowId(0),
+            src: NodeId(0),
+            dst: NodeId(8),
+            size: Bytes::from_kib(1),
+            start_at: SimTime::ZERO,
+        }];
+        let fabric = run_fabric(config, flows);
+        assert!(
+            !fabric.metrics.reconfig_events.is_empty(),
+            "the power-cap CRC should have shed lanes on idle links"
+        );
+        // Power must have gone down over the run.
+        let first = fabric.metrics.power_series.points().first().map(|&(_, y)| y).unwrap();
+        let last = fabric.metrics.power_series.last_y().unwrap();
+        assert!(last < first, "power should drop as lanes are shed ({first} -> {last})");
+    }
+
+    #[test]
+    fn congestion_escalates_grid_to_torus_when_upgrade_spec_is_given() {
+        let flows = small_shuffle(16, Bytes::from_kib(64));
+        let mut config = quick_config(TopologySpec::grid(4, 4, 2));
+        config.upgrade_spec = Some(TopologySpec::torus(4, 4, 1));
+        config.crc.epoch = SimDuration::from_micros(20);
+        config.sim = SimConfig::with_seed(4).horizon(SimTime::from_millis(200));
+        let fabric = run_fabric(config, flows);
+        assert!(fabric.all_flows_complete(), "shuffle must finish");
+        assert_eq!(
+            fabric.metrics.topology_reconfigurations, 1,
+            "sustained shuffle pressure should trigger exactly one grid->torus upgrade"
+        );
+        assert_eq!(fabric.current_spec.name, TopologySpec::torus(4, 4, 1).name);
+        assert!(fabric.topo.diameter().unwrap() <= 4);
+    }
+}

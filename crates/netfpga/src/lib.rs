@@ -1,0 +1,22 @@
+//! # rackfabric-netfpga
+//!
+//! A cycle-level model of a NetFPGA-SUME-style 4-port reference switch, used
+//! to cross-validate the event-driven switch model.
+//!
+//! The paper's evaluation methodology (Section 4) is: build a small-scale
+//! simulation, validate it against a hardware proof of concept on the NetFPGA
+//! SUME platform, then scale the simulation up. The hardware is not available
+//! here, so this crate substitutes the closest synthetic equivalent: a
+//! cycle-accurate model of the SUME reference switch datapath (input
+//! arbitration → header parse → lookup → output queue → egress), clocked at
+//! the reference design's 200 MHz with a 256-bit datapath. Experiment E7
+//! compares the per-hop latency this model predicts with the event-driven
+//! [`SwitchModel`](rackfabric_switch::SwitchModel) used by the large-scale
+//! simulation; agreement within a few tens of nanoseconds is the validation
+//! criterion.
+
+pub mod pipeline;
+pub mod validation;
+
+pub use pipeline::{SumeConfig, SumeSwitch};
+pub use validation::{validate_against_des, ValidationReport};

@@ -1,0 +1,90 @@
+//! Physical-layer error type.
+
+use crate::lane::LaneId;
+use crate::link::LinkId;
+use std::fmt;
+
+/// Errors returned by physical-layer operations and PLP command execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PhyError {
+    /// The referenced link does not exist in the physical state.
+    UnknownLink(LinkId),
+    /// The referenced lane does not exist on the link.
+    UnknownLane(LinkId, LaneId),
+    /// A split/bundle request asked for more lanes than the link owns.
+    NotEnoughLanes {
+        /// The link that was asked to give up lanes.
+        link: LinkId,
+        /// Lanes requested.
+        requested: usize,
+        /// Lanes actually present.
+        available: usize,
+    },
+    /// The two links cannot be bundled (different endpoints or media).
+    IncompatibleBundle(LinkId, LinkId),
+    /// The command is not supported by the link's media/PLP capability set.
+    UnsupportedPrimitive(&'static str),
+    /// The link is administratively or operationally down.
+    LinkDown(LinkId),
+    /// A bypass was requested through a node where the two links do not meet.
+    BypassEndpointMismatch(LinkId, LinkId),
+    /// A bypass already exists for this ingress link.
+    BypassAlreadyActive(LinkId),
+    /// Generic invalid-argument error with a human-readable reason.
+    Invalid(String),
+}
+
+impl fmt::Display for PhyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhyError::UnknownLink(l) => write!(f, "unknown link {l:?}"),
+            PhyError::UnknownLane(l, lane) => write!(f, "unknown lane {lane:?} on link {l:?}"),
+            PhyError::NotEnoughLanes {
+                link,
+                requested,
+                available,
+            } => write!(
+                f,
+                "link {link:?} has {available} lanes, cannot take {requested}"
+            ),
+            PhyError::IncompatibleBundle(a, b) => {
+                write!(f, "links {a:?} and {b:?} cannot be bundled")
+            }
+            PhyError::UnsupportedPrimitive(p) => write!(f, "primitive {p} not supported"),
+            PhyError::LinkDown(l) => write!(f, "link {l:?} is down"),
+            PhyError::BypassEndpointMismatch(a, b) => {
+                write!(f, "links {a:?} and {b:?} do not share a node for bypass")
+            }
+            PhyError::BypassAlreadyActive(l) => {
+                write!(f, "a bypass is already active on link {l:?}")
+            }
+            PhyError::Invalid(msg) => write!(f, "invalid physical-layer request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PhyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PhyError::NotEnoughLanes {
+            link: LinkId(3),
+            requested: 4,
+            available: 2,
+        };
+        let s = format!("{e}");
+        assert!(s.contains("2 lanes"));
+        assert!(s.contains("cannot take 4"));
+        assert!(format!("{}", PhyError::UnknownLink(LinkId(9))).contains("unknown link"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(PhyError::LinkDown(LinkId(1)));
+        assert!(e.to_string().contains("down"));
+    }
+}

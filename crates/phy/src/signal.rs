@@ -1,0 +1,127 @@
+//! Signal-integrity model: from channel loss to a pre-FEC bit error rate.
+//!
+//! The model is intentionally simple but has the right shape: the received
+//! SNR is the transmit SNR minus the channel loss minus a rate penalty
+//! (doubling the per-lane rate costs ~3 dB), and the bit error rate follows
+//! the standard Q-function of the SNR. What the CRC needs from this chain is
+//! only (a) that BER worsens smoothly as links get longer/faster/noisier and
+//! (b) realistic orders of magnitude (1e-15 on a clean short link, 1e-5 on a
+//! marginal one), both of which hold.
+
+use crate::media::Media;
+use rackfabric_sim::units::{BitRate, Length};
+
+/// Reference per-lane rate at which the media's `tx_snr_db` is quoted.
+pub const REFERENCE_LANE_RATE: BitRate = BitRate::from_gbps(25);
+
+/// Additional SNR penalty in dB for every doubling of the lane rate above the
+/// reference rate.
+pub const RATE_PENALTY_DB_PER_OCTAVE: f64 = 3.0;
+
+/// Computes the received SNR in dB for a lane of `rate` over `length` of
+/// `media`, with an extra impairment term (crosstalk, ageing, temperature)
+/// expressed in dB.
+pub fn received_snr_db(media: &Media, length: Length, rate: BitRate, impairment_db: f64) -> f64 {
+    let loss = media.channel_loss_db(length);
+    let rate_ratio = rate.as_bps() as f64 / REFERENCE_LANE_RATE.as_bps() as f64;
+    let rate_penalty = if rate_ratio > 1.0 {
+        RATE_PENALTY_DB_PER_OCTAVE * rate_ratio.log2()
+    } else {
+        0.0
+    };
+    media.tx_snr_db - loss - rate_penalty - impairment_db.max(0.0)
+}
+
+/// Approximates the Gaussian Q-function Q(x) = P(N(0,1) > x).
+///
+/// Uses the Karagiannidis–Lioumpas closed-form approximation, accurate to a
+/// few percent over the range of interest (x in 0..8), which is more than
+/// enough to place BER on the right order of magnitude.
+pub fn q_function(x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.5;
+    }
+    let num = (1.0 - (-1.4 * x).exp()) * (-x * x / 2.0).exp();
+    num / (1.135 * (2.0 * std::f64::consts::PI).sqrt() * x)
+}
+
+/// Converts a received SNR (dB) into a pre-FEC bit error rate, assuming
+/// NRZ signalling where BER = Q(sqrt(SNR_linear)).
+pub fn snr_to_ber(snr_db: f64) -> f64 {
+    if snr_db <= 0.0 {
+        return 0.5;
+    }
+    let snr_linear = 10f64.powf(snr_db / 10.0);
+    q_function(snr_linear.sqrt()).clamp(1e-18, 0.5)
+}
+
+/// End-to-end helper: pre-FEC BER of a lane of `rate` over `length` of
+/// `media` with an `impairment_db` margin eaten away.
+pub fn lane_ber(media: &Media, length: Length, rate: BitRate, impairment_db: f64) -> f64 {
+    snr_to_ber(received_snr_db(media, length, rate, impairment_db))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::media::Media;
+
+    #[test]
+    fn q_function_reference_points() {
+        // Q(0) = 0.5 by definition.
+        assert!((q_function(0.0) - 0.5).abs() < 1e-12);
+        // Q(x) is decreasing.
+        assert!(q_function(1.0) > q_function(2.0));
+        assert!(q_function(2.0) > q_function(4.0));
+        // Known values: Q(3) ~ 1.35e-3, Q(6) ~ 9.9e-10 (within ~20 %).
+        let q3 = q_function(3.0);
+        assert!((1.0e-3..2.0e-3).contains(&q3), "Q(3) was {q3}");
+        let q6 = q_function(6.0);
+        assert!((5e-10..2e-9).contains(&q6), "Q(6) was {q6}");
+    }
+
+    #[test]
+    fn snr_to_ber_is_monotone_decreasing() {
+        let mut last = 1.0;
+        for snr in [0.0, 5.0, 10.0, 13.0, 15.0, 17.0, 20.0] {
+            let ber = snr_to_ber(snr);
+            assert!(ber <= last, "BER must not increase with SNR");
+            last = ber;
+        }
+        assert_eq!(snr_to_ber(-3.0), 0.5);
+    }
+
+    #[test]
+    fn short_clean_links_have_negligible_ber() {
+        let fiber = Media::optical_fiber();
+        let ber = lane_ber(&fiber, Length::from_m(2), BitRate::from_gbps(25), 0.0);
+        assert!(ber < 1e-12, "2 m fibre lane should be essentially error free, was {ber}");
+    }
+
+    #[test]
+    fn long_copper_at_high_rate_is_marginal() {
+        let copper = Media::copper_dac();
+        let clean = lane_ber(&copper, Length::from_m(1), BitRate::from_gbps(25), 0.0);
+        let marginal = lane_ber(&copper, Length::from_m(5), BitRate::from_gbps(50), 0.0);
+        assert!(marginal > clean * 1e3, "5 m @50G must be much worse than 1 m @25G");
+        assert!(marginal > 1e-13 && marginal < 0.5);
+    }
+
+    #[test]
+    fn impairment_degrades_ber() {
+        let fiber = Media::optical_fiber();
+        let base = lane_ber(&fiber, Length::from_m(30), BitRate::from_gbps(25), 0.0);
+        let impaired = lane_ber(&fiber, Length::from_m(30), BitRate::from_gbps(25), 20.0);
+        assert!(impaired > base);
+    }
+
+    #[test]
+    fn rate_penalty_only_applies_above_reference() {
+        let fiber = Media::optical_fiber();
+        let at_10g = received_snr_db(&fiber, Length::from_m(2), BitRate::from_gbps(10), 0.0);
+        let at_25g = received_snr_db(&fiber, Length::from_m(2), BitRate::from_gbps(25), 0.0);
+        let at_50g = received_snr_db(&fiber, Length::from_m(2), BitRate::from_gbps(50), 0.0);
+        assert_eq!(at_10g, at_25g, "below-reference rates pay no penalty");
+        assert!((at_25g - at_50g - 3.0).abs() < 1e-9, "one octave costs 3 dB");
+    }
+}

@@ -1,0 +1,392 @@
+//! The simulation main loop.
+//!
+//! [`Simulator`] owns the clock, the pending-event set and the model, and
+//! advances the model by repeatedly popping the earliest event and calling
+//! [`Model::handle`](crate::event::Model::handle). Directives issued through
+//! the [`Context`](crate::event::Context) are applied after each callback.
+
+use crate::event::{Context, Directive, EventId, Model};
+use crate::queue::EventQueue;
+use crate::rng::DetRng;
+use crate::time::SimTime;
+
+/// Why a call to [`Simulator::run_until`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The pending-event set became empty before the horizon.
+    Drained,
+    /// The horizon was reached; later events are still pending.
+    HorizonReached,
+    /// The model requested a stop via [`Context::stop`](crate::event::Context::stop).
+    Stopped,
+    /// The configured event budget was exhausted (guards against livelock).
+    EventBudgetExhausted,
+}
+
+/// A deterministic discrete-event simulator driving a single [`Model`].
+pub struct Simulator<M: Model> {
+    model: M,
+    queue: EventQueue<M::Event>,
+    now: SimTime,
+    next_id: u64,
+    rng: DetRng,
+    stop_requested: bool,
+    events_processed: u64,
+    event_budget: u64,
+    initialized: bool,
+}
+
+impl<M: Model> Simulator<M> {
+    /// Creates a simulator over `model`, seeding all randomness from `seed`.
+    pub fn new(model: M, seed: u64) -> Self {
+        Simulator {
+            model,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            next_id: 0,
+            rng: DetRng::new(seed),
+            stop_requested: false,
+            events_processed: 0,
+            event_budget: u64::MAX,
+            initialized: false,
+        }
+    }
+
+    /// Caps the total number of events that will ever be processed. Useful as
+    /// a guard against accidental event storms in tests; the default is
+    /// unlimited.
+    pub fn with_event_budget(mut self, budget: u64) -> Self {
+        self.event_budget = budget;
+        self
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Immutable access to the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the model (e.g. to extract statistics between runs).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consumes the simulator, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Schedules an event from outside the model (before or between runs).
+    pub fn schedule_at(&mut self, at: SimTime, event: M::Event) -> EventId {
+        assert!(at >= self.now, "cannot schedule in the past");
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.queue.push(at, id, event);
+        id
+    }
+
+    /// Runs until the event queue drains, the model stops, or the event
+    /// budget is exhausted.
+    pub fn run(&mut self) -> RunOutcome {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Runs until `horizon` (inclusive of events scheduled exactly at it),
+    /// the queue drains, the model stops, or the event budget is exhausted.
+    ///
+    /// The clock is left at the timestamp of the last processed event, or at
+    /// `horizon` if the horizon was reached with events still pending (so a
+    /// subsequent call resumes cleanly).
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        let mut directives: Vec<(EventId, Directive<M::Event>)> = Vec::new();
+
+        if !self.initialized {
+            self.initialized = true;
+            let mut ctx = Context {
+                now: self.now,
+                next_id: &mut self.next_id,
+                directives: &mut directives,
+                rng: &mut self.rng,
+            };
+            self.model.init(&mut ctx);
+            Self::apply_directives(&mut self.queue, &mut self.stop_requested, &mut directives);
+        }
+
+        let outcome = loop {
+            if self.stop_requested {
+                break RunOutcome::Stopped;
+            }
+            if self.events_processed >= self.event_budget {
+                break RunOutcome::EventBudgetExhausted;
+            }
+            let next_time = match self.queue.peek_time() {
+                None => break RunOutcome::Drained,
+                Some(t) => t,
+            };
+            if next_time > horizon {
+                self.now = horizon;
+                break RunOutcome::HorizonReached;
+            }
+            let (at, _id, event) = self.queue.pop().expect("peeked event must pop");
+            debug_assert!(at >= self.now, "event queue returned an event in the past");
+            self.now = at;
+            self.events_processed += 1;
+
+            let mut ctx = Context {
+                now: self.now,
+                next_id: &mut self.next_id,
+                directives: &mut directives,
+                rng: &mut self.rng,
+            };
+            self.model.handle(&mut ctx, event);
+            Self::apply_directives(&mut self.queue, &mut self.stop_requested, &mut directives);
+        };
+
+        // Give the model a chance to flush statistics.
+        let mut ctx = Context {
+            now: self.now,
+            next_id: &mut self.next_id,
+            directives: &mut directives,
+            rng: &mut self.rng,
+        };
+        self.model.finish(&mut ctx);
+        Self::apply_directives(&mut self.queue, &mut self.stop_requested, &mut directives);
+
+        outcome
+    }
+
+    fn apply_directives(
+        queue: &mut EventQueue<M::Event>,
+        stop: &mut bool,
+        directives: &mut Vec<(EventId, Directive<M::Event>)>,
+    ) {
+        for (id, directive) in directives.drain(..) {
+            match directive {
+                Directive::Schedule { at, event } => queue.push(at, id, event),
+                Directive::Cancel(target) => {
+                    queue.cancel(target);
+                }
+                Directive::Stop => *stop = true,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    /// Records the order in which events were delivered.
+    struct Recorder {
+        seen: Vec<(SimTime, u32)>,
+        stop_after: Option<usize>,
+        finished: bool,
+    }
+
+    impl Model for Recorder {
+        type Event = u32;
+        fn handle(&mut self, ctx: &mut Context<u32>, event: u32) {
+            self.seen.push((ctx.now(), event));
+            if let Some(n) = self.stop_after {
+                if self.seen.len() >= n {
+                    ctx.stop();
+                }
+            }
+        }
+        fn finish(&mut self, _ctx: &mut Context<u32>) {
+            self.finished = true;
+        }
+    }
+
+    fn recorder() -> Recorder {
+        Recorder {
+            seen: Vec::new(),
+            stop_after: None,
+            finished: false,
+        }
+    }
+
+    #[test]
+    fn delivers_events_in_time_order() {
+        let mut sim = Simulator::new(recorder(), 0);
+        sim.schedule_at(SimTime::from_nanos(30), 3);
+        sim.schedule_at(SimTime::from_nanos(10), 1);
+        sim.schedule_at(SimTime::from_nanos(20), 2);
+        let outcome = sim.run();
+        assert_eq!(outcome, RunOutcome::Drained);
+        assert_eq!(
+            sim.model().seen,
+            vec![
+                (SimTime::from_nanos(10), 1),
+                (SimTime::from_nanos(20), 2),
+                (SimTime::from_nanos(30), 3)
+            ]
+        );
+        assert!(sim.model().finished);
+        assert_eq!(sim.events_processed(), 3);
+    }
+
+    #[test]
+    fn horizon_stops_and_resumes() {
+        let mut sim = Simulator::new(recorder(), 0);
+        sim.schedule_at(SimTime::from_nanos(10), 1);
+        sim.schedule_at(SimTime::from_nanos(50), 2);
+        let outcome = sim.run_until(SimTime::from_nanos(20));
+        assert_eq!(outcome, RunOutcome::HorizonReached);
+        assert_eq!(sim.model().seen.len(), 1);
+        assert_eq!(sim.now(), SimTime::from_nanos(20));
+        // Resume and drain.
+        let outcome = sim.run();
+        assert_eq!(outcome, RunOutcome::Drained);
+        assert_eq!(sim.model().seen.len(), 2);
+        assert_eq!(sim.now(), SimTime::from_nanos(50));
+    }
+
+    #[test]
+    fn stop_request_is_honoured() {
+        let mut sim = Simulator::new(
+            Recorder {
+                seen: Vec::new(),
+                stop_after: Some(2),
+                finished: false,
+            },
+            0,
+        );
+        for i in 0..10 {
+            sim.schedule_at(SimTime::from_nanos(i), i as u32);
+        }
+        let outcome = sim.run();
+        assert_eq!(outcome, RunOutcome::Stopped);
+        assert_eq!(sim.model().seen.len(), 2);
+        assert_eq!(sim.pending_events(), 8);
+    }
+
+    #[test]
+    fn event_budget_prevents_livelock() {
+        /// A model that perpetually schedules itself at the same instant.
+        struct Livelock;
+        impl Model for Livelock {
+            type Event = ();
+            fn init(&mut self, ctx: &mut Context<()>) {
+                ctx.schedule_now(());
+            }
+            fn handle(&mut self, ctx: &mut Context<()>, _: ()) {
+                ctx.schedule_now(());
+            }
+        }
+        let mut sim = Simulator::new(Livelock, 0).with_event_budget(1000);
+        let outcome = sim.run();
+        assert_eq!(outcome, RunOutcomeBudget());
+        assert_eq!(sim.events_processed(), 1000);
+    }
+
+    // Small helper so the assert above reads naturally.
+    #[allow(non_snake_case)]
+    fn RunOutcomeBudget() -> RunOutcome {
+        RunOutcome::EventBudgetExhausted
+    }
+
+    #[test]
+    fn init_runs_exactly_once() {
+        struct CountInit {
+            inits: u32,
+        }
+        impl Model for CountInit {
+            type Event = ();
+            fn init(&mut self, ctx: &mut Context<()>) {
+                self.inits += 1;
+                ctx.schedule_in(SimDuration::from_nanos(1), ());
+            }
+            fn handle(&mut self, _ctx: &mut Context<()>, _: ()) {}
+        }
+        let mut sim = Simulator::new(CountInit { inits: 0 }, 0);
+        sim.run_until(SimTime::from_nanos(10));
+        sim.run_until(SimTime::from_nanos(20));
+        sim.run();
+        assert_eq!(sim.model().inits, 1);
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        /// Schedules events at random offsets and records the delivery order.
+        struct RandomWalk {
+            remaining: u32,
+            trace: Vec<u64>,
+        }
+        impl Model for RandomWalk {
+            type Event = u64;
+            fn init(&mut self, ctx: &mut Context<u64>) {
+                let d = ctx.rng().range_u64(1..1000);
+                ctx.schedule_in(SimDuration::from_nanos(d), d);
+            }
+            fn handle(&mut self, ctx: &mut Context<u64>, ev: u64) {
+                self.trace.push(ev);
+                if self.remaining > 0 {
+                    self.remaining -= 1;
+                    let d = ctx.rng().range_u64(1..1000);
+                    ctx.schedule_in(SimDuration::from_nanos(d), d);
+                }
+            }
+        }
+        let run = |seed| {
+            let mut sim = Simulator::new(
+                RandomWalk {
+                    remaining: 200,
+                    trace: Vec::new(),
+                },
+                seed,
+            );
+            sim.run();
+            sim.into_model().trace
+        };
+        assert_eq!(run(7), run(7), "identical seeds must give identical traces");
+        assert_ne!(run(7), run(8), "different seeds should diverge");
+    }
+
+    #[test]
+    fn cancellation_through_context() {
+        struct Canceller {
+            fired: Vec<&'static str>,
+        }
+        #[derive(Debug)]
+        enum Ev {
+            Arm,
+            Bomb,
+        }
+        impl Model for Canceller {
+            type Event = Ev;
+            fn init(&mut self, ctx: &mut Context<Ev>) {
+                ctx.schedule_in(SimDuration::from_nanos(10), Ev::Arm);
+            }
+            fn handle(&mut self, ctx: &mut Context<Ev>, ev: Ev) {
+                match ev {
+                    Ev::Arm => {
+                        self.fired.push("arm");
+                        let bomb = ctx.schedule_in(SimDuration::from_nanos(10), Ev::Bomb);
+                        // Defuse immediately.
+                        ctx.cancel(bomb);
+                    }
+                    Ev::Bomb => self.fired.push("bomb"),
+                }
+            }
+        }
+        let mut sim = Simulator::new(Canceller { fired: Vec::new() }, 0);
+        sim.run();
+        assert_eq!(sim.model().fired, vec!["arm"]);
+    }
+}

@@ -1,0 +1,224 @@
+//! The pending-event set.
+//!
+//! A binary heap keyed on `(timestamp, sequence number)`. The sequence number
+//! makes delivery of same-timestamp events FIFO with respect to scheduling
+//! order, which is what keeps simulations deterministic when many components
+//! react at the same instant (e.g. all mappers of a shuffle start at t=0).
+//!
+//! Cancellation is lazy: cancelled ids are kept in a set and skipped when
+//! popped, which is O(1) per cancellation and avoids a heap rebuild.
+
+use crate::event::EventId;
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// One scheduled entry.
+struct Entry<E> {
+    at: SimTime,
+    id: EventId,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.id == other.id
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest (time, id) pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+/// A timestamp-ordered queue of pending events with lazy cancellation.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<EventId>,
+    /// Number of live (non-cancelled) entries.
+    live: usize,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            live: 0,
+        }
+    }
+
+    /// Inserts an event at `at` with identity `id`.
+    pub fn push(&mut self, at: SimTime, id: EventId, event: E) {
+        self.heap.push(Entry { at, id, event });
+        self.live += 1;
+    }
+
+    /// Marks an event as cancelled. Returns true if the id was still pending.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        // We cannot cheaply check membership in the heap; optimistically mark
+        // and let `pop` discard. `live` is only decremented when we are sure
+        // the id was pending, which we approximate by always decrementing and
+        // clamping at zero: the engine only hands out ids it created, so
+        // cancelling a never-scheduled id is a programming error upstream but
+        // must not corrupt the count here.
+        if self.cancelled.insert(id) {
+            self.live = self.live.saturating_sub(1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes and returns the earliest live event, skipping cancelled ones.
+    pub fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            self.live = self.live.saturating_sub(1);
+            return Some((entry.at, entry.id, entry.event));
+        }
+        None
+    }
+
+    /// Timestamp of the earliest live event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drop cancelled heads so the peek is accurate.
+        while let Some(head) = self.heap.peek() {
+            if self.cancelled.contains(&head.id) {
+                let popped = self.heap.pop().expect("peeked entry must pop");
+                self.cancelled.remove(&popped.id);
+            } else {
+                return Some(head.at);
+            }
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) pending events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if there are no live pending events.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Discards every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.cancelled.clear();
+        self.live = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(30), EventId(2), "c");
+        q.push(t(10), EventId(0), "a");
+        q.push(t(20), EventId(1), "b");
+        assert_eq!(q.pop().unwrap().2, "a");
+        assert_eq!(q.pop().unwrap().2, "b");
+        assert_eq!(q.pop().unwrap().2, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn equal_timestamps_are_fifo_by_id() {
+        let mut q = EventQueue::new();
+        q.push(t(5), EventId(7), "second");
+        q.push(t(5), EventId(3), "first");
+        q.push(t(5), EventId(9), "third");
+        assert_eq!(q.pop().unwrap().2, "first");
+        assert_eq!(q.pop().unwrap().2, "second");
+        assert_eq!(q.pop().unwrap().2, "third");
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        let mut q = EventQueue::new();
+        q.push(t(1), EventId(0), "keep");
+        q.push(t(2), EventId(1), "drop");
+        q.push(t(3), EventId(2), "keep2");
+        assert!(q.cancel(EventId(1)));
+        assert!(!q.cancel(EventId(1)), "double cancel reports false");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().2, "keep");
+        assert_eq!(q.pop().unwrap().2, "keep2");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_time_ignores_cancelled_head() {
+        let mut q = EventQueue::new();
+        q.push(t(1), EventId(0), 1u32);
+        q.push(t(2), EventId(1), 2u32);
+        q.cancel(EventId(0));
+        assert_eq!(q.peek_time(), Some(t(2)));
+        assert_eq!(q.pop().unwrap().2, 2);
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        for i in 0..10u64 {
+            q.push(t(i), EventId(i), i);
+        }
+        assert_eq!(q.len(), 10);
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn large_interleaved_workload_stays_ordered() {
+        let mut q = EventQueue::new();
+        // Insert in a scrambled but deterministic order.
+        let mut id = 0u64;
+        for round in 0..100u64 {
+            for k in [7u64, 3, 9, 1, 5] {
+                q.push(t(round * 10 + k), EventId(id), round * 10 + k);
+                id += 1;
+            }
+        }
+        let mut last = 0u64;
+        let mut count = 0;
+        while let Some((at, _, v)) = q.pop() {
+            assert_eq!(at, t(v));
+            assert!(v >= last, "events must pop in non-decreasing time order");
+            last = v;
+            count += 1;
+        }
+        assert_eq!(count, 500);
+    }
+}

@@ -1,0 +1,556 @@
+//! Statistics collection.
+//!
+//! Every experiment output in `EXPERIMENTS.md` is produced from these
+//! collectors: monotonic [`Counter`]s, log-bucketed [`Histogram`]s for
+//! latency percentiles, [`TimeWeighted`] gauges for occupancy and power,
+//! [`RateMeter`]s for throughput, and [`Series`] recorders for plotting a
+//! value against simulated time (the figures).
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+}
+
+/// Summary statistics extracted from a histogram or sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Smallest recorded value.
+    pub min: f64,
+    /// Largest recorded value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
+}
+
+impl Summary {
+    /// A summary representing "no samples".
+    pub fn empty() -> Self {
+        Summary {
+            count: 0,
+            min: 0.0,
+            max: 0.0,
+            mean: 0.0,
+            p50: 0.0,
+            p90: 0.0,
+            p99: 0.0,
+            p999: 0.0,
+        }
+    }
+}
+
+/// A log-bucketed histogram of non-negative values (HdrHistogram-style with
+/// power-of-two buckets subdivided linearly), trading a bounded ~3 % relative
+/// error for O(1) insertion and fixed memory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    /// 64 major buckets (by leading zero count) x 32 sub-buckets.
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+const SUB_BUCKETS: usize = 32;
+const SUB_BITS: u32 = 5;
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; 64 * SUB_BUCKETS],
+            total: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros();
+        let major = msb - SUB_BITS + 1;
+        let sub = (value >> (major - 1)) as usize & (SUB_BUCKETS - 1);
+        (major as usize) * SUB_BUCKETS + sub
+    }
+
+    fn bucket_value(index: usize) -> u64 {
+        if index < SUB_BUCKETS {
+            return index as u64;
+        }
+        let major = (index / SUB_BUCKETS) as u32;
+        let sub = (index % SUB_BUCKETS) as u128;
+        let v = (SUB_BUCKETS as u128 + sub) << (major - 1);
+        v.min(u64::MAX as u128) as u64
+    }
+
+    /// Records an integer sample (e.g. picoseconds or bytes).
+    pub fn record(&mut self, value: u64) {
+        let idx = Self::bucket_index(value);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += value as f64;
+        self.min = self.min.min(value as f64);
+        self.max = self.max.max(value as f64);
+    }
+
+    /// Records a duration in picoseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_picos());
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Arithmetic mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// The value at quantile `q` in [0, 1]. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_value(idx) as f64;
+            }
+        }
+        self.max
+    }
+
+    /// Extracts a full summary.
+    pub fn summary(&self) -> Summary {
+        if self.total == 0 {
+            return Summary::empty();
+        }
+        Summary {
+            count: self.total,
+            min: self.min,
+            max: self.max,
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A time-weighted average of a piecewise-constant signal (queue occupancy,
+/// instantaneous power draw, lane count).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    last_time: SimTime,
+    last_value: f64,
+    weighted_sum: f64,
+    elapsed_ps: f64,
+    max: f64,
+    started: bool,
+}
+
+impl Default for TimeWeighted {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeWeighted {
+    /// Creates an empty gauge.
+    pub fn new() -> Self {
+        TimeWeighted {
+            last_time: SimTime::ZERO,
+            last_value: 0.0,
+            weighted_sum: 0.0,
+            elapsed_ps: 0.0,
+            max: f64::NEG_INFINITY,
+            started: false,
+        }
+    }
+
+    /// Records that the signal took `value` starting at time `now`.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        if self.started {
+            let dt = now.saturating_since(self.last_time).as_picos() as f64;
+            self.weighted_sum += self.last_value * dt;
+            self.elapsed_ps += dt;
+        }
+        self.started = true;
+        self.last_time = now;
+        self.last_value = value;
+        self.max = self.max.max(value);
+    }
+
+    /// Closes the observation window at `now` and returns the time-weighted
+    /// mean. The gauge remains usable afterwards.
+    pub fn mean_until(&mut self, now: SimTime) -> f64 {
+        if self.started {
+            self.set(now, self.last_value);
+        }
+        if self.elapsed_ps == 0.0 {
+            self.last_value
+        } else {
+            self.weighted_sum / self.elapsed_ps
+        }
+    }
+
+    /// The maximum value ever set (or 0 when never set).
+    pub fn max(&self) -> f64 {
+        if self.max == f64::NEG_INFINITY {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// The most recent value (or 0 when never set).
+    pub fn current(&self) -> f64 {
+        if self.started {
+            self.last_value
+        } else {
+            0.0
+        }
+    }
+}
+
+/// An exponentially weighted rate meter for throughput-style measurements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RateMeter {
+    window: SimDuration,
+    last_update: SimTime,
+    bytes_in_window: f64,
+    rate_bps: f64,
+    total_bytes: u64,
+}
+
+impl RateMeter {
+    /// Creates a meter with the given smoothing window.
+    pub fn new(window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "rate meter window must be non-zero");
+        RateMeter {
+            window,
+            last_update: SimTime::ZERO,
+            bytes_in_window: 0.0,
+            rate_bps: 0.0,
+            total_bytes: 0,
+        }
+    }
+
+    /// Records `bytes` delivered at time `now`.
+    pub fn record(&mut self, now: SimTime, bytes: u64) {
+        self.decay_to(now);
+        self.bytes_in_window += bytes as f64;
+        self.total_bytes += bytes;
+        self.refresh_rate();
+    }
+
+    fn decay_to(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last_update);
+        if dt.is_zero() {
+            return;
+        }
+        let alpha = (-(dt.as_picos() as f64) / self.window.as_picos() as f64).exp();
+        self.bytes_in_window *= alpha;
+        self.last_update = now;
+    }
+
+    fn refresh_rate(&mut self) {
+        let window_s = self.window.as_secs_f64();
+        self.rate_bps = self.bytes_in_window * 8.0 / window_s;
+    }
+
+    /// The smoothed rate in bits per second as of the last record.
+    pub fn rate_bps(&self) -> f64 {
+        self.rate_bps
+    }
+
+    /// Total bytes ever recorded.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Average goodput over `[start, end]` based on the total byte count.
+    pub fn average_bps(&self, start: SimTime, end: SimTime) -> f64 {
+        let dt = end.saturating_since(start).as_secs_f64();
+        if dt <= 0.0 {
+            0.0
+        } else {
+            self.total_bytes as f64 * 8.0 / dt
+        }
+    }
+}
+
+/// A named (time, value) series used to regenerate the paper's figures.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Series {
+    /// Name of the series, e.g. `"switching_latency_ns"`.
+    pub name: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series with a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends an (x, y) point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Appends a point keyed by simulated time in microseconds.
+    pub fn push_at(&mut self, t: SimTime, y: f64) {
+        self.points.push((t.as_micros_f64(), y));
+    }
+
+    /// The recorded points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no points were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Last y value, if any.
+    pub fn last_y(&self) -> Option<f64> {
+        self.points.last().map(|&(_, y)| y)
+    }
+
+    /// Maximum y value, if any.
+    pub fn max_y(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|&(_, y)| y)
+            .fold(None, |acc, y| Some(acc.map_or(y, |m: f64| m.max(y))))
+    }
+
+    /// Renders the series as aligned text rows (x then y), used by the
+    /// experiment harness to print figure data.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n", self.name));
+        for (x, y) in &self.points {
+            out.push_str(&format!("{x:>16.4} {y:>16.6}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn histogram_exact_for_small_values() {
+        let mut h = Histogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 32);
+        assert_eq!(h.quantile(0.0), 0.0);
+        // Values below 32 are stored exactly.
+        assert_eq!(h.quantile(1.0), 31.0);
+        assert!((h.mean() - 15.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles_have_bounded_error() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!((p50 - 50_000.0).abs() / 50_000.0 < 0.05, "p50 was {p50}");
+        assert!((p99 - 99_000.0).abs() / 99_000.0 < 0.05, "p99 was {p99}");
+        let s = h.summary();
+        assert_eq!(s.count, 100_000);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100_000.0);
+    }
+
+    #[test]
+    fn histogram_empty_summary_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.summary(), Summary::empty());
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_merge_combines_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 0..1000 {
+            a.record(v);
+            b.record(v + 1000);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 2000);
+        assert_eq!(a.summary().min, 0.0);
+        assert!(a.summary().max >= 1999.0);
+    }
+
+    #[test]
+    fn histogram_bucket_value_is_monotone() {
+        let mut last = 0;
+        for i in 0..(64 * SUB_BUCKETS) {
+            let v = Histogram::bucket_value(i);
+            assert!(v >= last, "bucket values must be monotone (index {i})");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn histogram_record_duration() {
+        let mut h = Histogram::new();
+        h.record_duration(SimDuration::from_nanos(500));
+        assert_eq!(h.count(), 1);
+        assert!(h.mean() >= 499_000.0);
+    }
+
+    #[test]
+    fn time_weighted_mean_of_square_wave() {
+        let mut g = TimeWeighted::new();
+        g.set(SimTime::from_nanos(0), 0.0);
+        g.set(SimTime::from_nanos(50), 10.0);
+        let mean = g.mean_until(SimTime::from_nanos(100));
+        // 0 for 50 ns then 10 for 50 ns -> mean 5.
+        assert!((mean - 5.0).abs() < 1e-9, "mean was {mean}");
+        assert_eq!(g.max(), 10.0);
+        assert_eq!(g.current(), 10.0);
+    }
+
+    #[test]
+    fn time_weighted_unset_is_zero() {
+        let mut g = TimeWeighted::new();
+        assert_eq!(g.mean_until(SimTime::from_secs(1)), 0.0);
+        assert_eq!(g.max(), 0.0);
+        assert_eq!(g.current(), 0.0);
+    }
+
+    #[test]
+    fn rate_meter_tracks_constant_stream() {
+        let mut m = RateMeter::new(SimDuration::from_micros(10));
+        // 1250 bytes every microsecond is 10 Gb/s.
+        for i in 1..=200u64 {
+            m.record(SimTime::from_micros(i), 1250);
+        }
+        let rate = m.rate_bps();
+        assert!(
+            (rate - 1e10).abs() / 1e10 < 0.25,
+            "smoothed rate should approach 10 Gb/s, was {rate}"
+        );
+        assert_eq!(m.total_bytes(), 250_000);
+        let avg = m.average_bps(SimTime::ZERO, SimTime::from_micros(200));
+        assert!((avg - 1e10).abs() / 1e10 < 0.01, "average was {avg}");
+    }
+
+    #[test]
+    fn rate_meter_decays_when_idle() {
+        let mut m = RateMeter::new(SimDuration::from_micros(1));
+        m.record(SimTime::from_micros(1), 10_000);
+        let busy = m.rate_bps();
+        m.record(SimTime::from_micros(100), 0);
+        assert!(m.rate_bps() < busy / 100.0);
+    }
+
+    #[test]
+    fn series_records_and_formats() {
+        let mut s = Series::new("latency_ns");
+        assert!(s.is_empty());
+        s.push(1.0, 300.0);
+        s.push_at(SimTime::from_micros(2), 450.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.last_y(), Some(450.0));
+        assert_eq!(s.max_y(), Some(450.0));
+        let table = s.to_table();
+        assert!(table.starts_with("# latency_ns\n"));
+        assert_eq!(table.lines().count(), 3);
+    }
+}

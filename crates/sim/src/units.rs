@@ -1,0 +1,555 @@
+//! Physical units used throughout the fabric model.
+//!
+//! The physical layer deals in lane rates (25/50 Gb/s), cable lengths
+//! (centimetres to tens of metres inside a rack), and power (milliwatts per
+//! SerDes, a handful of kilowatts per rack). Keeping these as dedicated
+//! newtypes prevents the classic unit mix-ups (bits vs. bytes, Gb/s vs. GB/s)
+//! and centralises the conversions into [`SimDuration`]s.
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// Speed of light in vacuum, metres per second.
+pub const SPEED_OF_LIGHT_M_PER_S: f64 = 299_792_458.0;
+
+/// A data size in bytes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Bytes(u64);
+
+impl Bytes {
+    /// Zero bytes.
+    pub const ZERO: Bytes = Bytes(0);
+
+    /// Creates a size from a byte count.
+    pub const fn new(bytes: u64) -> Self {
+        Bytes(bytes)
+    }
+    /// Creates a size from kibibytes (1024 B).
+    pub const fn from_kib(kib: u64) -> Self {
+        Bytes(kib * 1024)
+    }
+    /// Creates a size from mebibytes (1024 KiB).
+    pub const fn from_mib(mib: u64) -> Self {
+        Bytes(mib * 1024 * 1024)
+    }
+    /// Creates a size from gibibytes (1024 MiB).
+    pub const fn from_gib(gib: u64) -> Self {
+        Bytes(gib * 1024 * 1024 * 1024)
+    }
+    /// The raw byte count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+    /// The size in bits.
+    pub const fn bits(self) -> u64 {
+        self.0 * 8
+    }
+    /// The size as a float byte count.
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Bytes) -> Bytes {
+        Bytes(self.0.saturating_sub(other.0))
+    }
+    /// True if zero bytes.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+    fn add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 + rhs.0)
+    }
+}
+impl AddAssign for Bytes {
+    fn add_assign(&mut self, rhs: Bytes) {
+        self.0 += rhs.0;
+    }
+}
+impl Sub for Bytes {
+    type Output = Bytes;
+    fn sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 - rhs.0)
+    }
+}
+impl Mul<u64> for Bytes {
+    type Output = Bytes;
+    fn mul(self, rhs: u64) -> Bytes {
+        Bytes(self.0 * rhs)
+    }
+}
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        Bytes(iter.map(|b| b.0).sum())
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        if b >= 1 << 30 {
+            write!(f, "{:.2}GiB", b as f64 / (1u64 << 30) as f64)
+        } else if b >= 1 << 20 {
+            write!(f, "{:.2}MiB", b as f64 / (1u64 << 20) as f64)
+        } else if b >= 1 << 10 {
+            write!(f, "{:.2}KiB", b as f64 / 1024.0)
+        } else {
+            write!(f, "{b}B")
+        }
+    }
+}
+
+/// A data rate in bits per second.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct BitRate(u64);
+
+impl BitRate {
+    /// Zero bit rate (a disabled link).
+    pub const ZERO: BitRate = BitRate(0);
+
+    /// Creates a rate from bits per second.
+    pub const fn from_bps(bps: u64) -> Self {
+        BitRate(bps)
+    }
+    /// Creates a rate from gigabits per second (decimal, as link rates are
+    /// always quoted: 25 Gb/s, 100 Gb/s).
+    pub const fn from_gbps(gbps: u64) -> Self {
+        BitRate(gbps * 1_000_000_000)
+    }
+    /// Creates a rate from megabits per second.
+    pub const fn from_mbps(mbps: u64) -> Self {
+        BitRate(mbps * 1_000_000)
+    }
+    /// The raw bits-per-second value.
+    pub const fn as_bps(self) -> u64 {
+        self.0
+    }
+    /// The rate in gigabits per second.
+    pub fn as_gbps_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+    /// True if the rate is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Time to serialize `size` at this rate. A zero rate yields
+    /// [`SimDuration::MAX`] (the data never finishes transmitting).
+    pub fn serialization_delay(self, size: Bytes) -> SimDuration {
+        if self.0 == 0 {
+            return SimDuration::MAX;
+        }
+        // bits * 1e12 / bps, computed in u128 to avoid overflow.
+        let ps = (size.bits() as u128 * 1_000_000_000_000u128) / self.0 as u128;
+        SimDuration::from_picos(ps.min(u64::MAX as u128) as u64)
+    }
+
+    /// How many bytes can be carried in `window` at this rate.
+    pub fn bytes_in(self, window: SimDuration) -> Bytes {
+        let bits = (self.0 as u128 * window.as_picos() as u128) / 1_000_000_000_000u128;
+        Bytes::new((bits / 8).min(u64::MAX as u128) as u64)
+    }
+
+    /// Scales the rate by a factor in [0, +inf), saturating.
+    pub fn scale(self, factor: f64) -> BitRate {
+        if !factor.is_finite() || factor <= 0.0 {
+            return BitRate::ZERO;
+        }
+        let v = self.0 as f64 * factor;
+        BitRate(if v >= u64::MAX as f64 { u64::MAX } else { v as u64 })
+    }
+}
+
+impl Add for BitRate {
+    type Output = BitRate;
+    fn add(self, rhs: BitRate) -> BitRate {
+        BitRate(self.0 + rhs.0)
+    }
+}
+impl AddAssign for BitRate {
+    fn add_assign(&mut self, rhs: BitRate) {
+        self.0 += rhs.0;
+    }
+}
+impl Sub for BitRate {
+    type Output = BitRate;
+    fn sub(self, rhs: BitRate) -> BitRate {
+        BitRate(self.0.saturating_sub(rhs.0))
+    }
+}
+impl Mul<u64> for BitRate {
+    type Output = BitRate;
+    fn mul(self, rhs: u64) -> BitRate {
+        BitRate(self.0 * rhs)
+    }
+}
+impl Div<u64> for BitRate {
+    type Output = BitRate;
+    fn div(self, rhs: u64) -> BitRate {
+        BitRate(self.0 / rhs)
+    }
+}
+impl Sum for BitRate {
+    fn sum<I: Iterator<Item = BitRate>>(iter: I) -> BitRate {
+        BitRate(iter.map(|b| b.0).sum())
+    }
+}
+
+impl fmt::Debug for BitRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+impl fmt::Display for BitRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{}Gbps", self.0 as f64 / 1e9)
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{}Mbps", self.0 as f64 / 1e6)
+        } else {
+            write!(f, "{}bps", self.0)
+        }
+    }
+}
+
+/// A physical length, stored in millimetres.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Length(u64);
+
+impl Length {
+    /// Zero length.
+    pub const ZERO: Length = Length(0);
+
+    /// Creates a length from millimetres.
+    pub const fn from_mm(mm: u64) -> Self {
+        Length(mm)
+    }
+    /// Creates a length from centimetres.
+    pub const fn from_cm(cm: u64) -> Self {
+        Length(cm * 10)
+    }
+    /// Creates a length from metres.
+    pub const fn from_m(m: u64) -> Self {
+        Length(m * 1000)
+    }
+    /// The length in millimetres.
+    pub const fn as_mm(self) -> u64 {
+        self.0
+    }
+    /// The length in metres as a float.
+    pub fn as_m_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Propagation delay over this length given a velocity factor
+    /// (fraction of c; ~0.66 for fibre, ~0.7 for copper).
+    pub fn propagation_delay(self, velocity_factor: f64) -> SimDuration {
+        let vf = velocity_factor.clamp(0.01, 1.0);
+        let seconds = self.as_m_f64() / (SPEED_OF_LIGHT_M_PER_S * vf);
+        SimDuration::from_secs_f64(seconds)
+    }
+}
+
+impl Add for Length {
+    type Output = Length;
+    fn add(self, rhs: Length) -> Length {
+        Length(self.0 + rhs.0)
+    }
+}
+impl Mul<u64> for Length {
+    type Output = Length;
+    fn mul(self, rhs: u64) -> Length {
+        Length(self.0 * rhs)
+    }
+}
+impl Sum for Length {
+    fn sum<I: Iterator<Item = Length>>(iter: I) -> Length {
+        Length(iter.map(|l| l.0).sum())
+    }
+}
+
+impl fmt::Debug for Length {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+impl fmt::Display for Length {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1000 {
+            write!(f, "{}m", self.0 as f64 / 1000.0)
+        } else {
+            write!(f, "{}mm", self.0)
+        }
+    }
+}
+
+/// Electrical power, stored in milliwatts.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Power(u64);
+
+impl Power {
+    /// Zero power.
+    pub const ZERO: Power = Power(0);
+
+    /// Creates power from milliwatts.
+    pub const fn from_milliwatts(mw: u64) -> Self {
+        Power(mw)
+    }
+    /// Creates power from watts.
+    pub const fn from_watts(w: u64) -> Self {
+        Power(w * 1000)
+    }
+    /// Creates power from kilowatts.
+    pub const fn from_kilowatts(kw: u64) -> Self {
+        Power(kw * 1_000_000)
+    }
+    /// The power in milliwatts.
+    pub const fn as_milliwatts(self) -> u64 {
+        self.0
+    }
+    /// The power in watts as a float.
+    pub fn as_watts_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Power) -> Power {
+        Power(self.0.saturating_sub(other.0))
+    }
+    /// Energy consumed over `d` at this power.
+    pub fn energy_over(self, d: SimDuration) -> Energy {
+        // mW * ps = 1e-15 J; accumulate in picojoules: mW * ps / 1000.
+        let pj = (self.0 as u128 * d.as_picos() as u128) / 1000;
+        Energy::from_picojoules(pj.min(u64::MAX as u128) as u64)
+    }
+    /// Scales power by a non-negative factor.
+    pub fn scale(self, factor: f64) -> Power {
+        if !factor.is_finite() || factor <= 0.0 {
+            return Power::ZERO;
+        }
+        let v = self.0 as f64 * factor;
+        Power(if v >= u64::MAX as f64 { u64::MAX } else { v as u64 })
+    }
+}
+
+impl Add for Power {
+    type Output = Power;
+    fn add(self, rhs: Power) -> Power {
+        Power(self.0 + rhs.0)
+    }
+}
+impl AddAssign for Power {
+    fn add_assign(&mut self, rhs: Power) {
+        self.0 += rhs.0;
+    }
+}
+impl Sub for Power {
+    type Output = Power;
+    fn sub(self, rhs: Power) -> Power {
+        Power(self.0.saturating_sub(rhs.0))
+    }
+}
+impl Mul<u64> for Power {
+    type Output = Power;
+    fn mul(self, rhs: u64) -> Power {
+        Power(self.0 * rhs)
+    }
+}
+impl Sum for Power {
+    fn sum<I: Iterator<Item = Power>>(iter: I) -> Power {
+        Power(iter.map(|p| p.0).sum())
+    }
+}
+
+impl fmt::Debug for Power {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+impl fmt::Display for Power {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.2}kW", self.0 as f64 / 1e6)
+        } else if self.0 >= 1000 {
+            write!(f, "{:.2}W", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}mW", self.0)
+        }
+    }
+}
+
+/// Electrical energy, stored in picojoules.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Energy(u64);
+
+impl Energy {
+    /// Zero energy.
+    pub const ZERO: Energy = Energy(0);
+
+    /// Creates energy from picojoules.
+    pub const fn from_picojoules(pj: u64) -> Self {
+        Energy(pj)
+    }
+    /// Creates energy from microjoules.
+    pub const fn from_microjoules(uj: u64) -> Self {
+        Energy(uj * 1_000_000)
+    }
+    /// Creates energy from joules.
+    pub const fn from_joules(j: u64) -> Self {
+        Energy(j * 1_000_000_000_000)
+    }
+    /// The energy in picojoules.
+    pub const fn as_picojoules(self) -> u64 {
+        self.0
+    }
+    /// The energy in joules as a float.
+    pub fn as_joules_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+    /// Saturating addition.
+    pub fn saturating_add(self, other: Energy) -> Energy {
+        Energy(self.0.saturating_add(other.0))
+    }
+}
+
+impl Add for Energy {
+    type Output = Energy;
+    fn add(self, rhs: Energy) -> Energy {
+        Energy(self.0 + rhs.0)
+    }
+}
+impl AddAssign for Energy {
+    fn add_assign(&mut self, rhs: Energy) {
+        self.0 += rhs.0;
+    }
+}
+impl Sum for Energy {
+    fn sum<I: Iterator<Item = Energy>>(iter: I) -> Energy {
+        Energy(iter.map(|e| e.0).sum())
+    }
+}
+
+impl fmt::Debug for Energy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+impl fmt::Display for Energy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000_000 {
+            write!(f, "{:.3}J", self.as_joules_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}uJ", self.0 as f64 / 1e6)
+        } else {
+            write!(f, "{}pJ", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_constructors_and_bits() {
+        assert_eq!(Bytes::from_kib(1).as_u64(), 1024);
+        assert_eq!(Bytes::from_mib(1).as_u64(), 1024 * 1024);
+        assert_eq!(Bytes::from_gib(2).as_u64(), 2 * 1024 * 1024 * 1024);
+        assert_eq!(Bytes::new(10).bits(), 80);
+        assert_eq!(Bytes::new(3) + Bytes::new(4), Bytes::new(7));
+    }
+
+    #[test]
+    fn serialization_delay_at_100g() {
+        // One byte at 100 Gb/s is 80 ps.
+        let rate = BitRate::from_gbps(100);
+        assert_eq!(rate.serialization_delay(Bytes::new(1)).as_picos(), 80);
+        // A 1500-byte frame at 100 Gb/s is 120 ns.
+        assert_eq!(
+            rate.serialization_delay(Bytes::new(1500)).as_picos(),
+            120_000
+        );
+        // A 1500-byte frame at 10 Gb/s is 1.2 us.
+        assert_eq!(
+            BitRate::from_gbps(10)
+                .serialization_delay(Bytes::new(1500))
+                .as_picos(),
+            1_200_000
+        );
+    }
+
+    #[test]
+    fn serialization_delay_zero_rate_is_never() {
+        assert_eq!(
+            BitRate::ZERO.serialization_delay(Bytes::new(1)),
+            SimDuration::MAX
+        );
+    }
+
+    #[test]
+    fn bytes_in_window_inverts_serialization() {
+        let rate = BitRate::from_gbps(100);
+        let window = SimDuration::from_micros(1);
+        // 100 Gb/s for 1 us = 100 kb = 12.5 kB.
+        assert_eq!(rate.bytes_in(window).as_u64(), 12_500);
+    }
+
+    #[test]
+    fn propagation_delay_in_fibre() {
+        // 2 m of fibre at 0.66c is ~10.1 ns (the paper assumes a switch every 2 m).
+        let d = Length::from_m(2).propagation_delay(0.66);
+        let ns = d.as_nanos_f64();
+        assert!((9.5..11.0).contains(&ns), "2 m fibre hop was {ns} ns");
+        // Propagation is monotone in length.
+        assert!(Length::from_m(4).propagation_delay(0.66) > d);
+    }
+
+    #[test]
+    fn rate_scaling_and_division() {
+        let lane = BitRate::from_gbps(25);
+        assert_eq!(lane * 4, BitRate::from_gbps(100));
+        assert_eq!(BitRate::from_gbps(100) / 4, lane);
+        assert_eq!(lane.scale(2.0), BitRate::from_gbps(50));
+        assert_eq!(lane.scale(-1.0), BitRate::ZERO);
+    }
+
+    #[test]
+    fn power_and_energy() {
+        let serdes = Power::from_milliwatts(750);
+        assert_eq!(serdes * 4, Power::from_milliwatts(3000));
+        // 1 W for 1 s is 1 J.
+        let e = Power::from_watts(1).energy_over(SimDuration::from_secs(1));
+        assert_eq!(e.as_picojoules(), 1_000_000_000_000);
+        assert!((e.as_joules_f64() - 1.0).abs() < 1e-9);
+        // 750 mW for 1 us is 750 nJ.
+        let e2 = serdes.energy_over(SimDuration::from_micros(1));
+        assert_eq!(e2.as_picojoules(), 750_000);
+    }
+
+    #[test]
+    fn display_formatting() {
+        assert_eq!(format!("{}", BitRate::from_gbps(100)), "100Gbps");
+        assert_eq!(format!("{}", Bytes::from_kib(2)), "2.00KiB");
+        assert_eq!(format!("{}", Power::from_kilowatts(12)), "12.00kW");
+        assert_eq!(format!("{}", Length::from_m(3)), "3m");
+        assert_eq!(format!("{}", Energy::from_joules(2)), "2.000J");
+    }
+
+    #[test]
+    fn sums_over_iterators() {
+        let total: BitRate = (0..4).map(|_| BitRate::from_gbps(25)).sum();
+        assert_eq!(total, BitRate::from_gbps(100));
+        let p: Power = vec![Power::from_watts(1), Power::from_watts(2)].into_iter().sum();
+        assert_eq!(p, Power::from_watts(3));
+    }
+}

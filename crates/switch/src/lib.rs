@@ -1,0 +1,28 @@
+//! # rackfabric-switch
+//!
+//! Packet switching models for the rack-scale fabric.
+//!
+//! The paper's Figure 1 argument is that *packet switching, not the medium,
+//! dominates latency at rack scale*: a state-of-the-art layer-2 cut-through
+//! switch adds hundreds of nanoseconds per hop while 2 m of fibre adds ~10 ns.
+//! This crate provides the models that quantify that claim and that the
+//! adaptive fabric then works around:
+//!
+//! * [`packet`] — packets, flows, and per-packet latency breakdowns.
+//! * [`queue`] — egress-port queues with tail-drop and ECN marking, the
+//!   source of queueing delay and congestion telemetry.
+//! * [`model`] — cut-through and store-and-forward switch datapath models
+//!   (per-hop latency), plus an iSLIP-style round-robin crossbar arbiter used
+//!   by the cycle-level hardware model.
+//! * [`nic`] — the host NIC injection path (serialization at the sender and
+//!   an injection queue).
+
+pub mod model;
+pub mod nic;
+pub mod packet;
+pub mod queue;
+
+pub use model::{CrossbarArbiter, SwitchKind, SwitchModel};
+pub use nic::Nic;
+pub use packet::{FlowId, LatencyBreakdown, Packet, PacketId};
+pub use queue::{EgressQueue, EnqueueOutcome};

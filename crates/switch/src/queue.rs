@@ -1,0 +1,277 @@
+//! Egress-port queues.
+//!
+//! Each directed use of a link has an egress queue at its transmitting node.
+//! The queue serialises packets at the link's effective rate, tail-drops when
+//! a configured buffer is exceeded, marks ECN above a threshold, and exposes
+//! occupancy telemetry — the congestion signal the Closed Ring Control prices
+//! links by.
+
+use rackfabric_sim::stats::TimeWeighted;
+use rackfabric_sim::time::{SimDuration, SimTime};
+use rackfabric_sim::units::{BitRate, Bytes};
+use serde::{Deserialize, Serialize};
+
+/// The result of offering a packet to an egress queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EnqueueOutcome {
+    /// The packet was accepted; it will finish transmitting at the instant
+    /// given, after waiting `queueing` behind earlier packets and taking
+    /// `serialization` on the wire.
+    Accepted {
+        /// Time spent waiting behind earlier packets.
+        queueing: SimDuration,
+        /// Serialization time of this packet at the link rate.
+        serialization: SimDuration,
+        /// Absolute instant the last bit leaves the port.
+        departs_at: SimTime,
+        /// True if the queue was above its ECN threshold on arrival.
+        ecn_marked: bool,
+    },
+    /// The buffer was full; the packet is dropped.
+    Dropped,
+}
+
+/// An egress port queue with tail-drop and ECN marking.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EgressQueue {
+    /// Buffer size in bytes (tail drop beyond this).
+    pub buffer: Bytes,
+    /// ECN marking threshold in bytes.
+    pub ecn_threshold: Bytes,
+    busy_until: SimTime,
+    queued_bytes: u64,
+    last_drain: SimTime,
+    drain_rate: BitRate,
+    occupancy: TimeWeighted,
+    /// Packets accepted.
+    pub accepted: u64,
+    /// Packets dropped at the tail.
+    pub dropped: u64,
+    /// Packets ECN-marked.
+    pub marked: u64,
+    /// Bytes transmitted.
+    pub bytes_out: u64,
+}
+
+impl EgressQueue {
+    /// Creates a queue with `buffer` bytes of storage; ECN marks above half
+    /// the buffer.
+    pub fn new(buffer: Bytes) -> Self {
+        EgressQueue {
+            buffer,
+            ecn_threshold: Bytes::new(buffer.as_u64() / 2),
+            busy_until: SimTime::ZERO,
+            queued_bytes: 0,
+            last_drain: SimTime::ZERO,
+            drain_rate: BitRate::ZERO,
+            occupancy: TimeWeighted::new(),
+            accepted: 0,
+            dropped: 0,
+            marked: 0,
+            bytes_out: 0,
+        }
+    }
+
+    /// Bytes currently waiting or in transmission at `now` (drains as time
+    /// advances past previously computed departures).
+    pub fn backlog_at(&self, now: SimTime) -> u64 {
+        if self.drain_rate.is_zero() || now <= self.last_drain {
+            return self.queued_bytes;
+        }
+        let drained = self.drain_rate.bytes_in(now.saturating_since(self.last_drain));
+        self.queued_bytes.saturating_sub(drained.as_u64())
+    }
+
+    /// Offers a packet of `size` to the queue at `now`, transmitting at
+    /// `rate` (the link's current effective capacity). A zero rate (link down
+    /// or reconfiguring) drops the packet.
+    pub fn enqueue(&mut self, now: SimTime, size: Bytes, rate: BitRate) -> EnqueueOutcome {
+        if rate.is_zero() {
+            self.dropped += 1;
+            return EnqueueOutcome::Dropped;
+        }
+        // Advance the drain model to now.
+        let backlog = self.backlog_at(now);
+        self.queued_bytes = backlog;
+        self.last_drain = now;
+        self.drain_rate = rate;
+
+        if backlog + size.as_u64() > self.buffer.as_u64() {
+            self.dropped += 1;
+            self.occupancy.set(now, backlog as f64);
+            return EnqueueOutcome::Dropped;
+        }
+
+        let ecn_marked = backlog >= self.ecn_threshold.as_u64();
+        if ecn_marked {
+            self.marked += 1;
+        }
+
+        let serialization = rate.serialization_delay(size);
+        let start = if self.busy_until > now { self.busy_until } else { now };
+        let queueing = start.saturating_since(now);
+        let departs_at = start + serialization;
+        self.busy_until = departs_at;
+        self.queued_bytes += size.as_u64();
+        self.accepted += 1;
+        self.bytes_out += size.as_u64();
+        self.occupancy.set(now, self.queued_bytes as f64);
+
+        EnqueueOutcome::Accepted {
+            queueing,
+            serialization,
+            departs_at,
+            ecn_marked,
+        }
+    }
+
+    /// Mean queue occupancy in bytes over the observation window ending at
+    /// `now`.
+    pub fn mean_occupancy(&mut self, now: SimTime) -> f64 {
+        self.occupancy.mean_until(now)
+    }
+
+    /// Peak occupancy in bytes.
+    pub fn peak_occupancy(&self) -> f64 {
+        self.occupancy.max()
+    }
+
+    /// Utilization of the port over `[window_start, now]`: transmitted bytes
+    /// relative to what the rate could have carried.
+    pub fn utilization(&self, window_start: SimTime, now: SimTime, rate: BitRate) -> f64 {
+        let capacity = rate.bytes_in(now.saturating_since(window_start)).as_u64();
+        if capacity == 0 {
+            0.0
+        } else {
+            self.bytes_out as f64 / capacity as f64
+        }
+    }
+
+    /// Drop probability observed so far.
+    pub fn drop_rate(&self) -> f64 {
+        let offered = self.accepted + self.dropped;
+        if offered == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / offered as f64
+        }
+    }
+
+    /// Resets byte/packet counters (not the drain state); used when a
+    /// telemetry epoch closes.
+    pub fn reset_counters(&mut self) {
+        self.accepted = 0;
+        self.dropped = 0;
+        self.marked = 0;
+        self.bytes_out = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GBPS100: BitRate = BitRate::from_gbps(100);
+
+    #[test]
+    fn empty_queue_has_no_queueing_delay() {
+        let mut q = EgressQueue::new(Bytes::from_kib(256));
+        let out = q.enqueue(SimTime::from_micros(1), Bytes::new(1500), GBPS100);
+        match out {
+            EnqueueOutcome::Accepted {
+                queueing,
+                serialization,
+                departs_at,
+                ecn_marked,
+            } => {
+                assert_eq!(queueing, SimDuration::ZERO);
+                assert_eq!(serialization.as_picos(), 120_000);
+                assert_eq!(departs_at, SimTime::from_micros(1) + serialization);
+                assert!(!ecn_marked);
+            }
+            EnqueueOutcome::Dropped => panic!("must accept"),
+        }
+    }
+
+    #[test]
+    fn back_to_back_packets_queue_behind_each_other() {
+        let mut q = EgressQueue::new(Bytes::from_kib(256));
+        let t = SimTime::from_micros(1);
+        let first = q.enqueue(t, Bytes::new(1500), GBPS100);
+        let second = q.enqueue(t, Bytes::new(1500), GBPS100);
+        let (EnqueueOutcome::Accepted { departs_at: d1, .. },
+             EnqueueOutcome::Accepted { queueing: q2, departs_at: d2, .. }) = (first, second)
+        else {
+            panic!("both must be accepted");
+        };
+        assert_eq!(q2, SimDuration::from_nanos(120));
+        assert_eq!(d2, d1 + SimDuration::from_nanos(120));
+    }
+
+    #[test]
+    fn queue_drains_when_time_passes() {
+        let mut q = EgressQueue::new(Bytes::from_kib(64));
+        let t0 = SimTime::from_micros(1);
+        q.enqueue(t0, Bytes::new(1500), GBPS100);
+        assert!(q.backlog_at(t0) > 0);
+        // 1 ms later everything has long drained.
+        assert_eq!(q.backlog_at(SimTime::from_millis(2)), 0);
+        let out = q.enqueue(SimTime::from_millis(2), Bytes::new(1500), GBPS100);
+        assert!(matches!(out, EnqueueOutcome::Accepted { queueing, .. } if queueing.is_zero()));
+    }
+
+    #[test]
+    fn overflow_drops_and_counts() {
+        // Tiny 3 kB buffer fills after two MTUs.
+        let mut q = EgressQueue::new(Bytes::new(3000));
+        let t = SimTime::from_micros(1);
+        assert!(matches!(q.enqueue(t, Bytes::new(1500), GBPS100), EnqueueOutcome::Accepted { .. }));
+        assert!(matches!(q.enqueue(t, Bytes::new(1500), GBPS100), EnqueueOutcome::Accepted { .. }));
+        assert_eq!(q.enqueue(t, Bytes::new(1500), GBPS100), EnqueueOutcome::Dropped);
+        assert_eq!(q.accepted, 2);
+        assert_eq!(q.dropped, 1);
+        assert!((q.drop_rate() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ecn_marks_above_threshold() {
+        let mut q = EgressQueue::new(Bytes::new(10_000));
+        assert_eq!(q.ecn_threshold, Bytes::new(5_000));
+        let t = SimTime::from_micros(1);
+        // Fill past the threshold.
+        for _ in 0..4 {
+            q.enqueue(t, Bytes::new(1500), GBPS100);
+        }
+        // Backlog is now 6000 >= 5000, so the next packet is marked.
+        let out = q.enqueue(t, Bytes::new(1500), GBPS100);
+        assert!(matches!(out, EnqueueOutcome::Accepted { ecn_marked: true, .. }));
+        assert_eq!(q.marked, 1);
+    }
+
+    #[test]
+    fn zero_rate_drops() {
+        let mut q = EgressQueue::new(Bytes::from_kib(64));
+        assert_eq!(
+            q.enqueue(SimTime::ZERO, Bytes::new(100), BitRate::ZERO),
+            EnqueueOutcome::Dropped
+        );
+    }
+
+    #[test]
+    fn utilization_and_occupancy_telemetry() {
+        let mut q = EgressQueue::new(Bytes::from_kib(256));
+        let start = SimTime::ZERO;
+        let mut now = start;
+        for _ in 0..100 {
+            q.enqueue(now, Bytes::new(1500), GBPS100);
+            now = now + SimDuration::from_nanos(240); // offered at 50% load
+        }
+        let util = q.utilization(start, now, GBPS100);
+        assert!((0.4..0.7).contains(&util), "expected ~0.5 utilization, got {util}");
+        assert!(q.mean_occupancy(now) >= 0.0);
+        assert!(q.peak_occupancy() >= 1500.0);
+        q.reset_counters();
+        assert_eq!(q.accepted, 0);
+        assert_eq!(q.bytes_out, 0);
+    }
+}

@@ -1,0 +1,452 @@
+//! Routing over the topology graph.
+//!
+//! The Closed Ring Control expresses its per-link prices as a cost map; this
+//! module turns costs into paths. Four algorithms are provided:
+//!
+//! * [`shortest_path`] — plain BFS by hop count (the static baseline).
+//! * [`dijkstra`] — minimum-cost path under an arbitrary per-link cost map
+//!   (what the CRC uses, with its price tags as costs).
+//! * [`ecmp_paths`] — all minimum-hop paths, for equal-cost multi-path
+//!   spreading in the fat-tree baseline.
+//! * [`dimension_ordered`] — X-then-Y routing on grid/torus specs, the
+//!   deadlock-free default of mesh NoCs.
+
+use crate::graph::{NodeId, Topology};
+use crate::spec::{TopologyKind, TopologySpec};
+use rackfabric_phy::LinkId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// A route: the sequence of links to traverse plus the node sequence
+/// (one node more than links).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Route {
+    /// Visited nodes, starting with the source and ending with the
+    /// destination.
+    pub nodes: Vec<NodeId>,
+    /// Links traversed, in order.
+    pub links: Vec<LinkId>,
+}
+
+impl Route {
+    /// A route from a node to itself.
+    pub fn trivial(node: NodeId) -> Route {
+        Route {
+            nodes: vec![node],
+            links: Vec::new(),
+        }
+    }
+    /// Number of hops (links traversed).
+    pub fn hops(&self) -> usize {
+        self.links.len()
+    }
+    /// The source node.
+    pub fn source(&self) -> NodeId {
+        *self.nodes.first().expect("route has at least one node")
+    }
+    /// The destination node.
+    pub fn destination(&self) -> NodeId {
+        *self.nodes.last().expect("route has at least one node")
+    }
+    /// The nodes strictly between source and destination.
+    pub fn intermediate_nodes(&self) -> &[NodeId] {
+        if self.nodes.len() <= 2 {
+            &[]
+        } else {
+            &self.nodes[1..self.nodes.len() - 1]
+        }
+    }
+}
+
+/// Which algorithm a fabric uses to pick paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RoutingAlgorithm {
+    /// Minimum hop count (BFS).
+    #[default]
+    ShortestHop,
+    /// Minimum cost under the CRC's current price map (Dijkstra).
+    MinCost,
+    /// Equal-cost multi-path over minimum-hop routes, selected by flow id.
+    Ecmp,
+    /// Dimension-ordered (X then Y) routing; only valid on grid/torus specs.
+    DimensionOrdered,
+}
+
+/// BFS shortest path by hop count. Ties are broken deterministically by
+/// neighbour id. Returns `None` if `dst` is unreachable.
+pub fn shortest_path(topo: &Topology, src: NodeId, dst: NodeId) -> Option<Route> {
+    if src == dst {
+        return Some(Route::trivial(src));
+    }
+    let mut prev: HashMap<NodeId, (NodeId, LinkId)> = HashMap::new();
+    let mut queue = VecDeque::new();
+    queue.push_back(src);
+    while let Some(n) = queue.pop_front() {
+        for adj in topo.neighbors(n) {
+            if adj.neighbor != src && !prev.contains_key(&adj.neighbor) {
+                prev.insert(adj.neighbor, (n, adj.link));
+                if adj.neighbor == dst {
+                    return Some(rebuild(src, dst, &prev));
+                }
+                queue.push_back(adj.neighbor);
+            }
+        }
+    }
+    None
+}
+
+fn rebuild(src: NodeId, dst: NodeId, prev: &HashMap<NodeId, (NodeId, LinkId)>) -> Route {
+    let mut nodes = vec![dst];
+    let mut links = Vec::new();
+    let mut cur = dst;
+    while cur != src {
+        let (p, l) = prev[&cur];
+        links.push(l);
+        nodes.push(p);
+        cur = p;
+    }
+    nodes.reverse();
+    links.reverse();
+    Route { nodes, links }
+}
+
+/// Dijkstra minimum-cost path. Links missing from `costs` get `default_cost`;
+/// links with non-finite or negative cost are treated as unusable.
+pub fn dijkstra(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    costs: &HashMap<LinkId, f64>,
+    default_cost: f64,
+) -> Option<Route> {
+    if src == dst {
+        return Some(Route::trivial(src));
+    }
+    #[derive(PartialEq)]
+    struct Item {
+        cost: f64,
+        node: NodeId,
+    }
+    impl Eq for Item {}
+    impl Ord for Item {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Min-heap on cost, then node id for determinism.
+            other
+                .cost
+                .partial_cmp(&self.cost)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| other.node.cmp(&self.node))
+        }
+    }
+    impl PartialOrd for Item {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut dist: HashMap<NodeId, f64> = HashMap::new();
+    let mut prev: HashMap<NodeId, (NodeId, LinkId)> = HashMap::new();
+    let mut heap = BinaryHeap::new();
+    dist.insert(src, 0.0);
+    heap.push(Item { cost: 0.0, node: src });
+
+    while let Some(Item { cost, node }) = heap.pop() {
+        if node == dst {
+            return Some(rebuild(src, dst, &prev));
+        }
+        if cost > *dist.get(&node).unwrap_or(&f64::INFINITY) {
+            continue;
+        }
+        for adj in topo.neighbors(node) {
+            let link_cost = costs.get(&adj.link).copied().unwrap_or(default_cost);
+            if !link_cost.is_finite() || link_cost < 0.0 {
+                continue;
+            }
+            let next = cost + link_cost;
+            if next < *dist.get(&adj.neighbor).unwrap_or(&f64::INFINITY) {
+                dist.insert(adj.neighbor, next);
+                prev.insert(adj.neighbor, (node, adj.link));
+                heap.push(Item {
+                    cost: next,
+                    node: adj.neighbor,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Every minimum-hop path from `src` to `dst`, capped at `max_paths`
+/// (enumeration is exponential in pathological graphs). Paths are returned in
+/// a deterministic order.
+pub fn ecmp_paths(topo: &Topology, src: NodeId, dst: NodeId, max_paths: usize) -> Vec<Route> {
+    if src == dst {
+        return vec![Route::trivial(src)];
+    }
+    // BFS distances from dst so we can walk only along shortest-path DAG edges.
+    let dist_to_dst = topo.distances_from(dst);
+    if !dist_to_dst.contains_key(&src) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut stack = vec![(src, Route::trivial(src))];
+    while let Some((node, route)) = stack.pop() {
+        if out.len() >= max_paths {
+            break;
+        }
+        if node == dst {
+            out.push(route);
+            continue;
+        }
+        let d = dist_to_dst[&node];
+        // Deterministic order: iterate neighbours sorted (reverse for stack).
+        let mut nexts: Vec<_> = topo
+            .neighbors(node)
+            .into_iter()
+            .filter(|adj| dist_to_dst.get(&adj.neighbor).map_or(false, |&nd| nd + 1 == d))
+            .collect();
+        nexts.reverse();
+        for adj in nexts {
+            let mut r = route.clone();
+            r.nodes.push(adj.neighbor);
+            r.links.push(adj.link);
+            stack.push((adj.neighbor, r));
+        }
+    }
+    out
+}
+
+/// Selects one of the ECMP paths by hashing `flow_id` (deterministic).
+pub fn ecmp_select(topo: &Topology, src: NodeId, dst: NodeId, flow_id: u64) -> Option<Route> {
+    let paths = ecmp_paths(topo, src, dst, 16);
+    if paths.is_empty() {
+        return None;
+    }
+    // Simple splitmix hash of the flow id for path selection.
+    let mut h = flow_id.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    let idx = (h % paths.len() as u64) as usize;
+    Some(paths[idx].clone())
+}
+
+/// Dimension-ordered (X-then-Y) routing for grid and torus specs. Routes
+/// along the column dimension first, then the row dimension, taking the
+/// wrap-around link on a torus when it is shorter. Returns `None` for specs
+/// without 2-D coordinates or if a required link is missing from the
+/// topology.
+pub fn dimension_ordered(
+    spec: &TopologySpec,
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+) -> Option<Route> {
+    if !matches!(spec.kind, TopologyKind::Grid | TopologyKind::Torus) {
+        return None;
+    }
+    let (rows, cols) = spec.dims?;
+    let (mut r, mut c) = spec.coordinates(src)?;
+    let (dr, dc) = spec.coordinates(dst)?;
+    let torus = spec.kind == TopologyKind::Torus;
+    let id = |r: usize, c: usize| NodeId((r * cols + c) as u32);
+
+    let mut route = Route::trivial(src);
+    let step = |route: &mut Route, from: NodeId, to: NodeId| -> Option<()> {
+        let links = topo.links_between(from, to);
+        let link = *links.first()?;
+        route.nodes.push(to);
+        route.links.push(link);
+        Some(())
+    };
+
+    // Column (X) dimension first.
+    while c != dc {
+        let next_c = next_coordinate(c, dc, cols, torus);
+        let from = id(r, c);
+        let to = id(r, next_c);
+        step(&mut route, from, to)?;
+        c = next_c;
+    }
+    // Then row (Y) dimension.
+    while r != dr {
+        let next_r = next_coordinate(r, dr, rows, torus);
+        let from = id(r, c);
+        let to = id(next_r, c);
+        step(&mut route, from, to)?;
+        r = next_r;
+    }
+    Some(route)
+}
+
+/// The next coordinate moving from `cur` toward `dst` along a dimension of
+/// size `n`, going through the wrap-around when `torus` and it is strictly
+/// shorter.
+fn next_coordinate(cur: usize, dst: usize, n: usize, torus: bool) -> usize {
+    if cur == dst {
+        return cur;
+    }
+    let forward = (dst + n - cur) % n; // hops going +1 with wrap
+    let backward = (cur + n - dst) % n; // hops going -1 with wrap
+    if !torus {
+        if dst > cur {
+            cur + 1
+        } else {
+            cur - 1
+        }
+    } else if forward <= backward {
+        (cur + 1) % n
+    } else {
+        (cur + n - 1) % n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::TopologySpec;
+    use rackfabric_phy::PhyState;
+    use rackfabric_sim::units::BitRate;
+
+    fn build(spec: &TopologySpec) -> Topology {
+        let mut phy = PhyState::new();
+        spec.instantiate(&mut phy, BitRate::from_gbps(25))
+    }
+
+    #[test]
+    fn shortest_path_on_a_line() {
+        let spec = TopologySpec::line(6, 1);
+        let topo = build(&spec);
+        let r = shortest_path(&topo, NodeId(0), NodeId(5)).unwrap();
+        assert_eq!(r.hops(), 5);
+        assert_eq!(r.source(), NodeId(0));
+        assert_eq!(r.destination(), NodeId(5));
+        assert_eq!(r.intermediate_nodes().len(), 4);
+        assert_eq!(r.nodes.len(), r.links.len() + 1);
+        // Self route.
+        assert_eq!(shortest_path(&topo, NodeId(2), NodeId(2)).unwrap().hops(), 0);
+    }
+
+    #[test]
+    fn shortest_path_unreachable_is_none() {
+        let mut topo = Topology::new(4);
+        topo.add_edge(NodeId(0), NodeId(1), LinkId(0));
+        assert!(shortest_path(&topo, NodeId(0), NodeId(3)).is_none());
+    }
+
+    #[test]
+    fn torus_shortest_uses_wraparound() {
+        let spec = TopologySpec::torus(4, 4, 1);
+        let topo = build(&spec);
+        // Node 0 (0,0) to node 3 (0,3): 1 hop via wrap instead of 3.
+        let r = shortest_path(&topo, NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(r.hops(), 1);
+    }
+
+    #[test]
+    fn dijkstra_avoids_expensive_links() {
+        let spec = TopologySpec::ring(6, 1);
+        let topo = build(&spec);
+        // Going 0 -> 3 both ways is 3 hops; make one direction expensive.
+        let cheap = shortest_path(&topo, NodeId(0), NodeId(3)).unwrap();
+        let mut costs = HashMap::new();
+        // Penalise the first link of the BFS-chosen path heavily.
+        costs.insert(cheap.links[0], 100.0);
+        let r = dijkstra(&topo, NodeId(0), NodeId(3), &costs, 1.0).unwrap();
+        assert_eq!(r.hops(), 3, "the other way round the ring is still 3 hops");
+        assert_ne!(r.links[0], cheap.links[0], "must avoid the priced-up link");
+    }
+
+    #[test]
+    fn dijkstra_treats_infinite_cost_as_unusable() {
+        let spec = TopologySpec::line(3, 1);
+        let topo = build(&spec);
+        let mut costs = HashMap::new();
+        for l in topo.links() {
+            costs.insert(l, f64::INFINITY);
+        }
+        assert!(dijkstra(&topo, NodeId(0), NodeId(2), &costs, 1.0).is_none());
+    }
+
+    #[test]
+    fn dijkstra_prefers_fewer_hops_with_uniform_costs() {
+        let spec = TopologySpec::grid(3, 3, 1);
+        let topo = build(&spec);
+        let r = dijkstra(&topo, NodeId(0), NodeId(8), &HashMap::new(), 1.0).unwrap();
+        assert_eq!(r.hops(), 4);
+    }
+
+    #[test]
+    fn ecmp_finds_all_grid_paths() {
+        let spec = TopologySpec::grid(2, 2, 1);
+        let topo = build(&spec);
+        // 0 -> 3 has exactly two 2-hop paths.
+        let paths = ecmp_paths(&topo, NodeId(0), NodeId(3), 8);
+        assert_eq!(paths.len(), 2);
+        assert!(paths.iter().all(|p| p.hops() == 2));
+        // Selection is deterministic per flow id and covers both paths.
+        let a = ecmp_select(&topo, NodeId(0), NodeId(3), 1).unwrap();
+        let b = ecmp_select(&topo, NodeId(0), NodeId(3), 1).unwrap();
+        assert_eq!(a, b);
+        let picks: std::collections::HashSet<Vec<LinkId>> = (0..32)
+            .map(|f| ecmp_select(&topo, NodeId(0), NodeId(3), f).unwrap().links)
+            .collect();
+        assert_eq!(picks.len(), 2, "different flows should spread over both paths");
+    }
+
+    #[test]
+    fn ecmp_respects_max_paths_cap() {
+        let spec = TopologySpec::grid(3, 3, 1);
+        let topo = build(&spec);
+        let paths = ecmp_paths(&topo, NodeId(0), NodeId(8), 3);
+        assert!(paths.len() <= 3);
+        assert!(!paths.is_empty());
+    }
+
+    #[test]
+    fn dimension_ordered_routes_x_then_y() {
+        let spec = TopologySpec::grid(4, 4, 1);
+        let topo = build(&spec);
+        // (0,0) -> (2,3): 3 column hops then 2 row hops.
+        let r = dimension_ordered(&spec, &topo, NodeId(0), NodeId(11)).unwrap();
+        assert_eq!(r.hops(), 5);
+        // The first moves change only the column.
+        let coords: Vec<(usize, usize)> =
+            r.nodes.iter().map(|n| spec.coordinates(*n).unwrap()).collect();
+        assert_eq!(coords[0].0, coords[1].0, "first hop stays in the same row");
+        assert_eq!(coords[3].1, coords[4].1, "last hops stay in the same column");
+    }
+
+    #[test]
+    fn dimension_ordered_on_torus_uses_wrap() {
+        let spec = TopologySpec::torus(4, 4, 1);
+        let topo = build(&spec);
+        // (0,0) -> (0,3) should use the wrap-around: 1 hop.
+        let r = dimension_ordered(&spec, &topo, NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(r.hops(), 1);
+        // (0,0) -> (3,3) is 1 + 1 with both wraps.
+        let r2 = dimension_ordered(&spec, &topo, NodeId(0), NodeId(15)).unwrap();
+        assert_eq!(r2.hops(), 2);
+    }
+
+    #[test]
+    fn dimension_ordered_rejects_non_mesh_specs() {
+        let spec = TopologySpec::ring(5, 1);
+        let topo = build(&spec);
+        assert!(dimension_ordered(&spec, &topo, NodeId(0), NodeId(2)).is_none());
+    }
+
+    #[test]
+    fn routes_match_shortest_lengths_on_grid() {
+        let spec = TopologySpec::grid(4, 4, 1);
+        let topo = build(&spec);
+        for dst in 1..16u32 {
+            let bfs = shortest_path(&topo, NodeId(0), NodeId(dst)).unwrap();
+            let dor = dimension_ordered(&spec, &topo, NodeId(0), NodeId(dst)).unwrap();
+            assert_eq!(
+                bfs.hops(),
+                dor.hops(),
+                "DOR on a mesh is minimal (dst {dst})"
+            );
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! Declarative topology specifications and builders.
+//!
+//! A [`TopologySpec`] describes the desired shape of the fabric — which node
+//! pairs are connected, with how many lanes, over which medium and length —
+//! without committing to physical link identities. The spec is what the
+//! Closed Ring Control reasons about when it plans a reconfiguration (the
+//! paper's Figure 2 moves from a 2-lane grid spec to a 1-lane torus spec);
+//! [`TopologySpec::instantiate`] realises a spec against a
+//! [`PhyState`](rackfabric_phy::PhyState), creating the physical links and
+//! returning the runtime [`Topology`].
+
+use crate::graph::{NodeId, Topology};
+use rackfabric_phy::media::{Media, MediaKind};
+use rackfabric_phy::PhyState;
+use rackfabric_sim::units::{BitRate, Length};
+use serde::{Deserialize, Serialize};
+
+/// The named topology families the builders can generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TopologyKind {
+    /// A 1-D chain (used for the Figure-1 hop-count sweep).
+    Line,
+    /// A 1-D ring.
+    Ring,
+    /// A 2-D mesh without wrap-around.
+    Grid,
+    /// A 2-D torus (grid plus wrap-around links).
+    Torus,
+    /// An n-dimensional hypercube.
+    Hypercube,
+    /// A two-level folded-Clos built from rack switches (the conventional
+    /// packet-switched baseline).
+    FatTree,
+}
+
+/// One desired edge of the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EdgeSpec {
+    /// First endpoint.
+    pub a: NodeId,
+    /// Second endpoint.
+    pub b: NodeId,
+    /// Number of lanes the link should bundle.
+    pub lanes: usize,
+    /// Cable length.
+    pub length: Length,
+    /// Medium family.
+    pub media: MediaKind,
+}
+
+impl EdgeSpec {
+    /// True if this edge connects the same unordered node pair as `other`.
+    pub fn same_pair(&self, other: &EdgeSpec) -> bool {
+        (self.a == other.a && self.b == other.b) || (self.a == other.b && self.b == other.a)
+    }
+    /// Canonical (min, max) form of the node pair.
+    pub fn pair(&self) -> (NodeId, NodeId) {
+        if self.a <= self.b {
+            (self.a, self.b)
+        } else {
+            (self.b, self.a)
+        }
+    }
+}
+
+/// A full topology description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologySpec {
+    /// Human-readable name (e.g. `"grid-4x4-2lane"`).
+    pub name: String,
+    /// Which family this spec belongs to.
+    pub kind: TopologyKind,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Desired edges.
+    pub edges: Vec<EdgeSpec>,
+    /// Grid/torus dimensions when applicable (rows, cols).
+    pub dims: Option<(usize, usize)>,
+}
+
+/// Default intra-rack cable length between adjacent sleds: the paper assumes
+/// a switch (i.e. a sled hop) every 2 metres.
+pub const DEFAULT_HOP_LENGTH: Length = Length::from_m(2);
+
+impl TopologySpec {
+    /// A 1-D chain of `n` nodes.
+    pub fn line(n: usize, lanes: usize) -> TopologySpec {
+        let edges = (0..n.saturating_sub(1))
+            .map(|i| EdgeSpec {
+                a: NodeId(i as u32),
+                b: NodeId(i as u32 + 1),
+                lanes,
+                length: DEFAULT_HOP_LENGTH,
+                media: MediaKind::OpticalFiber,
+            })
+            .collect();
+        TopologySpec {
+            name: format!("line-{n}-{lanes}lane"),
+            kind: TopologyKind::Line,
+            nodes: n,
+            edges,
+            dims: None,
+        }
+    }
+
+    /// A ring of `n` nodes.
+    pub fn ring(n: usize, lanes: usize) -> TopologySpec {
+        assert!(n >= 3, "a ring needs at least 3 nodes");
+        let edges = (0..n)
+            .map(|i| EdgeSpec {
+                a: NodeId(i as u32),
+                b: NodeId(((i + 1) % n) as u32),
+                lanes,
+                length: DEFAULT_HOP_LENGTH,
+                media: MediaKind::OpticalFiber,
+            })
+            .collect();
+        TopologySpec {
+            name: format!("ring-{n}-{lanes}lane"),
+            kind: TopologyKind::Ring,
+            nodes: n,
+            edges,
+            dims: None,
+        }
+    }
+
+    /// A `rows x cols` 2-D mesh without wrap-around, `lanes` lanes per link.
+    pub fn grid(rows: usize, cols: usize, lanes: usize) -> TopologySpec {
+        assert!(rows >= 1 && cols >= 1);
+        let id = |r: usize, c: usize| NodeId((r * cols + c) as u32);
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    edges.push(EdgeSpec {
+                        a: id(r, c),
+                        b: id(r, c + 1),
+                        lanes,
+                        length: DEFAULT_HOP_LENGTH,
+                        media: MediaKind::OpticalFiber,
+                    });
+                }
+                if r + 1 < rows {
+                    edges.push(EdgeSpec {
+                        a: id(r, c),
+                        b: id(r + 1, c),
+                        lanes,
+                        length: DEFAULT_HOP_LENGTH,
+                        media: MediaKind::OpticalFiber,
+                    });
+                }
+            }
+        }
+        TopologySpec {
+            name: format!("grid-{rows}x{cols}-{lanes}lane"),
+            kind: TopologyKind::Grid,
+            nodes: rows * cols,
+            edges,
+            dims: Some((rows, cols)),
+        }
+    }
+
+    /// A `rows x cols` 2-D torus, `lanes` lanes per link (the grid plus
+    /// wrap-around links; wrap-around cables are longer).
+    pub fn torus(rows: usize, cols: usize, lanes: usize) -> TopologySpec {
+        assert!(rows >= 2 && cols >= 2, "a torus needs at least 2x2 nodes");
+        let mut spec = TopologySpec::grid(rows, cols, lanes);
+        let id = |r: usize, c: usize| NodeId((r * cols + c) as u32);
+        // Wrap-around links span the rack dimension: length scales with the
+        // number of hops they replace.
+        let wrap_len_rows = Length::from_m((2 * (rows.max(2) - 1)) as u64);
+        let wrap_len_cols = Length::from_m((2 * (cols.max(2) - 1)) as u64);
+        if cols > 2 {
+            for r in 0..rows {
+                spec.edges.push(EdgeSpec {
+                    a: id(r, cols - 1),
+                    b: id(r, 0),
+                    lanes,
+                    length: wrap_len_cols,
+                    media: MediaKind::OpticalFiber,
+                });
+            }
+        }
+        if rows > 2 {
+            for c in 0..cols {
+                spec.edges.push(EdgeSpec {
+                    a: id(rows - 1, c),
+                    b: id(0, c),
+                    lanes,
+                    length: wrap_len_rows,
+                    media: MediaKind::OpticalFiber,
+                });
+            }
+        }
+        spec.name = format!("torus-{rows}x{cols}-{lanes}lane");
+        spec.kind = TopologyKind::Torus;
+        spec
+    }
+
+    /// A hypercube of dimension `dim` (2^dim nodes), `lanes` lanes per link.
+    pub fn hypercube(dim: u32, lanes: usize) -> TopologySpec {
+        let n = 1usize << dim;
+        let mut edges = Vec::new();
+        for node in 0..n {
+            for bit in 0..dim {
+                let peer = node ^ (1usize << bit);
+                if peer > node {
+                    edges.push(EdgeSpec {
+                        a: NodeId(node as u32),
+                        b: NodeId(peer as u32),
+                        lanes,
+                        length: DEFAULT_HOP_LENGTH,
+                        media: MediaKind::OpticalFiber,
+                    });
+                }
+            }
+        }
+        TopologySpec {
+            name: format!("hypercube-{dim}d-{lanes}lane"),
+            kind: TopologyKind::Hypercube,
+            nodes: n,
+            edges,
+            dims: None,
+        }
+    }
+
+    /// A two-level folded-Clos: `hosts` leaf nodes are split across
+    /// `ceil(hosts / radix)` leaf switches, all connected to `spines` spine
+    /// switches. Node ids: hosts first, then leaf switches, then spines.
+    /// This is the conventional packet-switched baseline fabric.
+    pub fn fat_tree(hosts: usize, radix: usize, spines: usize, lanes: usize) -> TopologySpec {
+        assert!(hosts >= 1 && radix >= 1 && spines >= 1);
+        let leaves = hosts.div_ceil(radix);
+        let nodes = hosts + leaves + spines;
+        let leaf_id = |l: usize| NodeId((hosts + l) as u32);
+        let spine_id = |s: usize| NodeId((hosts + leaves + s) as u32);
+        let mut edges = Vec::new();
+        for h in 0..hosts {
+            edges.push(EdgeSpec {
+                a: NodeId(h as u32),
+                b: leaf_id(h / radix),
+                lanes,
+                length: DEFAULT_HOP_LENGTH,
+                media: MediaKind::CopperDac,
+            });
+        }
+        for l in 0..leaves {
+            for s in 0..spines {
+                edges.push(EdgeSpec {
+                    a: leaf_id(l),
+                    b: spine_id(s),
+                    lanes,
+                    length: Length::from_m(4),
+                    media: MediaKind::OpticalFiber,
+                });
+            }
+        }
+        TopologySpec {
+            name: format!("fattree-{hosts}h-{leaves}l-{spines}s"),
+            kind: TopologyKind::FatTree,
+            nodes,
+            edges,
+            dims: None,
+        }
+    }
+
+    /// Total lanes demanded by the spec (a proxy for SerDes / power cost).
+    pub fn total_lanes(&self) -> usize {
+        self.edges.iter().map(|e| e.lanes).sum()
+    }
+
+    /// The (row, col) coordinate of a node for grid/torus specs.
+    pub fn coordinates(&self, n: NodeId) -> Option<(usize, usize)> {
+        let (rows, cols) = self.dims?;
+        let idx = n.index();
+        if idx >= rows * cols {
+            return None;
+        }
+        Some((idx / cols, idx % cols))
+    }
+
+    /// Realises the spec: creates every physical link in `phy` and returns
+    /// the runtime topology graph referencing the created link ids.
+    pub fn instantiate(&self, phy: &mut PhyState, lane_rate: BitRate) -> Topology {
+        let mut topo = Topology::new(self.nodes);
+        for e in &self.edges {
+            let link = phy.add_link(
+                e.a.as_u32(),
+                e.b.as_u32(),
+                Media::of_kind(e.media),
+                e.length,
+                e.lanes,
+                lane_rate,
+            );
+            topo.add_edge(e.a, e.b, link);
+        }
+        topo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_and_ring_shapes() {
+        let line = TopologySpec::line(8, 2);
+        assert_eq!(line.nodes, 8);
+        assert_eq!(line.edges.len(), 7);
+        let ring = TopologySpec::ring(8, 1);
+        assert_eq!(ring.edges.len(), 8);
+        assert_eq!(ring.total_lanes(), 8);
+    }
+
+    #[test]
+    fn grid_edge_count_and_coordinates() {
+        let g = TopologySpec::grid(4, 4, 2);
+        // 2 * r * c - r - c edges in an r x c mesh.
+        assert_eq!(g.edges.len(), 2 * 4 * 4 - 4 - 4);
+        assert_eq!(g.nodes, 16);
+        assert_eq!(g.coordinates(NodeId(0)), Some((0, 0)));
+        assert_eq!(g.coordinates(NodeId(5)), Some((1, 1)));
+        assert_eq!(g.coordinates(NodeId(15)), Some((3, 3)));
+        assert_eq!(g.coordinates(NodeId(16)), None);
+        assert_eq!(g.total_lanes(), g.edges.len() * 2);
+    }
+
+    #[test]
+    fn torus_adds_wraparound_links() {
+        let g = TopologySpec::grid(4, 4, 2);
+        let t = TopologySpec::torus(4, 4, 1);
+        // 4 row wraps + 4 column wraps.
+        assert_eq!(t.edges.len(), g.edges.len() + 8);
+        assert_eq!(t.kind, TopologyKind::Torus);
+        // Wrap links are longer than mesh links.
+        let max_len = t.edges.iter().map(|e| e.length).max().unwrap();
+        assert!(max_len > DEFAULT_HOP_LENGTH);
+        // A 1-lane torus uses no more SerDes lanes than a 2-lane grid of the
+        // same size — the resource trade at the heart of the paper's Figure 2.
+        assert!(t.total_lanes() <= g.total_lanes());
+    }
+
+    #[test]
+    fn hypercube_degree_is_dimension() {
+        let h = TopologySpec::hypercube(4, 1);
+        assert_eq!(h.nodes, 16);
+        assert_eq!(h.edges.len(), 16 * 4 / 2);
+    }
+
+    #[test]
+    fn fat_tree_shape() {
+        let f = TopologySpec::fat_tree(16, 8, 2, 4);
+        // 16 hosts, 2 leaves, 2 spines.
+        assert_eq!(f.nodes, 16 + 2 + 2);
+        // 16 host uplinks + 2*2 leaf-spine links.
+        assert_eq!(f.edges.len(), 16 + 4);
+    }
+
+    #[test]
+    fn instantiate_builds_matching_phy_links() {
+        let spec = TopologySpec::grid(3, 3, 2);
+        let mut phy = PhyState::new();
+        let topo = spec.instantiate(&mut phy, BitRate::from_gbps(25));
+        assert_eq!(topo.node_count(), 9);
+        assert_eq!(topo.edge_count(), spec.edges.len());
+        assert_eq!(phy.link_count(), spec.edges.len());
+        assert!(topo.is_connected());
+        // Every topology link exists in the phy state with the right lane count.
+        for link_id in topo.links() {
+            let l = phy.link(link_id).expect("link must exist in phy");
+            assert_eq!(l.total_lanes(), 2);
+            let (a, b) = topo.endpoints(link_id).unwrap();
+            assert!(l.connects(a.as_u32(), b.as_u32()));
+        }
+    }
+
+    #[test]
+    fn grid_and_torus_diameters() {
+        let mut phy = PhyState::new();
+        let grid = TopologySpec::grid(4, 4, 1).instantiate(&mut phy, BitRate::from_gbps(25));
+        let mut phy2 = PhyState::new();
+        let torus = TopologySpec::torus(4, 4, 1).instantiate(&mut phy2, BitRate::from_gbps(25));
+        // Torus wrap-around halves the diameter of the mesh.
+        assert_eq!(grid.diameter(), Some(6));
+        assert_eq!(torus.diameter(), Some(4));
+        assert!(torus.average_path_length().unwrap() < grid.average_path_length().unwrap());
+    }
+
+    #[test]
+    fn edge_spec_pair_helpers() {
+        let e1 = EdgeSpec {
+            a: NodeId(3),
+            b: NodeId(1),
+            lanes: 1,
+            length: DEFAULT_HOP_LENGTH,
+            media: MediaKind::OpticalFiber,
+        };
+        let e2 = EdgeSpec {
+            a: NodeId(1),
+            b: NodeId(3),
+            lanes: 2,
+            length: DEFAULT_HOP_LENGTH,
+            media: MediaKind::OpticalFiber,
+        };
+        assert!(e1.same_pair(&e2));
+        assert_eq!(e1.pair(), (NodeId(1), NodeId(3)));
+    }
+}

@@ -1,0 +1,57 @@
+//! A step-by-step replay of the paper's Figure 2: the rack starts as a 4x4
+//! grid at two lanes per link; congestion feedback drives the Closed Ring
+//! Control to issue the PLP commands that rewire it into a 4x4 torus at one
+//! lane per link, inside the same lane (and power) budget.
+//!
+//! ```sh
+//! cargo run --release --example figure2_reconfiguration
+//! ```
+
+use rackfabric::prelude::*;
+use rackfabric_phy::{PhyState, PlpExecutor};
+use rackfabric_sim::prelude::*;
+
+fn main() {
+    // 1. Instantiate the initial grid: 24 mesh links x 2 lanes = 48 lanes.
+    let grid = TopologySpec::grid(4, 4, 2);
+    let torus = TopologySpec::torus(4, 4, 1);
+    let mut phy = PhyState::new();
+    let mut topo = grid.instantiate(&mut phy, BitRate::from_gbps(25));
+    println!("initial topology : {}", grid.name);
+    println!("  links          : {}", topo.edge_count());
+    println!("  diameter (hops): {}", topo.diameter().unwrap());
+    println!(
+        "  active lanes   : {}",
+        phy.links().map(|l| l.active_lanes()).sum::<usize>()
+    );
+
+    // 2. Plan the reconfiguration the CRC would issue (Figure 2's arrow).
+    let plan = plan_reconfiguration(&grid, &torus, &topo, &phy).expect("plan grid -> torus");
+    println!("\nplanned PLP commands ({} total):", plan.len());
+    let mut counts = std::collections::BTreeMap::new();
+    for c in &plan.commands {
+        *counts.entry(c.name()).or_insert(0u32) += 1;
+    }
+    for (name, n) in counts {
+        println!("  {name:<18} x{n}");
+    }
+
+    // 3. Apply it through the PLP executor.
+    let executor = PlpExecutor::default();
+    let duration = rackfabric::reconfigure::apply(&plan, &executor, &mut phy, &mut topo)
+        .expect("apply plan");
+    println!("\nreconfiguration completes after {duration} (commands run in parallel)");
+
+    // 4. The rack is now the torus of Figure 2's right-hand side.
+    println!("\nfinal topology   : {}", torus.name);
+    println!("  links          : {}", topo.edge_count());
+    println!("  diameter (hops): {}", topo.diameter().unwrap());
+    println!(
+        "  active lanes   : {}",
+        phy.links().map(|l| l.active_lanes()).sum::<usize>()
+    );
+    println!(
+        "  connected      : {}",
+        if topo.is_connected() { "yes" } else { "NO" }
+    );
+}
