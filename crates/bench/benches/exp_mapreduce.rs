@@ -9,7 +9,9 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(2));
-    group.bench_function("exp_mapreduce", |b| b.iter(|| std::hint::black_box(e3_mapreduce_scaling(&[3, 4], 8))));
+    group.bench_function("exp_mapreduce", |b| {
+        b.iter(|| std::hint::black_box(e3_mapreduce_scaling(&[3, 4], 8)))
+    });
     group.finish();
 }
 

@@ -9,7 +9,9 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(2));
-    group.bench_function("exp_power", |b| b.iter(|| std::hint::black_box(e4_power_vs_load(&[0.25, 1.0]))));
+    group.bench_function("exp_power", |b| {
+        b.iter(|| std::hint::black_box(e4_power_vs_load(&[0.25, 1.0])))
+    });
     group.finish();
 }
 

@@ -1,0 +1,20 @@
+//! Criterion bench timing experiment E9 (the parallel scenario matrix) —
+//! the throughput reference for the scenario engine itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rackfabric_bench::*;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp_scenario");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(5));
+    group.bench_function("exp_scenario", |b| {
+        b.iter(|| std::hint::black_box(e9_scenario_matrix(&[2, 3], &[0.5, 1.0], 2)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -23,6 +23,7 @@ fn main() {
                 "e6" => out.push(e6_adaptive_fec()),
                 "e7" => out.push(e7_validation()),
                 "e8" => out.push(e8_bypass(8)),
+                "e9" => out.push(e9_scenario_matrix(&[3, 4], &[0.5, 1.0], 3)),
                 other => eprintln!("unknown experiment id: {other}"),
             }
         }

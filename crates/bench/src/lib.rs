@@ -14,8 +14,8 @@ use rackfabric_phy::FecMode;
 use rackfabric_sim::prelude::*;
 use rackfabric_sim::stats::Series;
 use rackfabric_topo::NodeId;
-use rackfabric_workload::{Flow, MapReduceShuffle, UniformWorkload, Workload, WorkloadFlowId};
 use rackfabric_workload::{ArrivalProcess, FlowSizeDistribution};
+use rackfabric_workload::{Flow, MapReduceShuffle, UniformWorkload, Workload, WorkloadFlowId};
 
 /// A printable experiment result: a headline, one or more data series, and
 /// free-form notes.
@@ -80,12 +80,12 @@ pub fn fig1_latency_vs_hops(max_hops: usize) -> ExperimentResult {
         total.push(switches as f64, b.total().as_nanos_f64());
     }
     let last = max_hops as f64;
-    let ratio = switching
-        .points()
-        .last()
-        .map(|&(_, s)| s)
-        .unwrap_or(0.0)
-        / media.points().last().map(|&(_, m)| m.max(1e-9)).unwrap_or(1.0);
+    let ratio = switching.points().last().map(|&(_, s)| s).unwrap_or(0.0)
+        / media
+            .points()
+            .last()
+            .map(|&(_, m)| m.max(1e-9))
+            .unwrap_or(1.0);
     ExperimentResult {
         id: "fig1",
         title: "media propagation vs. cut-through switching latency (switch every 2 m)",
@@ -154,7 +154,8 @@ pub fn fig2_reconfiguration(partition_kib: u64) -> ExperimentResult {
                 "speedup".into(),
                 format!(
                     "{:.2}x",
-                    b.job_completion_us.unwrap_or(f64::NAN) / a.job_completion_us.unwrap_or(f64::NAN)
+                    b.job_completion_us.unwrap_or(f64::NAN)
+                        / a.job_completion_us.unwrap_or(f64::NAN)
                 ),
             ),
             ("final topology".into(), adaptive.current_spec.name.clone()),
@@ -329,7 +330,11 @@ pub fn e7_validation() -> ExperimentResult {
             ),
             (
                 "validation (<=25% tolerance)".into(),
-                if report.passes(0.25) { "PASS".into() } else { "FAIL".into() },
+                if report.passes(0.25) {
+                    "PASS".into()
+                } else {
+                    "FAIL".into()
+                },
             ),
         ],
     }
@@ -355,8 +360,12 @@ pub fn e8_bypass(hops: usize) -> ExperimentResult {
         // Install bypasses at the first `bypassed` intermediate nodes.
         let executor = rackfabric_phy::PlpExecutor::default();
         for node in 1..=bypassed.min(hops.saturating_sub(1)) {
-            let in_link = fabric.topo.links_between(NodeId(node as u32 - 1), NodeId(node as u32))[0];
-            let out_link = fabric.topo.links_between(NodeId(node as u32), NodeId(node as u32 + 1))[0];
+            let in_link = fabric
+                .topo
+                .links_between(NodeId(node as u32 - 1), NodeId(node as u32))[0];
+            let out_link = fabric
+                .topo
+                .links_between(NodeId(node as u32), NodeId(node as u32 + 1))[0];
             executor
                 .execute(
                     &mut fabric.phy,
@@ -390,6 +399,85 @@ pub fn e8_bypass(hops: usize) -> ExperimentResult {
     }
 }
 
+/// **E9** — the scenario-matrix engine: rack size × offered load × seeds,
+/// static baseline against the adaptive fabric, executed in parallel by
+/// `rackfabric-scenario` and reduced to per-cell aggregates. The experiment's
+/// CSV is the machine-readable companion of the printed series.
+pub fn e9_scenario_matrix(sides: &[usize], loads: &[f64], seeds: usize) -> ExperimentResult {
+    use rackfabric_scenario::prelude::*;
+
+    let base = ScenarioSpec::new(
+        "e9-scenario-matrix",
+        TopologySpec::grid(3, 3, 2),
+        WorkloadSpec::shuffle(Bytes::from_kib(8)),
+    )
+    .horizon(SimTime::from_millis(500));
+    let matrix = Matrix::new(base)
+        .axis(
+            "racks",
+            sides
+                .iter()
+                .map(|&k| AxisValue::Topology(TopologySpec::grid(k, k, 2)))
+                .collect(),
+        )
+        .axis("load", loads.iter().map(|&l| AxisValue::Load(l)).collect())
+        .axis(
+            "controller",
+            vec![
+                AxisValue::Controller(ControllerSpec::Baseline),
+                AxisValue::Controller(ControllerSpec::adaptive_default()),
+            ],
+        )
+        .replicates(seeds)
+        .master_seed(13);
+
+    let result = Runner::new(0).run(&matrix);
+
+    // Series: p99 latency vs load at the largest rack, baseline vs adaptive.
+    let biggest = sides
+        .last()
+        .map(|&k| TopologySpec::grid(k, k, 2).name)
+        .unwrap_or_default();
+    let mut baseline_p99 = Series::new("baseline_p99_latency_ns");
+    let mut adaptive_p99 = Series::new("adaptive_p99_latency_ns");
+    for cell in &result.cells {
+        let is_biggest = cell
+            .labels
+            .iter()
+            .any(|(k, v)| k == "racks" && *v == biggest);
+        if !is_biggest {
+            continue;
+        }
+        let load: f64 = cell
+            .labels
+            .iter()
+            .find(|(k, _)| k == "load")
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(f64::NAN);
+        let p99_ns = cell.packet_latency.p99 / 1e3;
+        match cell.labels.iter().find(|(k, _)| k == "controller") {
+            Some((_, v)) if v == "baseline" => baseline_p99.push(load, p99_ns),
+            Some(_) => adaptive_p99.push(load, p99_ns),
+            None => {}
+        }
+    }
+
+    ExperimentResult {
+        id: "e9",
+        title: "scenario matrix: rack x load x controller sweep with per-cell tail latency",
+        series: vec![baseline_p99, adaptive_p99],
+        rows: vec![
+            ("cells".into(), format!("{}", result.cells.len())),
+            ("jobs".into(), format!("{}", result.jobs.len())),
+            ("failed jobs".into(), format!("{}", result.failed_jobs())),
+            (
+                "aggregate csv (one row per cell)".into(),
+                format!("\n{}", result.to_csv()),
+            ),
+        ],
+    }
+}
+
 /// Runs every experiment at the scale used for `EXPERIMENTS.md`.
 pub fn run_all() -> Vec<ExperimentResult> {
     vec![
@@ -401,6 +489,7 @@ pub fn run_all() -> Vec<ExperimentResult> {
         e6_adaptive_fec(),
         e7_validation(),
         e8_bypass(8),
+        e9_scenario_matrix(&[3, 4], &[0.5, 1.0], 3),
     ]
 }
 
@@ -449,7 +538,28 @@ mod tests {
             pts.windows(2).all(|w| w[1] <= w[0] + 1e-9),
             "latency must not increase as more switches are bypassed: {pts:?}"
         );
-        assert!(pts.last().unwrap() < &(pts[0] * 0.8), "full bypass saves >20%");
+        assert!(
+            pts.last().unwrap() < &(pts[0] * 0.8),
+            "full bypass saves >20%"
+        );
+    }
+
+    #[test]
+    fn e9_scenario_matrix_sweeps_and_aggregates() {
+        let r = e9_scenario_matrix(&[2, 3], &[0.5], 2);
+        // 2 racks x 1 load x 2 controllers = 4 cells, x2 seeds = 8 jobs.
+        assert!(r.rows.iter().any(|(k, v)| k == "cells" && v == "4"));
+        assert!(r.rows.iter().any(|(k, v)| k == "jobs" && v == "8"));
+        assert!(r.rows.iter().any(|(k, v)| k == "failed jobs" && v == "0"));
+        let csv = &r.rows.last().unwrap().1;
+        assert_eq!(
+            csv.trim_start_matches('\n').lines().count(),
+            5,
+            "header + 4 cells"
+        );
+        // The p99-vs-load series carry one point per load per controller.
+        assert_eq!(r.series[0].len(), 1);
+        assert_eq!(r.series[1].len(), 1);
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Offline facade for `criterion`.
+//!
+//! Implements the subset of the Criterion API the `benches/` files use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup`] tuning knobs (accepted
+//! and ignored), [`BenchmarkGroup::bench_function`] /
+//! [`Criterion::bench_function`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Each benchmark body runs `SAMPLES` times and
+//! the mean wall-clock time is printed — enough to compare runs by hand and
+//! to keep every bench target compiling and runnable without a registry.
+
+use std::time::{Duration, Instant};
+
+/// Number of timed iterations per benchmark.
+const SAMPLES: u32 = 3;
+
+/// Timing harness handed to each benchmark function.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _parent: self,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks with (ignored) sampling knobs.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the facade always runs `SAMPLES` iterations.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+    /// Accepted for API compatibility; the facade does not warm up.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+    /// Accepted for API compatibility; the facade times a fixed iteration count.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+    /// Times `f` and prints the mean wall-clock duration.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&full, f);
+        self
+    }
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
+    let mut bencher = Bencher {
+        elapsed: Duration::ZERO,
+    };
+    let mut total = Duration::ZERO;
+    for _ in 0..SAMPLES {
+        bencher.elapsed = Duration::ZERO;
+        f(&mut bencher);
+        total += bencher.elapsed;
+    }
+    let mean = total / SAMPLES;
+    println!("bench {id:<40} time: {mean:?} (mean of {SAMPLES})");
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times one execution of `routine` (the facade does not sample
+    /// repeatedly inside `iter`).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        drop(std::hint::black_box(out));
+    }
+}
+
+/// Opaque-value helper mirroring `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary (`harness = false` targets).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

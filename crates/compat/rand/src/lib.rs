@@ -1,0 +1,25 @@
+//! Offline facade for `rand`: just the [`RngCore`] trait (0.9 surface),
+//! which `rackfabric_sim::rng::DetRng` implements so callers can use it
+//! wherever a rand-style generator is expected.
+
+/// The core random-number-generator interface (matches `rand` 0.9).
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}

@@ -1,0 +1,32 @@
+//! Offline facade for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` names this repository imports —
+//! as blanket-implemented marker traits — plus the derive macros (re-exported
+//! from the `serde_derive` facade, where they expand to nothing). Actual JSON
+//! encoding/decoding in this repository goes through `rackfabric_sim::json`,
+//! which needs no derives.
+
+/// Marker stand-in for `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`; satisfied by every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub mod de {
+    //! Mirror of `serde::de` for the names used in trait bounds.
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    //! Mirror of `serde::ser`.
+    pub use crate::Serialize;
+}
+
+// The derive macros share names with the traits, exactly like real serde.
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! Offline facade for `serde_derive`: the derive macros accept the same
+//! syntax as the real crate (including `#[serde(...)]` helper attributes)
+//! and expand to nothing. The matching `serde` facade blanket-implements the
+//! `Serialize`/`Deserialize` marker traits, so derived types still satisfy
+//! serde trait bounds.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

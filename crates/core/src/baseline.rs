@@ -40,10 +40,10 @@ mod tests {
     fn baseline_never_issues_plp_commands() {
         use rackfabric_sim::config::SimConfig;
         use rackfabric_sim::time::SimTime;
-        use rackfabric_workload::{MapReduceShuffle, Workload};
         use rackfabric_sim::DetRng;
-        let flows = MapReduceShuffle::all_to_all(4, Bytes::from_kib(4))
-            .generate(&mut DetRng::new(1));
+        use rackfabric_workload::{MapReduceShuffle, Workload};
+        let flows =
+            MapReduceShuffle::all_to_all(4, Bytes::from_kib(4)).generate(&mut DetRng::new(1));
         let mut config = baseline_config(TopologySpec::grid(2, 2, 2));
         config.sim = SimConfig::with_seed(1).horizon(SimTime::from_millis(50));
         let fabric = crate::fabric::run_fabric(config, flows);

@@ -116,7 +116,10 @@ mod tests {
         let inp = input(25, 100, 20);
         let small = evaluate(Bytes::from_kib(10), &inp);
         let large = evaluate(Bytes::from_mib(10), &inp);
-        assert!(!small.worth_it, "a 10 KiB flow finishes before the fabric even reconfigures");
+        assert!(
+            !small.worth_it,
+            "a 10 KiB flow finishes before the fabric even reconfigures"
+        );
         assert!(large.worth_it);
         assert!(large.saving > 0.0);
         assert!(small.saving < 0.0);
@@ -149,7 +152,10 @@ mod tests {
         let t1 = min_flow_size(&input(25, 100, 10)).unwrap().as_u64() as f64;
         let t2 = min_flow_size(&input(25, 100, 100)).unwrap().as_u64() as f64;
         let ratio = t2 / t1;
-        assert!((9.5..10.5).contains(&ratio), "10x slower reconfig needs ~10x larger flows");
+        assert!(
+            (9.5..10.5).contains(&ratio),
+            "10x slower reconfig needs ~10x larger flows"
+        );
     }
 
     #[test]

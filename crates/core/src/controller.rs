@@ -110,7 +110,9 @@ impl ClosedRingControl {
                 continue;
             }
             if let Some(mode) = self.fec.recommend(link) {
-                decision.commands.push(PlpCommand::SetFec { link: id, mode });
+                decision
+                    .commands
+                    .push(PlpCommand::SetFec { link: id, mode });
             }
         }
 
@@ -135,19 +137,16 @@ impl ClosedRingControl {
         //    until the estimated draw fits.
         if self.thresholds.power_budget.is_some() {
             for t in &report.links {
-                if t.up
-                    && t.utilization <= self.thresholds.utilization_low
-                    && t.active_lanes > 1
-                {
+                if t.up && t.utilization <= self.thresholds.utilization_low && t.active_lanes > 1 {
                     let target = (t.active_lanes / 2).max(1);
                     decision.commands.push(PlpCommand::SetActiveLanes {
                         link: t.link,
                         lanes: target,
                     });
                     if let Some(link) = phy.link(t.link) {
-                        decision.estimated_power_saving += phy
-                            .power_model
-                            .lane_reduction_saving(link, t.active_lanes, target);
+                        decision.estimated_power_saving +=
+                            phy.power_model
+                                .lane_reduction_saving(link, t.active_lanes, target);
                     }
                 }
             }
@@ -182,9 +181,9 @@ impl ClosedRingControl {
                             lanes: target,
                         });
                         if let Some(link) = phy.link(t.link) {
-                            let saving = phy
-                                .power_model
-                                .lane_reduction_saving(link, t.active_lanes, target);
+                            let saving =
+                                phy.power_model
+                                    .lane_reduction_saving(link, t.active_lanes, target);
                             recovered += saving;
                         }
                     }
@@ -272,7 +271,9 @@ mod tests {
         let report = report_with_util(&phy, 0.01);
         let d = crc.decide(&report, &phy);
         assert!(
-            d.commands.iter().all(|c| !matches!(c, PlpCommand::SetActiveLanes { .. })),
+            d.commands
+                .iter()
+                .all(|c| !matches!(c, PlpCommand::SetActiveLanes { .. })),
             "latency policy keeps lanes hot: {:?}",
             d.commands
         );
@@ -303,8 +304,14 @@ mod tests {
         let mut crc = ClosedRingControl::new(CrcConfig::default());
         let hot = report_with_util(&phy, 0.9);
         let cool = report_with_util(&phy, 0.1);
-        assert!(!crc.decide(&hot, &phy).escalate_topology, "one hot epoch is not enough");
-        assert!(crc.decide(&hot, &phy).escalate_topology, "two consecutive hot epochs escalate");
+        assert!(
+            !crc.decide(&hot, &phy).escalate_topology,
+            "one hot epoch is not enough"
+        );
+        assert!(
+            crc.decide(&hot, &phy).escalate_topology,
+            "two consecutive hot epochs escalate"
+        );
         // A cool epoch resets the streak.
         assert!(!crc.decide(&cool, &phy).escalate_topology);
         assert!(!crc.decide(&hot, &phy).escalate_topology);

@@ -198,7 +198,9 @@ impl AdaptiveFabric {
         }
         self.phy
             .link(link)
-            .map(|l| matches!(l.state, rackfabric_phy::LinkState::Up) && l.capacity() > BitRate::ZERO)
+            .map(|l| {
+                matches!(l.state, rackfabric_phy::LinkState::Up) && l.capacity() > BitRate::ZERO
+            })
             .unwrap_or(false)
     }
 
@@ -416,8 +418,16 @@ impl AdaptiveFabric {
             let bytes = self.bytes_this_epoch.get(&id).copied().unwrap_or(0);
             let bps = bytes as f64 * 8.0 / epoch_s;
             throughput.insert(id, BitRate::from_bps(bps as u64));
-            let cap = self.phy.link(id).map(|l| l.capacity()).unwrap_or(BitRate::ZERO);
-            let util = if cap.is_zero() { 0.0 } else { bps / cap.as_bps() as f64 };
+            let cap = self
+                .phy
+                .link(id)
+                .map(|l| l.capacity())
+                .unwrap_or(BitRate::ZERO);
+            let util = if cap.is_zero() {
+                0.0
+            } else {
+                bps / cap.as_bps() as f64
+            };
             utilization.insert(id, util);
         }
         for ((_, link), q) in self.queues.iter_mut() {
@@ -480,25 +490,21 @@ impl AdaptiveFabric {
     fn upgrade_topology(&mut self, now: SimTime, target: &TopologySpec) {
         match reconfigure::plan(&self.current_spec, target, &self.topo, &self.phy) {
             Ok(plan) if !plan.is_empty() => {
-                match reconfigure::apply(&plan, &self.executor, &mut self.phy, &mut self.topo) {
-                    Ok(duration) => {
-                        // Traffic pauses on every link while the fabric
-                        // re-trains (worst case, conservative).
-                        for id in self.phy.link_ids() {
-                            let entry = self
-                                .reconfiguring_until
-                                .entry(id)
-                                .or_insert(SimTime::ZERO);
-                            *entry = (*entry).max(now + duration);
-                        }
-                        self.current_spec = plan.target.clone();
-                        self.topology_upgraded = true;
-                        self.metrics.topology_reconfigurations += 1;
-                        self.metrics
-                            .reconfig_events
-                            .push((now.as_micros_f64(), format!("topology->{}", target.name)));
+                if let Ok(duration) =
+                    reconfigure::apply(&plan, &self.executor, &mut self.phy, &mut self.topo)
+                {
+                    // Traffic pauses on every link while the fabric
+                    // re-trains (worst case, conservative).
+                    for id in self.phy.link_ids() {
+                        let entry = self.reconfiguring_until.entry(id).or_insert(SimTime::ZERO);
+                        *entry = (*entry).max(now + duration);
                     }
-                    Err(_) => {}
+                    self.current_spec = plan.target.clone();
+                    self.topology_upgraded = true;
+                    self.metrics.topology_reconfigurations += 1;
+                    self.metrics
+                        .reconfig_events
+                        .push((now.as_micros_f64(), format!("topology->{}", target.name)));
                 }
             }
             _ => {}
@@ -544,8 +550,8 @@ pub fn run_fabric(config: FabricConfig, flows: Vec<Flow>) -> AdaptiveFabric {
 mod tests {
     use super::*;
     use rackfabric_sim::time::SimTime;
-    use rackfabric_workload::{MapReduceShuffle, Workload};
     use rackfabric_sim::DetRng;
+    use rackfabric_workload::{MapReduceShuffle, Workload};
 
     fn small_shuffle(nodes: usize, partition: Bytes) -> Vec<Flow> {
         MapReduceShuffle::all_to_all(nodes, partition).generate(&mut DetRng::new(7))
@@ -601,8 +607,14 @@ mod tests {
             c.sim = SimConfig::with_seed(2).horizon(SimTime::from_millis(100));
             run_fabric(c, flows)
         };
-        assert!(baseline.all_flows_complete(), "baseline must finish the shuffle");
-        assert!(adaptive.all_flows_complete(), "adaptive must finish the shuffle");
+        assert!(
+            baseline.all_flows_complete(),
+            "baseline must finish the shuffle"
+        );
+        assert!(
+            adaptive.all_flows_complete(),
+            "adaptive must finish the shuffle"
+        );
         assert_eq!(baseline.metrics.summary().completed_flows, 72);
         assert_eq!(adaptive.metrics.summary().completed_flows, 72);
         // Both delivered the same volume.
@@ -667,9 +679,18 @@ mod tests {
             "the power-cap CRC should have shed lanes on idle links"
         );
         // Power must have gone down over the run.
-        let first = fabric.metrics.power_series.points().first().map(|&(_, y)| y).unwrap();
+        let first = fabric
+            .metrics
+            .power_series
+            .points()
+            .first()
+            .map(|&(_, y)| y)
+            .unwrap();
         let last = fabric.metrics.power_series.last_y().unwrap();
-        assert!(last < first, "power should drop as lanes are shed ({first} -> {last})");
+        assert!(
+            last < first,
+            "power should drop as lanes are shed ({first} -> {last})"
+        );
     }
 
     #[test]

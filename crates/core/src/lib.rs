@@ -70,8 +70,8 @@ pub mod prelude {
     pub use crate::price::{LinkPrice, PriceBook, PriceNormalization, PriceWeights};
     pub use crate::reconfigure::{plan as plan_reconfiguration, ReconfigPlan};
     pub use rackfabric_phy::{FecMode, PlpCommand, PlpTiming, PowerState};
-    pub use rackfabric_topo::spec::TopologySpec;
     pub use rackfabric_topo::routing::RoutingAlgorithm;
+    pub use rackfabric_topo::spec::TopologySpec;
 }
 
 pub use baseline::run_baseline;

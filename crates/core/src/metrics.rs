@@ -107,7 +107,7 @@ fn mean_y(series: &Series) -> f64 {
 }
 
 /// The condensed result of one fabric run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunSummary {
     /// Packets delivered end to end.
     pub delivered_packets: u64,
@@ -168,11 +168,14 @@ mod tests {
     #[test]
     fn summary_aggregates_flow_completions() {
         let mut m = FabricMetrics::default();
-        m.flow_completions.push((WorkloadFlowId(0), SimDuration::from_micros(10)));
-        m.flow_completions.push((WorkloadFlowId(1), SimDuration::from_micros(30)));
+        m.flow_completions
+            .push((WorkloadFlowId(0), SimDuration::from_micros(10)));
+        m.flow_completions
+            .push((WorkloadFlowId(1), SimDuration::from_micros(30)));
         m.delivered_bytes = 1_000_000;
         m.job_completion = Some(SimTime::from_micros(40));
-        m.packet_latency.record_duration(SimDuration::from_nanos(500));
+        m.packet_latency
+            .record_duration(SimDuration::from_nanos(500));
         m.delivered_packets.add(1);
         let s = m.summary();
         assert_eq!(s.completed_flows, 2);

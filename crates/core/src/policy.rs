@@ -107,9 +107,13 @@ mod tests {
     fn every_policy_produces_consistent_thresholds() {
         let policies = [
             CrcPolicy::LatencyMinimize,
-            CrcPolicy::PowerCap { budget: Power::from_kilowatts(1) },
+            CrcPolicy::PowerCap {
+                budget: Power::from_kilowatts(1),
+            },
             CrcPolicy::CongestionBalance,
-            CrcPolicy::Hybrid { budget: Power::from_kilowatts(2) },
+            CrcPolicy::Hybrid {
+                budget: Power::from_kilowatts(2),
+            },
         ];
         for p in policies {
             let t = p.thresholds();
@@ -121,7 +125,9 @@ mod tests {
 
     #[test]
     fn power_policies_carry_their_budget() {
-        let p = CrcPolicy::PowerCap { budget: Power::from_watts(500) };
+        let p = CrcPolicy::PowerCap {
+            budget: Power::from_watts(500),
+        };
         assert_eq!(p.thresholds().power_budget, Some(Power::from_watts(500)));
         assert_eq!(CrcPolicy::LatencyMinimize.thresholds().power_budget, None);
     }
@@ -138,7 +144,10 @@ mod tests {
     fn names_are_distinct() {
         let names: std::collections::HashSet<&str> = [
             CrcPolicy::LatencyMinimize.name(),
-            CrcPolicy::PowerCap { budget: Power::ZERO }.name(),
+            CrcPolicy::PowerCap {
+                budget: Power::ZERO,
+            }
+            .name(),
             CrcPolicy::CongestionBalance.name(),
             CrcPolicy::default().name(),
         ]

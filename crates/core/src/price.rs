@@ -174,7 +174,11 @@ impl PriceBook {
             .iter()
             .map(|(id, p)| (id, p.total(&self.weights)))
             .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(b.0)));
+        v.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(b.0))
+        });
         v.into_iter().map(|(id, _)| *id).collect()
     }
 
@@ -225,7 +229,8 @@ mod tests {
             telemetry(0, 0.1, 200, 3, true),
             telemetry(1, 0.95, 200, 3, true),
         ]);
-        let book = PriceBook::from_telemetry(&r, PriceWeights::default(), &PriceNormalization::default());
+        let book =
+            PriceBook::from_telemetry(&r, PriceWeights::default(), &PriceNormalization::default());
         assert_eq!(book.len(), 2);
         let p0 = book.price(LinkId(0)).unwrap().total(&book.weights);
         let p1 = book.price(LinkId(1)).unwrap().total(&book.weights);
@@ -235,8 +240,12 @@ mod tests {
 
     #[test]
     fn down_links_are_unroutable() {
-        let r = report(vec![telemetry(0, 0.1, 200, 3, true), telemetry(1, 0.1, 200, 3, false)]);
-        let book = PriceBook::from_telemetry(&r, PriceWeights::default(), &PriceNormalization::default());
+        let r = report(vec![
+            telemetry(0, 0.1, 200, 3, true),
+            telemetry(1, 0.1, 200, 3, false),
+        ]);
+        let book =
+            PriceBook::from_telemetry(&r, PriceWeights::default(), &PriceNormalization::default());
         let costs = book.as_cost_map();
         assert!(costs[&LinkId(0)].is_finite());
         assert!(costs[&LinkId(1)].is_infinite());
@@ -246,11 +255,20 @@ mod tests {
     #[test]
     fn weights_change_the_ordering() {
         // Link 0: high latency, low power. Link 1: low latency, high power.
-        let r = report(vec![telemetry(0, 0.1, 2_000, 1, true), telemetry(1, 0.1, 100, 20, true)]);
-        let latency_book =
-            PriceBook::from_telemetry(&r, PriceWeights::latency_only(), &PriceNormalization::default());
-        let power_book =
-            PriceBook::from_telemetry(&r, PriceWeights::power_aware(), &PriceNormalization::default());
+        let r = report(vec![
+            telemetry(0, 0.1, 2_000, 1, true),
+            telemetry(1, 0.1, 100, 20, true),
+        ]);
+        let latency_book = PriceBook::from_telemetry(
+            &r,
+            PriceWeights::latency_only(),
+            &PriceNormalization::default(),
+        );
+        let power_book = PriceBook::from_telemetry(
+            &r,
+            PriceWeights::power_aware(),
+            &PriceNormalization::default(),
+        );
         assert_eq!(latency_book.most_expensive()[0], LinkId(0));
         assert_eq!(power_book.most_expensive()[0], LinkId(1));
     }

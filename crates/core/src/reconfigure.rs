@@ -122,9 +122,8 @@ pub fn plan(
                 from_lanes,
                 to_lanes,
             } => {
-                let link = link_between(topo, *a, *b).ok_or(ReconfigError::MissingLink {
-                    pair: (*a, *b),
-                })?;
+                let link = link_between(topo, *a, *b)
+                    .ok_or(ReconfigError::MissingLink { pair: (*a, *b) })?;
                 if to_lanes < from_lanes {
                     donor_spare.push((link, *a, *b, from_lanes - to_lanes));
                 }
@@ -153,19 +152,23 @@ pub fn plan(
             let donor_idx = donor_spare
                 .iter()
                 .position(|(_, a, b, spare)| {
-                    *spare >= needed && (*a == edge.a || *b == edge.a || *a == edge.b || *b == edge.b)
+                    *spare >= needed
+                        && (*a == edge.a || *b == edge.a || *a == edge.b || *b == edge.b)
                 })
-                .or_else(|| donor_spare.iter().position(|(_, _, _, spare)| *spare >= needed));
+                .or_else(|| {
+                    donor_spare
+                        .iter()
+                        .position(|(_, _, _, spare)| *spare >= needed)
+                });
             let Some(idx) = donor_idx else {
                 // Fall back to any physical link with more than `needed` lanes
                 // that is not itself being re-laned.
-                let fallback = phy
-                    .link_ids()
-                    .into_iter()
-                    .find(|id| {
-                        phy.link(*id).map(|l| l.total_lanes() > needed).unwrap_or(false)
-                            && !relane_targets.iter().any(|(rid, _)| rid == id)
-                    });
+                let fallback = phy.link_ids().into_iter().find(|id| {
+                    phy.link(*id)
+                        .map(|l| l.total_lanes() > needed)
+                        .unwrap_or(false)
+                        && !relane_targets.iter().any(|(rid, _)| rid == id)
+                });
                 match fallback {
                     Some(link) => {
                         commands.push(PlpCommand::SplitLink {
@@ -205,7 +208,10 @@ pub fn plan(
     // Any re-laned edge not fully handled by donations gets an explicit lane
     // count change.
     for (link, to_lanes) in relane_targets {
-        commands.push(PlpCommand::SetActiveLanes { link, lanes: to_lanes });
+        commands.push(PlpCommand::SetActiveLanes {
+            link,
+            lanes: to_lanes,
+        });
     }
 
     Ok(ReconfigPlan {
@@ -284,7 +290,11 @@ mod tests {
             .iter()
             .filter(|c| matches!(c, PlpCommand::SetActiveLanes { lanes: 1, .. }))
             .count();
-        assert_eq!(splits + relanes, 24 + 8 - 8, "every mesh link is either a donor or re-laned");
+        assert_eq!(
+            splits + relanes,
+            24 + 8 - 8,
+            "every mesh link is either a donor or re-laned"
+        );
         assert!(!plan.is_empty());
         assert!(plan.duration(&PlpExecutor::default()) > SimDuration::ZERO);
     }
@@ -310,7 +320,10 @@ mod tests {
         // The lane budget went down (32 active links x1 lane vs 24 x2): check
         // the active lane count across the fabric.
         let active_lanes: usize = phy.links().map(|l| l.active_lanes()).sum();
-        assert!(active_lanes <= 48, "torus must not use more lanes than the grid had");
+        assert!(
+            active_lanes <= 48,
+            "torus must not use more lanes than the grid had"
+        );
     }
 
     #[test]

@@ -92,8 +92,10 @@ impl SumeSwitch {
         // pipeline depth, then is streamed into the output queue.
         let wire_time = self.config.port_rate.serialization_delay(size);
         let ingress_cycles = Self::duration_to_cycles(wire_time, self.config.clock_period);
-        let ready_cycle =
-            self.cycle + ingress_cycles + self.config.fixed_pipeline_cycles + self.streaming_cycles(size);
+        let ready_cycle = self.cycle
+            + ingress_cycles
+            + self.config.fixed_pipeline_cycles
+            + self.streaming_cycles(size);
         // Egress: wait for the port, then serialize onto the wire again.
         let start = ready_cycle.max(self.egress_free_cycle[output_port]);
         let egress_cycles = Self::duration_to_cycles(wire_time, self.config.clock_period);
@@ -135,7 +137,10 @@ mod tests {
         let lat = s.idle_forward_latency(Bytes::new(1500), 0);
         let us = lat.as_micros_f64();
         // Two 1.2 us wire times (in + out) plus ~0.4 us of pipeline.
-        assert!((2.0..3.5).contains(&us), "MTU store-and-forward latency was {us} us");
+        assert!(
+            (2.0..3.5).contains(&us),
+            "MTU store-and-forward latency was {us} us"
+        );
         // A minimum-size frame is much faster but still pays the pipeline.
         let mut s2 = SumeSwitch::new(SumeConfig::default());
         let small = s2.idle_forward_latency(Bytes::new(64), 0);
@@ -148,8 +153,10 @@ mod tests {
         let mut s = SumeSwitch::new(SumeConfig::default());
         let first_done = s.forward(Bytes::new(1500), 2);
         let second_done = s.forward(Bytes::new(1500), 2);
-        let wire_cycles =
-            SumeSwitch::duration_to_cycles(BitRate::from_gbps(10).serialization_delay(Bytes::new(1500)), SimDuration::from_nanos(5));
+        let wire_cycles = SumeSwitch::duration_to_cycles(
+            BitRate::from_gbps(10).serialization_delay(Bytes::new(1500)),
+            SimDuration::from_nanos(5),
+        );
         assert_eq!(second_done, first_done + wire_cycles);
         // A different port does not wait.
         let other_done = s.forward(Bytes::new(1500), 3);

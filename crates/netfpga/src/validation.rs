@@ -92,10 +92,7 @@ pub fn validate_against_des(frame_sizes: &[u64]) -> ValidationReport {
             relative_error: rel,
         });
     }
-    let worst = points
-        .iter()
-        .map(|p| p.relative_error)
-        .fold(0.0, f64::max);
+    let worst = points.iter().map(|p| p.relative_error).fold(0.0, f64::max);
     ValidationReport {
         points,
         worst_relative_error: worst,

@@ -117,7 +117,10 @@ mod tests {
         assert_eq!(t.len(), 1);
         let found = t.lookup(3, LinkId(10)).unwrap();
         assert_eq!(found.out_link, LinkId(11));
-        assert!(t.lookup(3, LinkId(11)).is_none(), "lookup is keyed by ingress link");
+        assert!(
+            t.lookup(3, LinkId(11)).is_none(),
+            "lookup is keyed by ingress link"
+        );
         assert!(t.lookup(4, LinkId(10)).is_none(), "lookup is keyed by node");
         let removed = t.remove(3, LinkId(10)).unwrap();
         assert_eq!(removed.in_link, LinkId(10));

@@ -39,7 +39,12 @@ pub enum FecMode {
 
 impl FecMode {
     /// All modes, ordered from weakest to strongest.
-    pub const ALL: [FecMode; 4] = [FecMode::None, FecMode::FireCode, FecMode::Rs528, FecMode::Rs544];
+    pub const ALL: [FecMode; 4] = [
+        FecMode::None,
+        FecMode::FireCode,
+        FecMode::Rs528,
+        FecMode::Rs544,
+    ];
 
     /// Fraction of raw bandwidth consumed by parity symbols.
     pub fn overhead(self) -> f64 {
@@ -170,14 +175,20 @@ mod tests {
         let rs528 = FecMode::Rs528.post_fec_ber(snr);
         let rs544 = FecMode::Rs544.post_fec_ber(snr);
         assert!(none > fire && fire > rs528 && rs528 > rs544);
-        assert!(rs544 < 1e-9, "KP4 should clean up a 14 dB channel, got {rs544}");
+        assert!(
+            rs544 < 1e-9,
+            "KP4 should clean up a 14 dB channel, got {rs544}"
+        );
     }
 
     #[test]
     fn fec_cannot_rescue_a_terrible_channel() {
         let snr = 3.0; // hopeless
         let ber = FecMode::Rs544.post_fec_ber(snr);
-        assert!(ber > 1e-4, "no standard FEC fixes a 3 dB channel, got {ber}");
+        assert!(
+            ber > 1e-4,
+            "no standard FEC fixes a 3 dB channel, got {ber}"
+        );
     }
 
     #[test]
@@ -197,7 +208,10 @@ mod tests {
         let a = FecMode::Rs528.post_fec_ber(snr);
         let b = FecMode::Rs528.post_fec_ber_from_pre(pre);
         let ratio = if a > b { a / b } else { b / a };
-        assert!(ratio < 10.0, "the two paths should agree within an order of magnitude");
+        assert!(
+            ratio < 10.0,
+            "the two paths should agree within an order of magnitude"
+        );
     }
 
     #[test]

@@ -379,14 +379,24 @@ mod tests {
     #[test]
     fn ber_refresh_tracks_length_and_rate() {
         let short = Link::new(
-            LinkId(0), 0, 1,
-            Media::copper_dac(), Length::from_m(1),
-            4, BitRate::from_gbps(25), 0,
+            LinkId(0),
+            0,
+            1,
+            Media::copper_dac(),
+            Length::from_m(1),
+            4,
+            BitRate::from_gbps(25),
+            0,
         );
         let long = Link::new(
-            LinkId(1), 0, 1,
-            Media::copper_dac(), Length::from_m(5),
-            4, BitRate::from_gbps(50), 4,
+            LinkId(1),
+            0,
+            1,
+            Media::copper_dac(),
+            Length::from_m(5),
+            4,
+            BitRate::from_gbps(50),
+            4,
         );
         assert!(long.worst_pre_fec_ber() > short.worst_pre_fec_ber());
     }

@@ -143,7 +143,9 @@ mod tests {
     #[test]
     fn channel_loss_grows_with_length() {
         let copper = Media::copper_dac();
-        assert!(copper.channel_loss_db(Length::from_m(3)) > copper.channel_loss_db(Length::from_m(1)));
+        assert!(
+            copper.channel_loss_db(Length::from_m(3)) > copper.channel_loss_db(Length::from_m(1))
+        );
         // 3 m DAC: 6 dB/m * 3 + 1.5 = 19.5 dB.
         assert!((copper.channel_loss_db(Length::from_m(3)) - 19.5).abs() < 1e-9);
     }
@@ -158,7 +160,11 @@ mod tests {
 
     #[test]
     fn of_kind_round_trips() {
-        for kind in [MediaKind::CopperDac, MediaKind::OpticalFiber, MediaKind::Backplane] {
+        for kind in [
+            MediaKind::CopperDac,
+            MediaKind::OpticalFiber,
+            MediaKind::Backplane,
+        ] {
             assert_eq!(Media::of_kind(kind).kind, kind);
         }
     }

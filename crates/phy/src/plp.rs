@@ -292,7 +292,10 @@ impl PhyState {
             .links
             .values()
             .map(|l| {
-                let tput = throughput_by_link.get(&l.id).copied().unwrap_or(BitRate::ZERO);
+                let tput = throughput_by_link
+                    .get(&l.id)
+                    .copied()
+                    .unwrap_or(BitRate::ZERO);
                 self.power_model.link_power(l, tput, self.power_state(l.id))
             })
             .sum();
@@ -370,7 +373,11 @@ impl PlpExecutor {
                     if l.state == LinkState::Down {
                         return Err(PhyError::LinkDown(*link));
                     }
-                    (l.media, l.length, l.lanes.first().map(|x| x.rate).unwrap_or(BitRate::ZERO))
+                    (
+                        l.media,
+                        l.length,
+                        l.lanes.first().map(|x| x.rate).unwrap_or(BitRate::ZERO),
+                    )
                 };
                 let taken = {
                     let l = state.links.get_mut(link).expect("checked above");
@@ -378,9 +385,8 @@ impl PlpExecutor {
                 };
                 let new_id = LinkId(state.next_link_id);
                 state.next_link_id += 1;
-                let mut new_link = Link::new(
-                    new_id, *new_a, *new_b, media, length, 0, lane_rate, 0,
-                );
+                let mut new_link =
+                    Link::new(new_id, *new_a, *new_b, media, length, 0, lane_rate, 0);
                 new_link.lanes = taken;
                 for lane in &mut new_link.lanes {
                     lane.set_state(LaneState::Up);
@@ -418,7 +424,10 @@ impl PlpExecutor {
                 l.set_active_lanes(*lanes)?;
                 completion.affected = vec![*link];
             }
-            PlpCommand::SetPower { link, state: pstate } => {
+            PlpCommand::SetPower {
+                link,
+                state: pstate,
+            } => {
                 let l = state
                     .links
                     .get_mut(link)
@@ -590,9 +599,30 @@ mod tests {
     #[test]
     fn bundle_rejects_incompatible_links() {
         let mut s = PhyState::new();
-        let a = s.add_link(0, 1, Media::optical_fiber(), Length::from_m(2), 4, BitRate::from_gbps(25));
-        let c = s.add_link(0, 2, Media::optical_fiber(), Length::from_m(2), 4, BitRate::from_gbps(25));
-        let d = s.add_link(0, 1, Media::copper_dac(), Length::from_m(2), 4, BitRate::from_gbps(25));
+        let a = s.add_link(
+            0,
+            1,
+            Media::optical_fiber(),
+            Length::from_m(2),
+            4,
+            BitRate::from_gbps(25),
+        );
+        let c = s.add_link(
+            0,
+            2,
+            Media::optical_fiber(),
+            Length::from_m(2),
+            4,
+            BitRate::from_gbps(25),
+        );
+        let d = s.add_link(
+            0,
+            1,
+            Media::copper_dac(),
+            Length::from_m(2),
+            4,
+            BitRate::from_gbps(25),
+        );
         let exec = PlpExecutor::default();
         // Different endpoints.
         assert!(matches!(
@@ -610,8 +640,15 @@ mod tests {
     fn move_lanes_between_parallel_links() {
         let (mut s, a, b) = state_with_two_parallel_links();
         let exec = PlpExecutor::default();
-        exec.execute(&mut s, &PlpCommand::MoveLanes { from: a, to: b, lanes: 3 })
-            .unwrap();
+        exec.execute(
+            &mut s,
+            &PlpCommand::MoveLanes {
+                from: a,
+                to: b,
+                lanes: 3,
+            },
+        )
+        .unwrap();
         assert_eq!(s.link(a).unwrap().total_lanes(), 1);
         assert_eq!(s.link(b).unwrap().total_lanes(), 7);
     }
@@ -625,14 +662,20 @@ mod tests {
         assert_eq!(s.link(a).unwrap().raw_capacity(), BitRate::from_gbps(25));
         exec.execute(
             &mut s,
-            &PlpCommand::SetPower { link: a, state: PowerState::Off },
+            &PlpCommand::SetPower {
+                link: a,
+                state: PowerState::Off,
+            },
         )
         .unwrap();
         assert_eq!(s.link(a).unwrap().raw_capacity(), BitRate::ZERO);
         assert_eq!(s.power_state(a), PowerState::Off);
         exec.execute(
             &mut s,
-            &PlpCommand::SetPower { link: a, state: PowerState::Active },
+            &PlpCommand::SetPower {
+                link: a,
+                state: PowerState::Active,
+            },
         )
         .unwrap();
         assert_eq!(s.power_state(a), PowerState::Active);
@@ -644,13 +687,31 @@ mod tests {
         let (mut s, a, _) = state_with_two_parallel_links();
         let exec = PlpExecutor::default();
         assert!(matches!(
-            exec.execute(&mut s, &PlpCommand::SetFec { link: LinkId(99), mode: FecMode::Rs528 }),
+            exec.execute(
+                &mut s,
+                &PlpCommand::SetFec {
+                    link: LinkId(99),
+                    mode: FecMode::Rs528
+                }
+            ),
             Err(PhyError::UnknownLink(_))
         ));
-        exec.execute(&mut s, &PlpCommand::SetPower { link: a, state: PowerState::Off })
-            .unwrap();
+        exec.execute(
+            &mut s,
+            &PlpCommand::SetPower {
+                link: a,
+                state: PowerState::Off,
+            },
+        )
+        .unwrap();
         assert!(matches!(
-            exec.execute(&mut s, &PlpCommand::SetFec { link: a, mode: FecMode::Rs528 }),
+            exec.execute(
+                &mut s,
+                &PlpCommand::SetFec {
+                    link: a,
+                    mode: FecMode::Rs528
+                }
+            ),
             Err(PhyError::LinkDown(_))
         ));
     }
@@ -658,40 +719,118 @@ mod tests {
     #[test]
     fn bypass_requires_shared_node_and_up_links() {
         let mut s = PhyState::new();
-        let ab = s.add_link(0, 1, Media::optical_fiber(), Length::from_m(2), 4, BitRate::from_gbps(25));
-        let bc = s.add_link(1, 2, Media::optical_fiber(), Length::from_m(2), 4, BitRate::from_gbps(25));
-        let cd = s.add_link(2, 3, Media::optical_fiber(), Length::from_m(2), 4, BitRate::from_gbps(25));
+        let ab = s.add_link(
+            0,
+            1,
+            Media::optical_fiber(),
+            Length::from_m(2),
+            4,
+            BitRate::from_gbps(25),
+        );
+        let bc = s.add_link(
+            1,
+            2,
+            Media::optical_fiber(),
+            Length::from_m(2),
+            4,
+            BitRate::from_gbps(25),
+        );
+        let cd = s.add_link(
+            2,
+            3,
+            Media::optical_fiber(),
+            Length::from_m(2),
+            4,
+            BitRate::from_gbps(25),
+        );
         let exec = PlpExecutor::default();
         // ab and cd do not meet at node 1.
         assert!(matches!(
-            exec.execute(&mut s, &PlpCommand::EnableBypass { at_node: 1, in_link: ab, out_link: cd }),
+            exec.execute(
+                &mut s,
+                &PlpCommand::EnableBypass {
+                    at_node: 1,
+                    in_link: ab,
+                    out_link: cd
+                }
+            ),
             Err(PhyError::BypassEndpointMismatch(_, _))
         ));
         // ab and bc meet at node 1: ok.
-        exec.execute(&mut s, &PlpCommand::EnableBypass { at_node: 1, in_link: ab, out_link: bc })
-            .unwrap();
+        exec.execute(
+            &mut s,
+            &PlpCommand::EnableBypass {
+                at_node: 1,
+                in_link: ab,
+                out_link: bc,
+            },
+        )
+        .unwrap();
         assert_eq!(s.bypasses.len(), 1);
         // Installing a second bypass on the same ingress fails.
         assert!(exec
-            .execute(&mut s, &PlpCommand::EnableBypass { at_node: 1, in_link: ab, out_link: bc })
+            .execute(
+                &mut s,
+                &PlpCommand::EnableBypass {
+                    at_node: 1,
+                    in_link: ab,
+                    out_link: bc
+                }
+            )
             .is_err());
         // Disable removes it.
-        exec.execute(&mut s, &PlpCommand::DisableBypass { at_node: 1, in_link: ab })
-            .unwrap();
+        exec.execute(
+            &mut s,
+            &PlpCommand::DisableBypass {
+                at_node: 1,
+                in_link: ab,
+            },
+        )
+        .unwrap();
         assert!(s.bypasses.is_empty());
     }
 
     #[test]
     fn powering_off_a_link_purges_its_bypasses() {
         let mut s = PhyState::new();
-        let ab = s.add_link(0, 1, Media::optical_fiber(), Length::from_m(2), 4, BitRate::from_gbps(25));
-        let bc = s.add_link(1, 2, Media::optical_fiber(), Length::from_m(2), 4, BitRate::from_gbps(25));
+        let ab = s.add_link(
+            0,
+            1,
+            Media::optical_fiber(),
+            Length::from_m(2),
+            4,
+            BitRate::from_gbps(25),
+        );
+        let bc = s.add_link(
+            1,
+            2,
+            Media::optical_fiber(),
+            Length::from_m(2),
+            4,
+            BitRate::from_gbps(25),
+        );
         let exec = PlpExecutor::default();
-        exec.execute(&mut s, &PlpCommand::EnableBypass { at_node: 1, in_link: ab, out_link: bc })
-            .unwrap();
-        exec.execute(&mut s, &PlpCommand::SetPower { link: bc, state: PowerState::Off })
-            .unwrap();
-        assert!(s.bypasses.is_empty(), "bypass through a dead link must be purged");
+        exec.execute(
+            &mut s,
+            &PlpCommand::EnableBypass {
+                at_node: 1,
+                in_link: ab,
+                out_link: bc,
+            },
+        )
+        .unwrap();
+        exec.execute(
+            &mut s,
+            &PlpCommand::SetPower {
+                link: bc,
+                state: PowerState::Off,
+            },
+        )
+        .unwrap();
+        assert!(
+            s.bypasses.is_empty(),
+            "bypass through a dead link must be purged"
+        );
     }
 
     #[test]
@@ -721,8 +860,15 @@ mod tests {
         let busy = s.total_power(&tput);
         assert!(busy > idle);
         let exec = PlpExecutor::default();
-        exec.execute(&mut s, &PlpCommand::EnableBypass { at_node: 0, in_link: a, out_link: b })
-            .unwrap();
+        exec.execute(
+            &mut s,
+            &PlpCommand::EnableBypass {
+                at_node: 0,
+                in_link: a,
+                out_link: b,
+            },
+        )
+        .unwrap();
         assert!(s.total_power(&HashMap::new()) > idle);
     }
 
@@ -732,7 +878,10 @@ mod tests {
         let slow = t.scaled(10.0);
         assert_eq!(slow.split.as_picos(), t.split.as_picos() * 10);
         assert_eq!(
-            slow.latency_of(&PlpCommand::SetFec { link: LinkId(0), mode: FecMode::None }),
+            slow.latency_of(&PlpCommand::SetFec {
+                link: LinkId(0),
+                mode: FecMode::None
+            }),
             t.set_fec.mul_f64(10.0)
         );
     }

@@ -61,11 +61,7 @@ impl PowerModel {
         if state == PowerState::Off || link.state == LinkState::Down {
             return Power::ZERO;
         }
-        let powered_lanes = link
-            .lanes
-            .iter()
-            .filter(|l| l.state.is_powered())
-            .count() as u64;
+        let powered_lanes = link.lanes.iter().filter(|l| l.state.is_powered()).count() as u64;
         let is_optical = matches!(link.media.kind, crate::media::MediaKind::OpticalFiber);
         let mut static_power = self.lane_static * powered_lanes;
         if is_optical {
@@ -146,7 +142,11 @@ mod tests {
     #[test]
     fn optical_links_cost_more_than_copper() {
         let m = PowerModel::default();
-        let copper = m.link_power(&link(Media::copper_dac(), 4), BitRate::ZERO, PowerState::Active);
+        let copper = m.link_power(
+            &link(Media::copper_dac(), 4),
+            BitRate::ZERO,
+            PowerState::Active,
+        );
         let fibre = m.link_power(
             &link(Media::optical_fiber(), 4),
             BitRate::ZERO,

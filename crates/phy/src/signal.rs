@@ -95,7 +95,10 @@ mod tests {
     fn short_clean_links_have_negligible_ber() {
         let fiber = Media::optical_fiber();
         let ber = lane_ber(&fiber, Length::from_m(2), BitRate::from_gbps(25), 0.0);
-        assert!(ber < 1e-12, "2 m fibre lane should be essentially error free, was {ber}");
+        assert!(
+            ber < 1e-12,
+            "2 m fibre lane should be essentially error free, was {ber}"
+        );
     }
 
     #[test]
@@ -103,7 +106,10 @@ mod tests {
         let copper = Media::copper_dac();
         let clean = lane_ber(&copper, Length::from_m(1), BitRate::from_gbps(25), 0.0);
         let marginal = lane_ber(&copper, Length::from_m(5), BitRate::from_gbps(50), 0.0);
-        assert!(marginal > clean * 1e3, "5 m @50G must be much worse than 1 m @25G");
+        assert!(
+            marginal > clean * 1e3,
+            "5 m @50G must be much worse than 1 m @25G"
+        );
         assert!(marginal > 1e-13 && marginal < 0.5);
     }
 
@@ -122,6 +128,9 @@ mod tests {
         let at_25g = received_snr_db(&fiber, Length::from_m(2), BitRate::from_gbps(25), 0.0);
         let at_50g = received_snr_db(&fiber, Length::from_m(2), BitRate::from_gbps(50), 0.0);
         assert_eq!(at_10g, at_25g, "below-reference rates pay no penalty");
-        assert!((at_25g - at_50g - 3.0).abs() < 1e-9, "one octave costs 3 dB");
+        assert!(
+            (at_25g - at_50g - 3.0).abs() < 1e-9,
+            "one octave costs 3 dB"
+        );
     }
 }

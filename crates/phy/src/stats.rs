@@ -181,7 +181,10 @@ mod tests {
         assert_eq!(t.health_score(1e-12), 1.0);
         t.post_fec_ber = 1e-10; // two decades above a 1e-12 target
         let h = t.health_score(1e-12);
-        assert!((0.2..0.3).contains(&h), "two decades over target ~0.25, got {h}");
+        assert!(
+            (0.2..0.3).contains(&h),
+            "two decades over target ~0.25, got {h}"
+        );
         t.up = false;
         assert_eq!(t.health_score(1e-12), 0.0);
     }

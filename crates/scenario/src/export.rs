@@ -1,0 +1,314 @@
+//! CSV and JSON export of matrix results.
+//!
+//! Exports are **deterministic text**: the same [`MatrixResult`] always
+//! renders to the same bytes, which is how the determinism integration test
+//! compares 1-thread and N-thread sweeps, and what `crates/bench` and the
+//! examples print for downstream plotting.
+
+use crate::aggregate::CellSummary;
+use crate::runner::{JobOutcome, JobRecord, MatrixResult};
+use rackfabric_sim::json;
+
+/// Formats an `f64` stably for CSV/JSON (shortest round-trip form, finite
+/// values only).
+fn num(value: f64) -> String {
+    json::number(value)
+}
+
+/// Appends one CSV field, quoting it only when it contains a comma or quote.
+fn push_csv_field(out: &mut String, value: &str) {
+    out.push(',');
+    if value.contains(',') || value.contains('"') {
+        out.push('"');
+        out.push_str(&value.replace('"', "\"\""));
+        out.push('"');
+    } else {
+        out.push_str(value);
+    }
+}
+
+/// Renders per-cell aggregates as CSV. Axis names become the leading
+/// columns.
+pub fn cells_to_csv(cells: &[CellSummary]) -> String {
+    let mut out = String::new();
+    let axis_names: Vec<&str> = cells
+        .first()
+        .map(|c| c.labels.iter().map(|(k, _)| k.as_str()).collect())
+        .unwrap_or_default();
+    out.push_str("cell");
+    for name in &axis_names {
+        out.push(',');
+        out.push_str(name);
+    }
+    out.push_str(
+        ",runs,failed_runs,completed_runs,packets,latency_p50_ps,latency_p99_ps,\
+         latency_p999_ps,latency_max_ps,queueing_p99_ps,delivered_bytes,dropped_packets,\
+         goodput_gbps,job_completion_us,mean_power_w,max_power_w,plp_commands,\
+         topology_reconfigs\n",
+    );
+    for cell in cells {
+        out.push_str(&cell.cell.to_string());
+        for (_, value) in &cell.labels {
+            push_csv_field(&mut out, value);
+        }
+        let row = [
+            cell.runs.to_string(),
+            cell.failed_runs.to_string(),
+            cell.completed_runs.to_string(),
+            cell.packet_latency.count.to_string(),
+            num(cell.packet_latency.p50),
+            num(cell.packet_latency.p99),
+            num(cell.packet_latency.p999),
+            num(cell.packet_latency.max),
+            num(cell.queueing_latency.p99),
+            cell.delivered_bytes.to_string(),
+            cell.dropped_packets.to_string(),
+            num(cell.mean_goodput_gbps),
+            cell.mean_job_completion_us.map(num).unwrap_or_default(),
+            num(cell.mean_power_w),
+            num(cell.max_power_w),
+            cell.plp_commands.to_string(),
+            cell.topology_reconfigurations.to_string(),
+        ];
+        for field in row {
+            out.push(',');
+            out.push_str(&field);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders per-cell aggregates as a JSON array of objects.
+pub fn cells_to_json(cells: &[CellSummary]) -> String {
+    let mut out = String::from("[");
+    for (i, cell) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {");
+        out.push_str(&format!("\"cell\": {}", cell.cell));
+        out.push_str(", \"labels\": {");
+        for (j, (k, v)) in cell.labels.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": \"{}\"", json::escape(k), json::escape(v)));
+        }
+        out.push('}');
+        out.push_str(&format!(
+            ", \"runs\": {}, \"failed_runs\": {}, \"completed_runs\": {}",
+            cell.runs, cell.failed_runs, cell.completed_runs
+        ));
+        out.push_str(&format!(
+            ", \"packet_latency_ps\": {{\"count\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"p999\": {}, \"max\": {}}}",
+            cell.packet_latency.count,
+            num(cell.packet_latency.p50),
+            num(cell.packet_latency.p90),
+            num(cell.packet_latency.p99),
+            num(cell.packet_latency.p999),
+            num(cell.packet_latency.max),
+        ));
+        out.push_str(&format!(
+            ", \"queueing_latency_p99_ps\": {}",
+            num(cell.queueing_latency.p99)
+        ));
+        out.push_str(&format!(
+            ", \"delivered_bytes\": {}, \"dropped_packets\": {}",
+            cell.delivered_bytes, cell.dropped_packets
+        ));
+        out.push_str(&format!(
+            ", \"goodput_gbps\": {}",
+            num(cell.mean_goodput_gbps)
+        ));
+        match cell.mean_job_completion_us {
+            Some(us) => out.push_str(&format!(", \"job_completion_us\": {}", num(us))),
+            None => out.push_str(", \"job_completion_us\": null"),
+        }
+        out.push_str(&format!(
+            ", \"mean_power_w\": {}, \"max_power_w\": {}",
+            num(cell.mean_power_w),
+            num(cell.max_power_w)
+        ));
+        out.push_str(&format!(
+            ", \"plp_commands\": {}, \"topology_reconfigs\": {}",
+            cell.plp_commands, cell.topology_reconfigurations
+        ));
+        out.push('}');
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Renders per-job rows as CSV (one row per replicate, matrix order).
+pub fn jobs_to_csv(jobs: &[JobRecord]) -> String {
+    let mut out = String::new();
+    let axis_names: Vec<&str> = jobs
+        .first()
+        .map(|r| r.job.labels.iter().map(|(k, _)| k.as_str()).collect())
+        .unwrap_or_default();
+    out.push_str("job,cell,replicate,seed");
+    for name in &axis_names {
+        out.push(',');
+        out.push_str(name);
+    }
+    out.push_str(
+        ",status,completed,packets,latency_p50_ps,latency_p99_ps,delivered_bytes,\
+         dropped_packets,goodput_gbps,job_completion_us,plp_commands\n",
+    );
+    for record in jobs {
+        out.push_str(&format!(
+            "{},{},{},{}",
+            record.job.index, record.job.cell, record.job.replicate, record.job.spec.seed
+        ));
+        for (_, value) in &record.job.labels {
+            push_csv_field(&mut out, value);
+        }
+        match &record.outcome {
+            // Nine empty fields keep failed rows aligned with the
+            // status..plp_commands columns of the header.
+            JobOutcome::Failed(_) => out.push_str(",failed,,,,,,,,,\n"),
+            JobOutcome::Completed(r) => {
+                let s = &r.summary;
+                out.push_str(&format!(
+                    ",ok,{},{},{},{},{},{},{},{},{}\n",
+                    r.all_flows_complete,
+                    s.delivered_packets,
+                    num(s.packet_latency.p50),
+                    num(s.packet_latency.p99),
+                    s.delivered_bytes,
+                    s.dropped_packets,
+                    num(s.goodput_gbps()),
+                    s.job_completion_us.map(num).unwrap_or_default(),
+                    s.plp_commands,
+                ));
+            }
+        }
+    }
+    out
+}
+
+impl MatrixResult {
+    /// Per-cell aggregates as CSV.
+    pub fn to_csv(&self) -> String {
+        cells_to_csv(&self.cells)
+    }
+
+    /// Per-cell aggregates as JSON.
+    pub fn to_json(&self) -> String {
+        cells_to_json(&self.cells)
+    }
+
+    /// Per-job rows as CSV.
+    pub fn jobs_csv(&self) -> String {
+        jobs_to_csv(&self.jobs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::{AxisValue, Matrix};
+    use crate::runner::Runner;
+    use crate::spec::{ScenarioSpec, WorkloadSpec};
+    use rackfabric_sim::json;
+    use rackfabric_sim::time::SimTime;
+    use rackfabric_sim::units::Bytes;
+    use rackfabric_topo::spec::TopologySpec;
+
+    fn result() -> MatrixResult {
+        let base = ScenarioSpec::new(
+            "export-unit",
+            TopologySpec::grid(2, 2, 2),
+            WorkloadSpec::shuffle(Bytes::from_kib(1)),
+        )
+        .horizon(SimTime::from_millis(20));
+        let matrix = Matrix::new(base)
+            .axis("load", vec![AxisValue::Load(0.5), AxisValue::Load(1.0)])
+            .replicates(2);
+        Runner::new(2).run(&matrix)
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_cell() {
+        let r = result();
+        let csv = r.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3, "header + 2 cells:\n{csv}");
+        assert!(lines[0].starts_with("cell,load,runs"));
+        assert!(lines[1].starts_with("0,0.5,2,"));
+        assert!(lines[2].starts_with("1,1,2,"));
+    }
+
+    #[test]
+    fn jobs_csv_has_one_row_per_job() {
+        let r = result();
+        let csv = r.jobs_csv();
+        assert_eq!(csv.lines().count(), 5);
+        assert!(csv.lines().nth(1).unwrap().contains(",ok,"));
+    }
+
+    #[test]
+    fn failed_job_rows_keep_csv_columns_aligned() {
+        // The (1-node line × storage) cell panics during flow generation,
+        // producing one failed job alongside an ok job.
+        let base = ScenarioSpec::new(
+            "export-failed",
+            TopologySpec::line(1, 1),
+            WorkloadSpec::shuffle(Bytes::from_kib(1)),
+        )
+        .horizon(SimTime::from_millis(20));
+        let storage = WorkloadSpec::Storage {
+            ops_per_node: 1.0,
+            io_size: Bytes::new(100),
+            read_fraction: 0.5,
+            load: 1.0,
+        };
+        let matrix = Matrix::new(base).axis(
+            "case",
+            vec![
+                AxisValue::Workload(WorkloadSpec::shuffle(Bytes::from_kib(1))),
+                AxisValue::Workload(storage),
+            ],
+        );
+        let result = Runner::new(2).run(&matrix);
+        assert_eq!(result.failed_jobs(), 1);
+        let csv = result.jobs_csv();
+        let header_fields = csv.lines().next().unwrap().split(',').count();
+        for line in csv.lines().skip(1) {
+            assert_eq!(
+                line.split(',').count(),
+                header_fields,
+                "row misaligned with header: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn json_export_parses_back() {
+        let r = result();
+        let parsed = json::parse(&r.to_json()).unwrap();
+        let cells = parsed.as_array().unwrap();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].get("runs").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            cells[1]
+                .get("labels")
+                .unwrap()
+                .get("load")
+                .unwrap()
+                .as_str(),
+            Some("1")
+        );
+        assert!(
+            cells[0]
+                .get("packet_latency_ps")
+                .unwrap()
+                .get("p99")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
+    }
+}

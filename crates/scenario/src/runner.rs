@@ -1,0 +1,318 @@
+//! Parallel execution of an expanded scenario matrix.
+//!
+//! Jobs are independent single-threaded `Simulator` runs, so the runner is
+//! an embarrassingly parallel pool: worker threads steal the next unclaimed
+//! job from a shared atomic cursor and stream `(index, outcome)` pairs back
+//! over an mpsc channel. Results are re-ordered by job index before
+//! aggregation, so the output is **bit-identical regardless of thread count
+//! or scheduling** — the determinism the repository's experiments rely on.
+
+use crate::aggregate::{aggregate_cells, CellSummary};
+use crate::matrix::{Job, Matrix};
+use crate::spec::{FecSetting, ScenarioSpec};
+use rackfabric::fabric::AdaptiveFabric;
+use rackfabric::metrics::RunSummary;
+use rackfabric_phy::{PlpCommand, PlpExecutor};
+use rackfabric_sim::stats::Histogram;
+use rackfabric_sim::Simulator;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// What one job produced.
+#[derive(Debug, Clone)]
+pub enum JobOutcome {
+    /// The simulation ran to its horizon (or completion). Boxed: a result
+    /// carries two full histograms and dwarfs the failure variant.
+    Completed(Box<JobResult>),
+    /// The simulation panicked; the message is recorded and the sweep
+    /// continues.
+    Failed(String),
+}
+
+/// The measured output of one completed job.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Condensed run metrics.
+    pub summary: RunSummary,
+    /// Full end-to-end latency histogram (merged across replicates by the
+    /// aggregator for tail percentiles).
+    pub packet_latency: Histogram,
+    /// Full queueing-delay histogram.
+    pub queueing_latency: Histogram,
+    /// Whether every flow delivered all of its bytes within the horizon.
+    pub all_flows_complete: bool,
+}
+
+/// One job together with its outcome, in matrix order.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// The job as expanded from the matrix.
+    pub job: Job,
+    /// What running it produced.
+    pub outcome: JobOutcome,
+}
+
+/// Everything a [`Runner::run`] call produces.
+#[derive(Debug, Clone)]
+pub struct MatrixResult {
+    /// Per-job records, ordered by job index.
+    pub jobs: Vec<JobRecord>,
+    /// Per-cell aggregates, ordered by cell index.
+    pub cells: Vec<CellSummary>,
+}
+
+impl MatrixResult {
+    /// Number of jobs that failed (panicked).
+    pub fn failed_jobs(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|r| matches!(r.outcome, JobOutcome::Failed(_)))
+            .count()
+    }
+}
+
+/// Executes a single fully resolved scenario (what each worker thread runs).
+pub fn run_scenario(spec: &ScenarioSpec) -> JobResult {
+    let flows = spec.build_flows();
+    let config = spec.to_fabric_config();
+    let mut fabric = AdaptiveFabric::new(config, flows);
+    apply_phy_policy(spec, &mut fabric);
+    let mut sim = Simulator::new(fabric, spec.seed).with_event_budget(spec.event_budget);
+    sim.run_until(spec.horizon);
+    let fabric = sim.into_model();
+    JobResult {
+        summary: fabric.metrics.summary(),
+        packet_latency: fabric.metrics.packet_latency.clone(),
+        queueing_latency: fabric.metrics.queueing_latency.clone(),
+        all_flows_complete: fabric.all_flows_complete(),
+    }
+}
+
+/// Applies the spec's initial PLP state (FEC, lane caps, power) to the
+/// freshly instantiated fabric, before the first event fires.
+fn apply_phy_policy(spec: &ScenarioSpec, fabric: &mut AdaptiveFabric) {
+    let executor = PlpExecutor::default();
+    let link_ids = fabric.phy.link_ids();
+    for link in link_ids {
+        if let FecSetting::Fixed(mode) = spec.phy.fec {
+            let _ = executor.execute(&mut fabric.phy, &PlpCommand::SetFec { link, mode });
+        }
+        if let Some(cap) = spec.phy.active_lanes {
+            let total = fabric.phy.link(link).map(|l| l.total_lanes()).unwrap_or(0);
+            let lanes = cap.min(total).max(1);
+            let _ = executor.execute(&mut fabric.phy, &PlpCommand::SetActiveLanes { link, lanes });
+        }
+        if spec.phy.power != rackfabric_phy::PowerState::Active {
+            let _ = executor.execute(
+                &mut fabric.phy,
+                &PlpCommand::SetPower {
+                    link,
+                    state: spec.phy.power,
+                },
+            );
+        }
+    }
+}
+
+/// A work-stealing pool of OS threads executing matrix jobs.
+#[derive(Debug, Clone, Copy)]
+pub struct Runner {
+    threads: usize,
+}
+
+impl Runner {
+    /// A runner with an explicit worker count (`0` = one worker per
+    /// available core).
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        Runner { threads }
+    }
+
+    /// A runner that executes jobs on the calling thread only.
+    pub fn single_threaded() -> Self {
+        Runner { threads: 1 }
+    }
+
+    /// The worker count this runner uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Expands `matrix` and executes every job, returning per-job records
+    /// and per-cell aggregates. The result is a pure function of the matrix:
+    /// thread count and scheduling order do not affect it.
+    pub fn run(&self, matrix: &Matrix) -> MatrixResult {
+        let jobs = matrix.expand();
+        let outcomes = self.execute(&jobs);
+        let records: Vec<JobRecord> = jobs
+            .into_iter()
+            .zip(outcomes)
+            .map(|(job, outcome)| JobRecord { job, outcome })
+            .collect();
+        let cells = aggregate_cells(&records);
+        MatrixResult {
+            jobs: records,
+            cells,
+        }
+    }
+
+    /// Runs the job list, returning outcomes in job order.
+    fn execute(&self, jobs: &[Job]) -> Vec<JobOutcome> {
+        let workers = self.threads.min(jobs.len()).max(1);
+        let cursor = AtomicUsize::new(0);
+        let (sender, receiver) = mpsc::channel::<(usize, JobOutcome)>();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let sender = sender.clone();
+                let cursor = &cursor;
+                scope.spawn(move || loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(index) else { break };
+                    let outcome = match catch_unwind(AssertUnwindSafe(|| run_scenario(&job.spec))) {
+                        Ok(result) => JobOutcome::Completed(Box::new(result)),
+                        Err(panic) => JobOutcome::Failed(panic_message(panic)),
+                    };
+                    if sender.send((index, outcome)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(sender);
+
+            let mut outcomes: Vec<Option<JobOutcome>> = vec![None; jobs.len()];
+            for (index, outcome) in receiver {
+                outcomes[index] = Some(outcome);
+            }
+            outcomes
+                .into_iter()
+                .map(|o| o.expect("every job reports exactly once"))
+                .collect()
+        })
+    }
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner::new(0)
+    }
+}
+
+fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "job panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::AxisValue;
+    use crate::spec::WorkloadSpec;
+    use rackfabric_sim::time::SimTime;
+    use rackfabric_sim::units::Bytes;
+    use rackfabric_topo::spec::TopologySpec;
+
+    fn small_matrix() -> Matrix {
+        let base = ScenarioSpec::new(
+            "runner-unit",
+            TopologySpec::grid(2, 2, 2),
+            WorkloadSpec::shuffle(Bytes::from_kib(2)),
+        )
+        .horizon(SimTime::from_millis(20));
+        Matrix::new(base)
+            .axis(
+                "racks",
+                vec![
+                    AxisValue::Topology(TopologySpec::grid(2, 2, 2)),
+                    AxisValue::Topology(TopologySpec::grid(3, 3, 2)),
+                ],
+            )
+            .replicates(2)
+    }
+
+    #[test]
+    fn runs_every_job_and_aggregates_cells() {
+        let result = Runner::new(2).run(&small_matrix());
+        assert_eq!(result.jobs.len(), 4);
+        assert_eq!(result.cells.len(), 2);
+        assert_eq!(result.failed_jobs(), 0);
+        for record in &result.jobs {
+            let JobOutcome::Completed(r) = &record.outcome else {
+                panic!("job failed");
+            };
+            assert!(r.all_flows_complete);
+            assert!(r.summary.delivered_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn single_scenario_matches_direct_run() {
+        let spec = ScenarioSpec::new(
+            "direct",
+            TopologySpec::grid(2, 2, 2),
+            WorkloadSpec::shuffle(Bytes::from_kib(2)),
+        )
+        .horizon(SimTime::from_millis(20))
+        .seed(5);
+        let a = run_scenario(&spec);
+        let b = run_scenario(&spec);
+        assert_eq!(a.summary, b.summary);
+        assert_eq!(a.summary.delivered_bytes, b.summary.delivered_bytes);
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_sink_the_sweep() {
+        // The (1-node line × storage) cell panics while generating flows:
+        // the storage split leaves no compute sleds. Every other cell must
+        // still run and aggregate.
+        let base = ScenarioSpec::new(
+            "panic-isolation",
+            TopologySpec::grid(2, 2, 2),
+            WorkloadSpec::shuffle(Bytes::from_kib(1)),
+        )
+        .horizon(SimTime::from_millis(20));
+        let storage = WorkloadSpec::Storage {
+            ops_per_node: 1.0,
+            io_size: Bytes::new(100),
+            read_fraction: 0.5,
+            load: 1.0,
+        };
+        let matrix = Matrix::new(base)
+            .axis(
+                "topo",
+                vec![
+                    AxisValue::Topology(TopologySpec::grid(2, 2, 2)),
+                    AxisValue::Topology(TopologySpec::line(1, 1)),
+                ],
+            )
+            .axis(
+                "workload",
+                vec![
+                    AxisValue::Workload(WorkloadSpec::shuffle(Bytes::from_kib(1))),
+                    AxisValue::Workload(storage),
+                ],
+            );
+        let result = Runner::new(2).run(&matrix);
+        assert_eq!(result.jobs.len(), 4);
+        assert_eq!(result.failed_jobs(), 1);
+        let failed = result
+            .jobs
+            .iter()
+            .find(|r| matches!(r.outcome, JobOutcome::Failed(_)))
+            .unwrap();
+        assert_eq!(failed.job.labels[0].1, "line-1-1lane");
+        assert_eq!(failed.job.labels[1].1, "storage");
+    }
+}

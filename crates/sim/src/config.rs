@@ -6,6 +6,7 @@
 //! next to each result, which is what makes the numbers in `EXPERIMENTS.md`
 //! reproducible.
 
+use crate::json::{self, JsonError};
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
 
@@ -64,12 +65,36 @@ impl SimConfig {
     /// Serialises the config to a JSON string (used by the experiment
     /// harness to record run provenance).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("SimConfig always serialises")
+        format!(
+            "{{\n  \"seed\": {},\n  \"horizon_ps\": {},\n  \"event_budget\": {},\n  \"label\": \"{}\"\n}}",
+            self.seed,
+            self.horizon.as_picos(),
+            self.event_budget,
+            json::escape(&self.label),
+        )
     }
 
     /// Parses a config from JSON.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    pub fn from_json(s: &str) -> Result<Self, JsonError> {
+        let doc = json::parse(s)?;
+        let field = |key: &str| {
+            doc.get(key)
+                .ok_or_else(|| JsonError::schema(format!("missing field \"{key}\"")))
+        };
+        let number = |key: &str| {
+            field(key)?
+                .as_u64()
+                .ok_or_else(|| JsonError::schema(format!("field \"{key}\" must be a u64")))
+        };
+        Ok(SimConfig {
+            seed: number("seed")?,
+            horizon: SimTime::from_picos(number("horizon_ps")?),
+            event_budget: number("event_budget")?,
+            label: field("label")?
+                .as_str()
+                .ok_or_else(|| JsonError::schema("field \"label\" must be a string"))?
+                .to_string(),
+        })
     }
 }
 

@@ -94,7 +94,8 @@ impl<'a, E> Context<'a, E> {
         );
         let id = EventId(*self.next_id);
         *self.next_id += 1;
-        self.directives.push((id, Directive::Schedule { at, event }));
+        self.directives
+            .push((id, Directive::Schedule { at, event }));
         id
     }
 

@@ -23,6 +23,8 @@
 //! * [`stats`] — counters, histograms, time-weighted gauges, rate meters and
 //!   series recorders used for every experiment's output.
 //! * [`config`] — serde-serialisable simulation configuration.
+//! * [`json`] — a minimal dependency-free JSON reader/writer used for run
+//!   provenance and scenario-matrix exports.
 //!
 //! ## Quick example
 //!
@@ -54,6 +56,7 @@
 pub mod config;
 pub mod engine;
 pub mod event;
+pub mod json;
 pub mod queue;
 pub mod rng;
 pub mod stats;

@@ -52,10 +52,7 @@ impl DetRng {
 
     /// Next raw 64-bit value (xoshiro256**).
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -110,7 +107,10 @@ impl DetRng {
 
     /// A bounded Pareto sample (heavy-tailed flow sizes).
     pub fn pareto(&mut self, shape: f64, min: f64, max: f64) -> f64 {
-        assert!(shape > 0.0 && min > 0.0 && max > min, "invalid Pareto parameters");
+        assert!(
+            shape > 0.0 && min > 0.0 && max > min,
+            "invalid Pareto parameters"
+        );
         let u = self.next_f64();
         let ha = max.powf(-shape);
         let la = min.powf(-shape);
@@ -283,7 +283,7 @@ mod tests {
     #[test]
     fn zipf_prefers_low_indices() {
         let mut r = DetRng::new(19);
-        let mut counts = vec![0u32; 16];
+        let mut counts = [0u32; 16];
         for _ in 0..20_000 {
             counts[r.zipf(16, 1.2)] += 1;
         }
@@ -322,7 +322,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
-        assert_ne!(v, (0..100).collect::<Vec<u32>>(), "shuffle should move things");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<u32>>(),
+            "shuffle should move things"
+        );
     }
 
     #[test]

@@ -326,7 +326,7 @@ impl fmt::Display for SimDuration {
 fn format_ps(ps: u64) -> String {
     if ps == 0 {
         "0ps".to_string()
-    } else if ps % PS_PER_S == 0 {
+    } else if ps.is_multiple_of(PS_PER_S) {
         format!("{}s", ps / PS_PER_S)
     } else if ps >= PS_PER_S {
         format!("{:.3}s", ps as f64 / PS_PER_S as f64)
@@ -380,7 +380,10 @@ mod tests {
         let late = SimTime::from_nanos(2);
         assert_eq!(early.saturating_since(late), SimDuration::ZERO);
         assert_eq!(late.saturating_since(early), SimDuration::from_nanos(1));
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
         assert_eq!(
             SimDuration::from_nanos(1).saturating_sub(SimDuration::from_nanos(2)),
             SimDuration::ZERO

@@ -167,7 +167,11 @@ impl BitRate {
             return BitRate::ZERO;
         }
         let v = self.0 as f64 * factor;
-        BitRate(if v >= u64::MAX as f64 { u64::MAX } else { v as u64 })
+        BitRate(if v >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            v as u64
+        })
     }
 }
 
@@ -338,7 +342,11 @@ impl Power {
             return Power::ZERO;
         }
         let v = self.0 as f64 * factor;
-        Power(if v >= u64::MAX as f64 { u64::MAX } else { v as u64 })
+        Power(if v >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            v as u64
+        })
     }
 }
 
@@ -549,7 +557,9 @@ mod tests {
     fn sums_over_iterators() {
         let total: BitRate = (0..4).map(|_| BitRate::from_gbps(25)).sum();
         assert_eq!(total, BitRate::from_gbps(100));
-        let p: Power = vec![Power::from_watts(1), Power::from_watts(2)].into_iter().sum();
+        let p: Power = vec![Power::from_watts(1), Power::from_watts(2)]
+            .into_iter()
+            .sum();
         assert_eq!(p, Power::from_watts(3));
     }
 }

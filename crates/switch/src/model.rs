@@ -129,11 +129,11 @@ impl CrossbarArbiter {
         // Grant phase: every output picks one requesting input, round robin
         // from its pointer.
         let mut grants: Vec<Option<usize>> = vec![None; self.ports]; // per output -> input
-        for output in 0..self.ports {
+        for (output, grant) in grants.iter_mut().enumerate() {
             for k in 0..self.ports {
                 let input = (self.grant_pointer[output] + k) % self.ports;
                 if requests[input].get(output).copied().unwrap_or(false) {
-                    grants[output] = Some(input);
+                    *grant = Some(input);
                     break;
                 }
             }
@@ -141,12 +141,12 @@ impl CrossbarArbiter {
         // Accept phase: every input accepts one granting output, round robin.
         let mut matches = Vec::new();
         let mut input_taken = vec![false; self.ports];
-        for input in 0..self.ports {
+        for (input, taken) in input_taken.iter_mut().enumerate() {
             for k in 0..self.ports {
                 let output = (self.accept_pointer[input] + k) % self.ports;
-                if grants[output] == Some(input) && !input_taken[input] {
+                if grants[output] == Some(input) && !*taken {
                     matches.push((input, output));
-                    input_taken[input] = true;
+                    *taken = true;
                     // Pointers advance past the matched peer (iSLIP rule).
                     self.grant_pointer[output] = (input + 1) % self.ports;
                     self.accept_pointer[input] = (output + 1) % self.ports;

@@ -102,8 +102,20 @@ mod tests {
     fn ids_from_different_nodes_do_not_collide() {
         let mut a = Nic::new(NodeId(1), Bytes::from_kib(64));
         let mut b = Nic::new(NodeId(2), Bytes::from_kib(64));
-        let (pa, _) = a.inject(SimTime::ZERO, FlowId(0), NodeId(9), Bytes::new(64), BitRate::from_gbps(100));
-        let (pb, _) = b.inject(SimTime::ZERO, FlowId(0), NodeId(9), Bytes::new(64), BitRate::from_gbps(100));
+        let (pa, _) = a.inject(
+            SimTime::ZERO,
+            FlowId(0),
+            NodeId(9),
+            Bytes::new(64),
+            BitRate::from_gbps(100),
+        );
+        let (pb, _) = b.inject(
+            SimTime::ZERO,
+            FlowId(0),
+            NodeId(9),
+            Bytes::new(64),
+            BitRate::from_gbps(100),
+        );
         assert_ne!(pa.id, pb.id);
     }
 
@@ -111,8 +123,20 @@ mod tests {
     fn dropped_injections_do_not_count_as_sent() {
         let mut nic = Nic::new(NodeId(0), Bytes::new(1000));
         // First fits, second overflows the 1000-byte buffer.
-        let (_, o1) = nic.inject(SimTime::ZERO, FlowId(0), NodeId(1), Bytes::new(900), BitRate::from_gbps(10));
-        let (_, o2) = nic.inject(SimTime::ZERO, FlowId(0), NodeId(1), Bytes::new(900), BitRate::from_gbps(10));
+        let (_, o1) = nic.inject(
+            SimTime::ZERO,
+            FlowId(0),
+            NodeId(1),
+            Bytes::new(900),
+            BitRate::from_gbps(10),
+        );
+        let (_, o2) = nic.inject(
+            SimTime::ZERO,
+            FlowId(0),
+            NodeId(1),
+            Bytes::new(900),
+            BitRate::from_gbps(10),
+        );
         assert!(matches!(o1, EnqueueOutcome::Accepted { .. }));
         assert_eq!(o2, EnqueueOutcome::Dropped);
         assert_eq!(nic.packets_sent, 1);
@@ -122,7 +146,13 @@ mod tests {
     fn delivery_counters() {
         let mut src = Nic::new(NodeId(0), Bytes::from_kib(64));
         let mut dst = Nic::new(NodeId(5), Bytes::from_kib(64));
-        let (p, _) = src.inject(SimTime::ZERO, FlowId(9), NodeId(5), Bytes::new(1200), BitRate::from_gbps(100));
+        let (p, _) = src.inject(
+            SimTime::ZERO,
+            FlowId(9),
+            NodeId(5),
+            Bytes::new(1200),
+            BitRate::from_gbps(100),
+        );
         dst.deliver(&p);
         assert_eq!(dst.packets_received, 1);
         assert_eq!(dst.bytes_received, 1200);

@@ -141,7 +141,10 @@ mod tests {
             MTU,
             SimTime::from_nanos(100),
         );
-        assert_eq!(p.latency_at(SimTime::from_nanos(600)), SimDuration::from_nanos(500));
+        assert_eq!(
+            p.latency_at(SimTime::from_nanos(600)),
+            SimDuration::from_nanos(500)
+        );
         // Delivery "before" creation saturates instead of panicking.
         assert_eq!(p.latency_at(SimTime::from_nanos(50)), SimDuration::ZERO);
         assert_eq!(p.hop_index, 0);

@@ -78,7 +78,9 @@ impl EgressQueue {
         if self.drain_rate.is_zero() || now <= self.last_drain {
             return self.queued_bytes;
         }
-        let drained = self.drain_rate.bytes_in(now.saturating_since(self.last_drain));
+        let drained = self
+            .drain_rate
+            .bytes_in(now.saturating_since(self.last_drain));
         self.queued_bytes.saturating_sub(drained.as_u64())
     }
 
@@ -108,7 +110,11 @@ impl EgressQueue {
         }
 
         let serialization = rate.serialization_delay(size);
-        let start = if self.busy_until > now { self.busy_until } else { now };
+        let start = if self.busy_until > now {
+            self.busy_until
+        } else {
+            now
+        };
         let queueing = start.saturating_since(now);
         let departs_at = start + serialization;
         self.busy_until = departs_at;
@@ -199,8 +205,14 @@ mod tests {
         let t = SimTime::from_micros(1);
         let first = q.enqueue(t, Bytes::new(1500), GBPS100);
         let second = q.enqueue(t, Bytes::new(1500), GBPS100);
-        let (EnqueueOutcome::Accepted { departs_at: d1, .. },
-             EnqueueOutcome::Accepted { queueing: q2, departs_at: d2, .. }) = (first, second)
+        let (
+            EnqueueOutcome::Accepted { departs_at: d1, .. },
+            EnqueueOutcome::Accepted {
+                queueing: q2,
+                departs_at: d2,
+                ..
+            },
+        ) = (first, second)
         else {
             panic!("both must be accepted");
         };
@@ -225,9 +237,18 @@ mod tests {
         // Tiny 3 kB buffer fills after two MTUs.
         let mut q = EgressQueue::new(Bytes::new(3000));
         let t = SimTime::from_micros(1);
-        assert!(matches!(q.enqueue(t, Bytes::new(1500), GBPS100), EnqueueOutcome::Accepted { .. }));
-        assert!(matches!(q.enqueue(t, Bytes::new(1500), GBPS100), EnqueueOutcome::Accepted { .. }));
-        assert_eq!(q.enqueue(t, Bytes::new(1500), GBPS100), EnqueueOutcome::Dropped);
+        assert!(matches!(
+            q.enqueue(t, Bytes::new(1500), GBPS100),
+            EnqueueOutcome::Accepted { .. }
+        ));
+        assert!(matches!(
+            q.enqueue(t, Bytes::new(1500), GBPS100),
+            EnqueueOutcome::Accepted { .. }
+        ));
+        assert_eq!(
+            q.enqueue(t, Bytes::new(1500), GBPS100),
+            EnqueueOutcome::Dropped
+        );
         assert_eq!(q.accepted, 2);
         assert_eq!(q.dropped, 1);
         assert!((q.drop_rate() - 1.0 / 3.0).abs() < 1e-9);
@@ -244,7 +265,13 @@ mod tests {
         }
         // Backlog is now 6000 >= 5000, so the next packet is marked.
         let out = q.enqueue(t, Bytes::new(1500), GBPS100);
-        assert!(matches!(out, EnqueueOutcome::Accepted { ecn_marked: true, .. }));
+        assert!(matches!(
+            out,
+            EnqueueOutcome::Accepted {
+                ecn_marked: true,
+                ..
+            }
+        ));
         assert_eq!(q.marked, 1);
     }
 
@@ -264,10 +291,13 @@ mod tests {
         let mut now = start;
         for _ in 0..100 {
             q.enqueue(now, Bytes::new(1500), GBPS100);
-            now = now + SimDuration::from_nanos(240); // offered at 50% load
+            now += SimDuration::from_nanos(240); // offered at 50% load
         }
         let util = q.utilization(start, now, GBPS100);
-        assert!((0.4..0.7).contains(&util), "expected ~0.5 utilization, got {util}");
+        assert!(
+            (0.4..0.7).contains(&util),
+            "expected ~0.5 utilization, got {util}"
+        );
         assert!(q.mean_occupancy(now) >= 0.0);
         assert!(q.peak_occupancy() >= 1500.0);
         q.reset_counters();

@@ -172,8 +172,8 @@ impl Topology {
         while let Some(n) = queue.pop_front() {
             let d = dist[&n];
             for adj in self.neighbors(n) {
-                if !dist.contains_key(&adj.neighbor) {
-                    dist.insert(adj.neighbor, d + 1);
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(adj.neighbor) {
+                    e.insert(d + 1);
                     queue.push_back(adj.neighbor);
                 }
             }
@@ -261,7 +261,10 @@ mod tests {
         let mut t = Topology::new(2);
         t.add_edge(NodeId(0), NodeId(1), LinkId(0));
         t.add_edge(NodeId(0), NodeId(1), LinkId(1));
-        assert_eq!(t.links_between(NodeId(0), NodeId(1)), vec![LinkId(0), LinkId(1)]);
+        assert_eq!(
+            t.links_between(NodeId(0), NodeId(1)),
+            vec![LinkId(0), LinkId(1)]
+        );
         assert_eq!(t.degree(NodeId(0)), 2);
     }
 
@@ -272,7 +275,7 @@ mod tests {
         let removed = t.remove_edge(LinkId(1)).unwrap();
         assert_eq!(removed, (NodeId(1), NodeId(2)));
         assert!(!t.is_connected());
-        assert_eq!(t.edge_count(), 2 - 1 + 0); // one of two original edges left
+        assert_eq!(t.edge_count(), (2 - 1)); // one of two original edges left
         assert!(t.remove_edge(LinkId(1)).is_none(), "double remove is None");
     }
 

@@ -148,7 +148,10 @@ pub fn dijkstra(
     let mut prev: HashMap<NodeId, (NodeId, LinkId)> = HashMap::new();
     let mut heap = BinaryHeap::new();
     dist.insert(src, 0.0);
-    heap.push(Item { cost: 0.0, node: src });
+    heap.push(Item {
+        cost: 0.0,
+        node: src,
+    });
 
     while let Some(Item { cost, node }) = heap.pop() {
         if node == dst {
@@ -203,7 +206,11 @@ pub fn ecmp_paths(topo: &Topology, src: NodeId, dst: NodeId, max_paths: usize) -
         let mut nexts: Vec<_> = topo
             .neighbors(node)
             .into_iter()
-            .filter(|adj| dist_to_dst.get(&adj.neighbor).map_or(false, |&nd| nd + 1 == d))
+            .filter(|adj| {
+                dist_to_dst
+                    .get(&adj.neighbor)
+                    .is_some_and(|&nd| nd + 1 == d)
+            })
             .collect();
         nexts.reverse();
         for adj in nexts {
@@ -323,7 +330,10 @@ mod tests {
         assert_eq!(r.intermediate_nodes().len(), 4);
         assert_eq!(r.nodes.len(), r.links.len() + 1);
         // Self route.
-        assert_eq!(shortest_path(&topo, NodeId(2), NodeId(2)).unwrap().hops(), 0);
+        assert_eq!(
+            shortest_path(&topo, NodeId(2), NodeId(2)).unwrap().hops(),
+            0
+        );
     }
 
     #[test]
@@ -390,7 +400,11 @@ mod tests {
         let picks: std::collections::HashSet<Vec<LinkId>> = (0..32)
             .map(|f| ecmp_select(&topo, NodeId(0), NodeId(3), f).unwrap().links)
             .collect();
-        assert_eq!(picks.len(), 2, "different flows should spread over both paths");
+        assert_eq!(
+            picks.len(),
+            2,
+            "different flows should spread over both paths"
+        );
     }
 
     #[test]
@@ -410,10 +424,16 @@ mod tests {
         let r = dimension_ordered(&spec, &topo, NodeId(0), NodeId(11)).unwrap();
         assert_eq!(r.hops(), 5);
         // The first moves change only the column.
-        let coords: Vec<(usize, usize)> =
-            r.nodes.iter().map(|n| spec.coordinates(*n).unwrap()).collect();
+        let coords: Vec<(usize, usize)> = r
+            .nodes
+            .iter()
+            .map(|n| spec.coordinates(*n).unwrap())
+            .collect();
         assert_eq!(coords[0].0, coords[1].0, "first hop stays in the same row");
-        assert_eq!(coords[3].1, coords[4].1, "last hops stay in the same column");
+        assert_eq!(
+            coords[3].1, coords[4].1,
+            "last hops stay in the same column"
+        );
     }
 
     #[test]

@@ -117,7 +117,10 @@ impl FlowSizeDistribution {
             }
             _ => {
                 let n = 10_000;
-                (0..n).map(|_| self.sample(rng).as_u64() as f64).sum::<f64>() / n as f64
+                (0..n)
+                    .map(|_| self.sample(rng).as_u64() as f64)
+                    .sum::<f64>()
+                    / n as f64
             }
         }
     }
@@ -150,9 +153,9 @@ impl ArrivalProcess {
     pub fn arrivals(&self, count: usize, rng: &mut DetRng) -> Vec<SimTime> {
         match *self {
             ArrivalProcess::AllAtOnce(t) => vec![t; count],
-            ArrivalProcess::Periodic { period, start } => (0..count as u64)
-                .map(|i| start + period * i)
-                .collect(),
+            ArrivalProcess::Periodic { period, start } => {
+                (0..count as u64).map(|i| start + period * i).collect()
+            }
             ArrivalProcess::Poisson {
                 mean_interarrival,
                 start,
@@ -162,7 +165,7 @@ impl ArrivalProcess {
                 (0..count)
                     .map(|_| {
                         let gap = rng.exponential(mean_ps);
-                        t = t + SimDuration::from_picos(gap.round().max(1.0) as u64);
+                        t += SimDuration::from_picos(gap.round().max(1.0) as u64);
                         t
                     })
                     .collect()
@@ -185,7 +188,10 @@ mod tests {
             start_at: SimTime::ZERO,
         };
         assert_eq!(f.packet_count(Bytes::new(1500)), 3);
-        let tiny = Flow { size: Bytes::new(10), ..f };
+        let tiny = Flow {
+            size: Bytes::new(10),
+            ..f
+        };
         assert_eq!(tiny.packet_count(Bytes::new(1500)), 1);
     }
 
@@ -210,7 +216,9 @@ mod tests {
             max: Bytes::from_mib(100),
         };
         let samples: Vec<u64> = (0..5000).map(|_| d.sample(&mut rng).as_u64()).collect();
-        assert!(samples.iter().all(|&s| (1_000..=100 * 1024 * 1024).contains(&s)));
+        assert!(samples
+            .iter()
+            .all(|&s| (1_000..=100 * 1024 * 1024).contains(&s)));
         let small = samples.iter().filter(|&&s| s < 10_000).count();
         assert!(small > samples.len() / 2, "most Pareto flows are mice");
     }
@@ -239,7 +247,14 @@ mod tests {
             start: SimTime::ZERO,
         }
         .arrivals(3, &mut rng);
-        assert_eq!(per, vec![SimTime::ZERO, SimTime::from_micros(2), SimTime::from_micros(4)]);
+        assert_eq!(
+            per,
+            vec![
+                SimTime::ZERO,
+                SimTime::from_micros(2),
+                SimTime::from_micros(4)
+            ]
+        );
 
         let poisson = ArrivalProcess::Poisson {
             mean_interarrival: SimDuration::from_micros(10),
@@ -247,10 +262,16 @@ mod tests {
         }
         .arrivals(2000, &mut rng);
         assert_eq!(poisson.len(), 2000);
-        assert!(poisson.windows(2).all(|w| w[0] <= w[1]), "arrivals are ordered");
+        assert!(
+            poisson.windows(2).all(|w| w[0] <= w[1]),
+            "arrivals are ordered"
+        );
         // Mean inter-arrival ~10 us.
         let total = poisson.last().unwrap().as_micros_f64();
         let mean = total / 2000.0;
-        assert!((8.0..12.0).contains(&mean), "mean inter-arrival was {mean} us");
+        assert!(
+            (8.0..12.0).contains(&mean),
+            "mean inter-arrival was {mean} us"
+        );
     }
 }

@@ -299,8 +299,10 @@ mod tests {
         assert!(flows.iter().all(|f| f.start_at == SimTime::ZERO));
         assert_eq!(w.total_bytes(), Bytes::from_kib(256) * 56);
         // Every ordered pair appears exactly once.
-        let mut pairs: Vec<(u32, u32)> =
-            flows.iter().map(|f| (f.src.as_u32(), f.dst.as_u32())).collect();
+        let mut pairs: Vec<(u32, u32)> = flows
+            .iter()
+            .map(|f| (f.src.as_u32(), f.dst.as_u32()))
+            .collect();
         pairs.sort_unstable();
         pairs.dedup();
         assert_eq!(pairs.len(), 56);
@@ -350,7 +352,9 @@ mod tests {
         let flows = w.generate(&mut DetRng::new(4));
         assert_eq!(flows.len(), 500);
         assert!(flows.iter().all(|f| f.src != f.dst));
-        assert!(flows.iter().all(|f| f.src.index() < 16 && f.dst.index() < 16));
+        assert!(flows
+            .iter()
+            .all(|f| f.src.index() < 16 && f.dst.index() < 16));
     }
 
     #[test]
@@ -363,13 +367,16 @@ mod tests {
             arrivals: ArrivalProcess::AllAtOnce(SimTime::ZERO),
         };
         let flows = w.generate(&mut DetRng::new(5));
-        let mut counts = vec![0u32; 16];
+        let mut counts = [0u32; 16];
         for f in &flows {
             counts[f.dst.index()] += 1;
         }
         let max = *counts.iter().max().unwrap();
         let min = *counts.iter().min().unwrap();
-        assert!(max > 4 * min.max(1), "hotspot must be strongly skewed (max {max}, min {min})");
+        assert!(
+            max > 4 * min.max(1),
+            "hotspot must be strongly skewed (max {max}, min {min})"
+        );
     }
 
     #[test]
@@ -383,10 +390,17 @@ mod tests {
             arrivals: ArrivalProcess::AllAtOnce(SimTime::ZERO),
         };
         let flows = w.generate(&mut DetRng::new(6));
-        assert!(flows.iter().all(|f| f.src.index() >= 8 && f.dst.index() < 8));
-        let w2 = StorageWorkload { read_fraction: 0.0, ..w };
+        assert!(flows
+            .iter()
+            .all(|f| f.src.index() >= 8 && f.dst.index() < 8));
+        let w2 = StorageWorkload {
+            read_fraction: 0.0,
+            ..w
+        };
         let flows2 = w2.generate(&mut DetRng::new(6));
-        assert!(flows2.iter().all(|f| f.src.index() < 8 && f.dst.index() >= 8));
+        assert!(flows2
+            .iter()
+            .all(|f| f.src.index() < 8 && f.dst.index() >= 8));
     }
 
     #[test]

@@ -1,0 +1,60 @@
+//! Scenario matrix over the physical layer: FEC ladder × CRC policy under a
+//! hotspot workload, exported as JSON. Shows how the PLP knobs (PLP #4,
+//! adaptive FEC; PLP #3, power) become sweep axes.
+//!
+//! ```sh
+//! cargo run --release --example fec_policy_matrix
+//! ```
+
+use rackfabric::prelude::{CrcPolicy, FecMode, TopologySpec};
+use rackfabric_scenario::prelude::*;
+use rackfabric_sim::prelude::*;
+use rackfabric_sim::units::Power;
+
+fn main() {
+    let base = ScenarioSpec::new(
+        "fec-policy-matrix",
+        TopologySpec::grid(4, 4, 4),
+        WorkloadSpec::Hotspot {
+            flows_per_node: 6.0,
+            size: Bytes::from_kib(16),
+            zipf_exponent: 1.2,
+            load: 1.0,
+        },
+    )
+    .horizon(SimTime::from_millis(100));
+
+    let matrix = Matrix::new(base)
+        .axis(
+            "fec",
+            vec![
+                AxisValue::Fec(FecSetting::Fixed(FecMode::None)),
+                AxisValue::Fec(FecSetting::Fixed(FecMode::FireCode)),
+                AxisValue::Fec(FecSetting::Fixed(FecMode::Rs528)),
+                AxisValue::Fec(FecSetting::Fixed(FecMode::Rs544)),
+            ],
+        )
+        .axis(
+            "policy",
+            vec![
+                AxisValue::Policy(CrcPolicy::LatencyMinimize),
+                AxisValue::Policy(CrcPolicy::CongestionBalance),
+                AxisValue::Policy(CrcPolicy::PowerCap {
+                    budget: Power::from_kilowatts(2),
+                }),
+                AxisValue::Policy(CrcPolicy::Hybrid {
+                    budget: Power::from_kilowatts(2),
+                }),
+            ],
+        )
+        .replicates(2)
+        .master_seed(11);
+
+    eprintln!(
+        "sweeping {} cells / {} jobs...",
+        matrix.cell_count(),
+        matrix.job_count()
+    );
+    let result = Runner::new(0).run(&matrix);
+    print!("{}", result.to_json());
+}

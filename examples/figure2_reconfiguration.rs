@@ -38,8 +38,8 @@ fn main() {
 
     // 3. Apply it through the PLP executor.
     let executor = PlpExecutor::default();
-    let duration = rackfabric::reconfigure::apply(&plan, &executor, &mut phy, &mut topo)
-        .expect("apply plan");
+    let duration =
+        rackfabric::reconfigure::apply(&plan, &executor, &mut phy, &mut topo).expect("apply plan");
     println!("\nreconfiguration completes after {duration} (commands run in parallel)");
 
     // 4. The rack is now the torus of Figure 2's right-hand side.

@@ -10,9 +10,7 @@
 use rackfabric::prelude::*;
 use rackfabric_sim::prelude::*;
 use rackfabric_sim::units::Power;
-use rackfabric_workload::{
-    ArrivalProcess, FlowSizeDistribution, UniformWorkload, Workload,
-};
+use rackfabric_workload::{ArrivalProcess, FlowSizeDistribution, UniformWorkload, Workload};
 
 fn run_with_policy(policy: CrcPolicy, label: &str) {
     let spec = TopologySpec::grid(4, 4, 4);
@@ -45,7 +43,10 @@ fn run_with_policy(policy: CrcPolicy, label: &str) {
 
 fn main() {
     println!("lightly loaded 4x4 rack, 4 lanes per link\n");
-    run_with_policy(CrcPolicy::LatencyMinimize, "latency-only policy (lanes always hot)");
+    run_with_policy(
+        CrcPolicy::LatencyMinimize,
+        "latency-only policy (lanes always hot)",
+    );
     run_with_policy(
         CrcPolicy::PowerCap {
             budget: Power::from_kilowatts(1),

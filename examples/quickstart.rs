@@ -14,9 +14,12 @@ fn main() {
     let spec = TopologySpec::grid(3, 3, 2);
 
     // The paper's motivating workload: an all-to-all shuffle with a barrier.
-    let flows = MapReduceShuffle::all_to_all(9, Bytes::from_kib(64))
-        .generate(&mut DetRng::new(42));
-    println!("workload: {} flows, {} each", flows.len(), Bytes::from_kib(64));
+    let flows = MapReduceShuffle::all_to_all(9, Bytes::from_kib(64)).generate(&mut DetRng::new(42));
+    println!(
+        "workload: {} flows, {} each",
+        flows.len(),
+        Bytes::from_kib(64)
+    );
 
     // Adaptive fabric: Closed Ring Control with the default hybrid policy.
     let mut config = FabricConfig::adaptive(spec);

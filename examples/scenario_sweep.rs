@@ -1,0 +1,62 @@
+//! Scenario-matrix sweep: rack size × offered load × seeds, baseline vs
+//! adaptive, executed in parallel by one `Runner::run()` call and printed as
+//! CSV (one row per cell, tail latencies merged across seeds).
+//!
+//! ```sh
+//! cargo run --release --example scenario_sweep
+//! ```
+
+use rackfabric::prelude::TopologySpec;
+use rackfabric_scenario::prelude::*;
+use rackfabric_sim::prelude::*;
+
+fn main() {
+    let base = ScenarioSpec::new(
+        "rack-load-sweep",
+        TopologySpec::grid(3, 3, 2),
+        WorkloadSpec::shuffle(Bytes::from_kib(8)),
+    )
+    .horizon(SimTime::from_millis(200));
+
+    let matrix = Matrix::new(base)
+        .axis(
+            "racks",
+            vec![
+                AxisValue::Topology(TopologySpec::grid(2, 2, 2)),
+                AxisValue::Topology(TopologySpec::grid(3, 3, 2)),
+                AxisValue::Topology(TopologySpec::grid(4, 4, 2)),
+            ],
+        )
+        .axis(
+            "load",
+            vec![
+                AxisValue::Load(0.25),
+                AxisValue::Load(0.5),
+                AxisValue::Load(1.0),
+                AxisValue::Load(2.0),
+            ],
+        )
+        .axis(
+            "controller",
+            vec![
+                AxisValue::Controller(ControllerSpec::Baseline),
+                AxisValue::Controller(ControllerSpec::adaptive_default()),
+            ],
+        )
+        .replicates(3)
+        .master_seed(7);
+
+    eprintln!(
+        "sweeping {} cells / {} jobs on {} threads...",
+        matrix.cell_count(),
+        matrix.job_count(),
+        Runner::new(0).threads()
+    );
+    let result = Runner::new(0).run(&matrix);
+    eprintln!(
+        "done: {} jobs, {} failed",
+        result.jobs.len(),
+        result.failed_jobs()
+    );
+    print!("{}", result.to_csv());
+}

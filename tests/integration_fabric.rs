@@ -68,7 +68,8 @@ fn routing_algorithms_all_deliver_the_same_bytes() {
         RoutingAlgorithm::Ecmp,
         RoutingAlgorithm::DimensionOrdered,
     ] {
-        let flows = MapReduceShuffle::all_to_all(9, Bytes::from_kib(4)).generate(&mut DetRng::new(3));
+        let flows =
+            MapReduceShuffle::all_to_all(9, Bytes::from_kib(4)).generate(&mut DetRng::new(3));
         let expected: u64 = flows.iter().map(|f| f.size.as_u64()).sum();
         let mut cfg = FabricConfig::adaptive(TopologySpec::grid(3, 3, 2));
         cfg.routing = routing;
@@ -105,7 +106,10 @@ fn torus_start_beats_grid_start_for_edge_to_edge_traffic() {
     assert!(grid.all_flows_complete() && torus.all_flows_complete());
     let g = grid.metrics.summary().packet_latency.p50;
     let t = torus.metrics.summary().packet_latency.p50;
-    assert!(t < g, "torus corner-to-corner p50 ({t}) must beat the grid ({g})");
+    assert!(
+        t < g,
+        "torus corner-to-corner p50 ({t}) must beat the grid ({g})"
+    );
 }
 
 #[test]
