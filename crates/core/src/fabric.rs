@@ -7,6 +7,24 @@
 //! — when `adaptive` is enabled — a [`ClosedRingControl`] that runs every
 //! control epoch. With `adaptive` disabled the very same model is the static
 //! packet-switched baseline the paper compares against.
+//!
+//! ## Hot-path architecture
+//!
+//! The per-packet datapath does **zero hashing** and fires **one event per
+//! link drain** rather than one per packet:
+//!
+//! * All per-link and per-port state (egress queues, epoch byte counters,
+//!   reconfiguration fences, cached link capacities/latencies) lives in
+//!   dense vectors indexed by [`LinkIdx`]/[`PortIdx`], interned once per
+//!   topology epoch by a [`LinkArena`]. The arena is rebuilt — and the dense
+//!   state migrated by `LinkId` — only on whole-rack reconfigurations.
+//! * Packets move in [`Train`]s: each injection admits a batch of
+//!   back-to-back frames sized by the first link's rate window, and each hop
+//!   forwards the whole batch with a single event. Per-packet latency stays
+//!   exact (see [`Packet::arrived_at`]).
+//! * Routes are served from an epoch-invalidated [`RouteCache`]; BFS or
+//!   Dijkstra runs once per `(src, dst)` pair per epoch instead of once per
+//!   packet.
 
 use crate::controller::{ClosedRingControl, CrcConfig};
 use crate::metrics::FabricMetrics;
@@ -19,13 +37,17 @@ use rackfabric_sim::time::{SimDuration, SimTime};
 use rackfabric_sim::units::{BitRate, Bytes};
 use rackfabric_switch::model::SwitchModel;
 use rackfabric_switch::nic::Nic;
-use rackfabric_switch::packet::{FlowId, Packet, PacketId};
-use rackfabric_switch::queue::{EgressQueue, EnqueueOutcome};
+use rackfabric_switch::packet::FlowId;
+use rackfabric_switch::queue::EgressQueue;
+use rackfabric_switch::train::{train_frames, Train};
+use rackfabric_topo::arena::{LinkArena, LinkIdx};
+use rackfabric_topo::cache::{InternedRoute, RouteCache};
 use rackfabric_topo::routing::{self, Route, RoutingAlgorithm};
 use rackfabric_topo::spec::TopologySpec;
 use rackfabric_topo::{NodeId, Topology};
 use rackfabric_workload::Flow;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Configuration of a fabric run.
 #[derive(Debug, Clone)]
@@ -55,6 +77,11 @@ pub struct FabricConfig {
     pub mtu: Bytes,
     /// How long to wait before re-injecting after a drop.
     pub retry_delay: SimDuration,
+    /// The rate window that sizes packet trains: each drain event transmits
+    /// up to `capacity × train_window` bytes of MTU frames back-to-back.
+    /// Larger windows collapse more events per train; the default (1 µs) is
+    /// a fraction of the port buffer at 100 Gb/s.
+    pub train_window: SimDuration,
     /// Stop the simulation as soon as every flow completes.
     pub stop_when_done: bool,
 }
@@ -75,6 +102,7 @@ impl FabricConfig {
             port_buffer: Bytes::from_kib(256),
             mtu: Bytes::new(1500),
             retry_delay: SimDuration::from_micros(10),
+            train_window: SimDuration::from_micros(1),
             stop_when_done: true,
         }
     }
@@ -96,6 +124,32 @@ struct FlowProgress {
     injected: u64,
     delivered: u64,
     completed: bool,
+    /// True while an `InjectNext` event for this flow is pending. Each flow
+    /// keeps exactly **one** injector chain: without this, every drop-retry
+    /// spawned an additional chain, and thousands of concurrent chains per
+    /// flow re-probed full ports every retry interval (an event storm that
+    /// multiplied drop counts ~100× under heavy shuffle).
+    injector_armed: bool,
+}
+
+/// Cached per-link datapath constants, refreshed whenever the physical layer
+/// changes (PLP commands, reconfigurations) — never consulted through a hash
+/// map on the per-packet path.
+#[derive(Debug, Clone, Copy)]
+struct LinkHot {
+    capacity: BitRate,
+    propagation: SimDuration,
+    fec: SimDuration,
+    up: bool,
+}
+
+impl LinkHot {
+    const DOWN: LinkHot = LinkHot {
+        capacity: BitRate::ZERO,
+        propagation: SimDuration::ZERO,
+        fec: SimDuration::ZERO,
+        up: false,
+    };
 }
 
 /// Events driving the fabric model.
@@ -103,14 +157,13 @@ struct FlowProgress {
 pub enum FabricEvent {
     /// A workload flow becomes ready to send.
     FlowStart(usize),
-    /// Inject the next packet of a flow at its source.
+    /// Inject the next packet train of a flow at its source.
     InjectNext(usize),
-    /// A packet finishes arriving at a node.
-    HopArrive {
-        /// The packet (carries its accumulated latency breakdown).
-        packet: Packet,
-        /// The route the packet is following.
-        route: Route,
+    /// A packet train finishes arriving at a node (timestamped at its last
+    /// packet's arrival; earlier packets carry their own instants).
+    TrainArrive {
+        /// The train (packets plus shared route and hop cursor).
+        train: Train,
     },
     /// One Closed Ring Control epoch.
     CrcEpoch,
@@ -129,7 +182,7 @@ pub struct AdaptiveFabric {
     pub topo: Topology,
     /// The spec the fabric currently matches.
     pub current_spec: TopologySpec,
-    /// Per-node NICs (counters).
+    /// Per-node NICs (counters and packet-id allocation).
     pub nics: Vec<Nic>,
     /// Collected metrics.
     pub metrics: FabricMetrics,
@@ -137,13 +190,26 @@ pub struct AdaptiveFabric {
     executor: PlpExecutor,
     flows: Vec<Flow>,
     progress: Vec<FlowProgress>,
-    queues: HashMap<(u32, rackfabric_phy::LinkId), EgressQueue>,
-    bytes_this_epoch: HashMap<rackfabric_phy::LinkId, u64>,
-    reconfiguring_until: HashMap<rackfabric_phy::LinkId, SimTime>,
+    /// Dense link/port interning for the current topology epoch.
+    arena: LinkArena,
+    /// One egress queue per directed port, `PortIdx`-indexed.
+    ports: Vec<EgressQueue>,
+    /// Cached link constants, `LinkIdx`-indexed.
+    link_hot: Vec<LinkHot>,
+    /// Telemetry bytes per link this epoch (includes bypassed traffic).
+    bytes_this_epoch: Vec<u64>,
+    /// Switched wire bytes per link this epoch, flushed to lane statistics
+    /// at epoch boundaries instead of per packet.
+    wire_bytes_this_epoch: Vec<u64>,
+    /// Per-link reconfiguration fences, `LinkIdx`-indexed.
+    reconfiguring_until: Vec<SimTime>,
+    route_cache: RouteCache,
     price_book: PriceBook,
+    /// The price book lowered to a routing cost map, rebuilt once per price
+    /// update instead of once per route-cache miss.
+    cost_map: HashMap<rackfabric_phy::LinkId, f64>,
     epoch_start: SimTime,
     completed_flows: usize,
-    next_packet_seq: u64,
     topology_upgraded: bool,
 }
 
@@ -158,7 +224,7 @@ impl AdaptiveFabric {
         let progress = vec![FlowProgress::default(); flows.len()];
         let crc = ClosedRingControl::new(config.crc);
         let executor = PlpExecutor::new(config.plp_timing);
-        AdaptiveFabric {
+        let mut fabric = AdaptiveFabric {
             current_spec: config.spec.clone(),
             config,
             phy,
@@ -169,15 +235,21 @@ impl AdaptiveFabric {
             executor,
             flows,
             progress,
-            queues: HashMap::new(),
-            bytes_this_epoch: HashMap::new(),
-            reconfiguring_until: HashMap::new(),
+            arena: LinkArena::default(),
+            ports: Vec::new(),
+            link_hot: Vec::new(),
+            bytes_this_epoch: Vec::new(),
+            wire_bytes_this_epoch: Vec::new(),
+            reconfiguring_until: Vec::new(),
+            route_cache: RouteCache::new(),
             price_book: PriceBook::default(),
+            cost_map: HashMap::new(),
             epoch_start: SimTime::ZERO,
             completed_flows: 0,
-            next_packet_seq: 0,
             topology_upgraded: false,
-        }
+        };
+        fabric.rebuild_dense_state();
+        fabric
     }
 
     /// The flows registered with the fabric.
@@ -190,78 +262,175 @@ impl AdaptiveFabric {
         self.completed_flows == self.flows.len()
     }
 
-    fn link_available(&self, link: rackfabric_phy::LinkId, now: SimTime) -> bool {
-        if let Some(&until) = self.reconfiguring_until.get(&link) {
-            if now < until {
-                return false;
-            }
-        }
-        self.phy
-            .link(link)
-            .map(|l| {
-                matches!(l.state, rackfabric_phy::LinkState::Up) && l.capacity() > BitRate::ZERO
-            })
-            .unwrap_or(false)
+    /// Route-cache hit/miss counters for this run so far.
+    pub fn route_cache_stats(&self) -> rackfabric_topo::cache::RouteCacheStats {
+        self.route_cache.stats()
     }
 
-    fn compute_route(&self, src: NodeId, dst: NodeId, flow_seq: u64) -> Option<Route> {
-        match self.config.routing {
-            RoutingAlgorithm::ShortestHop => routing::shortest_path(&self.topo, src, dst),
-            RoutingAlgorithm::MinCost => {
-                let costs = self.price_book.as_cost_map();
-                routing::dijkstra(&self.topo, src, dst, &costs, 1.0)
-            }
-            RoutingAlgorithm::Ecmp => routing::ecmp_select(&self.topo, src, dst, flow_seq),
-            RoutingAlgorithm::DimensionOrdered => {
-                routing::dimension_ordered(&self.current_spec, &self.topo, src, dst)
-                    .or_else(|| routing::shortest_path(&self.topo, src, dst))
-            }
-        }
-    }
-
-    /// Offers a packet to the egress queue of `(from, link)`; returns the
-    /// instants at which it departs, or `None` when the packet is dropped.
-    fn enqueue_on_link(
-        &mut self,
-        from: NodeId,
-        link_id: rackfabric_phy::LinkId,
-        size: Bytes,
-        now: SimTime,
-    ) -> Option<(SimDuration, SimDuration, SimTime)> {
-        if !self.link_available(link_id, now) {
-            return None;
-        }
-        let capacity = self.phy.link(link_id)?.capacity();
-        let queue = self
-            .queues
-            .entry((from.as_u32(), link_id))
-            .or_insert_with(|| EgressQueue::new(self.config.port_buffer));
-        match queue.enqueue(now, size, capacity) {
-            EnqueueOutcome::Accepted {
-                queueing,
-                serialization,
-                departs_at,
-                ..
-            } => {
-                *self.bytes_this_epoch.entry(link_id).or_insert(0) += size.as_u64();
-                if let Some(l) = self.phy.link_mut(link_id) {
-                    l.record_traffic(now, size.as_u64());
+    /// (Re)interns the live links and migrates all dense per-link/per-port
+    /// state into the new index space. Called at construction and after
+    /// whole-rack reconfigurations; never on the per-packet path.
+    fn rebuild_dense_state(&mut self) {
+        let arena = LinkArena::build(&self.topo);
+        let links = arena.len();
+        let mut ports: Vec<EgressQueue> = (0..arena.port_count())
+            .map(|_| EgressQueue::new(self.config.port_buffer))
+            .collect();
+        let mut bytes = vec![0u64; links];
+        let mut wire = vec![0u64; links];
+        let mut fences = vec![SimTime::ZERO; links];
+        for (idx, id) in arena.iter() {
+            if let Some(old) = self.arena.index(id) {
+                bytes[idx.index()] = self.bytes_this_epoch[old.index()];
+                wire[idx.index()] = self.wire_bytes_this_epoch[old.index()];
+                fences[idx.index()] = self.reconfiguring_until[old.index()];
+                // Endpoint sides are canonical (min, max), so port parity is
+                // stable for a surviving link id.
+                for side in 0..2 {
+                    ports[idx.index() * 2 + side] = std::mem::replace(
+                        &mut self.ports[old.index() * 2 + side],
+                        EgressQueue::new(self.config.port_buffer),
+                    );
                 }
-                Some((queueing, serialization, departs_at))
             }
-            EnqueueOutcome::Dropped => None,
+        }
+        self.arena = arena;
+        self.ports = ports;
+        self.bytes_this_epoch = bytes;
+        self.wire_bytes_this_epoch = wire;
+        self.reconfiguring_until = fences;
+        self.route_cache.bump_epoch();
+        self.refresh_link_hot();
+    }
+
+    /// Re-reads capacity/propagation/FEC/liveness for every interned link.
+    /// Called after anything that can change the physical layer.
+    fn refresh_link_hot(&mut self) {
+        self.link_hot.clear();
+        self.link_hot.reserve(self.arena.len());
+        for (_, id) in self.arena.iter() {
+            let hot = match self.phy.link(id) {
+                Some(l) => LinkHot {
+                    capacity: l.capacity(),
+                    propagation: l.propagation_delay(),
+                    fec: l.fec_latency(),
+                    up: matches!(l.state, rackfabric_phy::LinkState::Up),
+                },
+                None => LinkHot::DOWN,
+            };
+            self.link_hot.push(hot);
         }
     }
 
-    /// Handles a dropped packet: the bytes will be re-sent by the source.
-    fn handle_drop(&mut self, ctx: &mut Context<FabricEvent>, flow_idx: usize, size: Bytes) {
-        self.metrics.dropped_packets.incr();
-        let p = &mut self.progress[flow_idx];
-        p.injected = p.injected.saturating_sub(size.as_u64());
-        ctx.schedule_in(self.config.retry_delay, FabricEvent::InjectNext(flow_idx));
+    /// True if the link exists, is administratively up and carries capacity.
+    /// A live link may still be *fenced* (mid-reconfiguration); see
+    /// [`Self::fence_lift`].
+    #[inline]
+    fn link_live(&self, link: LinkIdx) -> bool {
+        let hot = &self.link_hot[link.index()];
+        hot.up && !hot.capacity.is_zero()
     }
 
+    /// The instant the link's reconfiguration fence lifts (`<= now` when the
+    /// link is not retraining). Traffic *waits* for a fence — retraining
+    /// pauses the fabric, it does not black-hole it — whereas a dead link
+    /// drops.
+    #[inline]
+    fn fence_lift(&self, link: LinkIdx) -> SimTime {
+        self.reconfiguring_until[link.index()]
+    }
+
+    /// Computes a route the slow way for the per-pair algorithms (a cache
+    /// miss on ECMP or dimension-ordered routing; the single-path algorithms
+    /// go through the tree branch of [`Self::cached_route`] instead).
+    /// Associated function so the borrow of the route cache can coexist with
+    /// the lookup state.
+    fn route_for(
+        config: &FabricConfig,
+        topo: &Topology,
+        current_spec: &TopologySpec,
+        src: NodeId,
+        dst: NodeId,
+        flow_seq: u64,
+    ) -> Option<Route> {
+        match config.routing {
+            RoutingAlgorithm::Ecmp => routing::ecmp_select(topo, src, dst, flow_seq),
+            _ => routing::dimension_ordered(current_spec, topo, src, dst)
+                .or_else(|| routing::shortest_path(topo, src, dst)),
+        }
+    }
+
+    /// The interned route for `(src, dst)`, served from the epoch cache.
+    ///
+    /// A miss on the single-path algorithms (shortest hop, min cost) runs
+    /// one whole single-source tree and pre-populates the cache for **every**
+    /// destination of `src`, so one BFS/Dijkstra per source per epoch covers
+    /// all-to-all traffic.
+    fn cached_route(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        flow_seq: u64,
+    ) -> Option<Arc<InternedRoute>> {
+        let selector = if self.config.routing == RoutingAlgorithm::Ecmp {
+            flow_seq
+        } else {
+            0
+        };
+        let AdaptiveFabric {
+            route_cache,
+            arena,
+            config,
+            topo,
+            current_spec,
+            cost_map,
+            ..
+        } = self;
+        if let Some(cached) = route_cache.lookup(src, dst, selector) {
+            return cached;
+        }
+        match config.routing {
+            RoutingAlgorithm::ShortestHop | RoutingAlgorithm::MinCost => {
+                let tree = match config.routing {
+                    RoutingAlgorithm::ShortestHop => routing::shortest_path_tree(topo, src),
+                    _ => routing::dijkstra_tree(topo, src, cost_map, 1.0),
+                };
+                let mut answer = None;
+                for node in topo.nodes() {
+                    let interned = routing::route_from_tree(src, node, &tree)
+                        .and_then(|r| InternedRoute::intern(r, arena))
+                        .map(Arc::new);
+                    if node == dst {
+                        answer = interned.clone();
+                    }
+                    route_cache.insert(src, node, selector, interned);
+                }
+                answer
+            }
+            _ => {
+                let computed = Self::route_for(config, topo, current_spec, src, dst, flow_seq)
+                    .and_then(|r| InternedRoute::intern(r, arena))
+                    .map(Arc::new);
+                route_cache.insert(src, dst, selector, computed.clone());
+                computed
+            }
+        }
+    }
+
+    /// Schedules the flow's injector wake-up at `at`, unless one is already
+    /// pending (one injector chain per flow, see [`FlowProgress`]).
+    fn arm_injector(&mut self, ctx: &mut Context<FabricEvent>, flow_idx: usize, at: SimTime) {
+        if !self.progress[flow_idx].injector_armed {
+            self.progress[flow_idx].injector_armed = true;
+            ctx.schedule_at(at.max(ctx.now()), FabricEvent::InjectNext(flow_idx));
+        }
+    }
+
+    /// Injects the next train of a flow at its source.
     fn inject_next(&mut self, ctx: &mut Context<FabricEvent>, flow_idx: usize) {
+        // This call *is* the pending injector wake-up; the chain re-arms
+        // below if there is more to send.
+        self.progress[flow_idx].injector_armed = false;
         let flow = self.flows[flow_idx];
         let remaining = flow
             .size
@@ -270,121 +439,228 @@ impl AdaptiveFabric {
         if remaining == 0 || self.progress[flow_idx].completed {
             return;
         }
-        let size = Bytes::new(remaining.min(self.config.mtu.as_u64()));
         let now = ctx.now();
+        let retry_at = now + self.config.retry_delay;
 
-        let Some(route) = self.compute_route(flow.src, flow.dst, flow.id.0) else {
+        let Some(route) = self.cached_route(flow.src, flow.dst, flow.id.0) else {
             // No usable path right now (mid-reconfiguration); retry later.
-            ctx.schedule_in(self.config.retry_delay, FabricEvent::InjectNext(flow_idx));
+            self.arm_injector(ctx, flow_idx, retry_at);
             return;
         };
         if route.hops() == 0 {
-            // Degenerate self-flow: deliver immediately.
-            self.progress[flow_idx].injected += size.as_u64();
-            self.progress[flow_idx].delivered += size.as_u64();
+            // Degenerate self-flow: no link rate bounds it, deliver all
+            // remaining bytes at once.
+            self.progress[flow_idx].injected += remaining;
+            self.progress[flow_idx].delivered += remaining;
             self.check_flow_completion(ctx, flow_idx);
-            ctx.schedule_now(FabricEvent::InjectNext(flow_idx));
             return;
         }
 
         let first_link = route.links[0];
-        self.progress[flow_idx].injected += size.as_u64();
-        match self.enqueue_on_link(flow.src, first_link, size, now) {
-            None => self.handle_drop(ctx, flow_idx, size),
-            Some((queueing, serialization, departs_at)) => {
-                self.next_packet_seq += 1;
-                let mut packet = Packet::new(
-                    PacketId(self.next_packet_seq),
-                    FlowId(flow_idx as u64),
-                    flow.src,
-                    flow.dst,
-                    size,
-                    now,
-                );
-                packet.breakdown.queueing += queueing;
-                packet.breakdown.serialization += serialization;
-                let link = self.phy.link(first_link).expect("available link exists");
-                packet.breakdown.propagation += link.propagation_delay();
-                packet.breakdown.fec += link.fec_latency();
-                let arrive_at = departs_at + link.propagation_delay() + link.fec_latency();
-                packet.hop_index = 1;
-                ctx.schedule_at(arrive_at, FabricEvent::HopArrive { packet, route });
-                // Pipeline the next packet right behind this one.
-                ctx.schedule_at(departs_at, FabricEvent::InjectNext(flow_idx));
-            }
+        if !self.link_live(first_link) {
+            self.metrics.dropped_packets.incr();
+            self.arm_injector(ctx, flow_idx, retry_at);
+            return;
+        }
+        let fence = self.fence_lift(first_link);
+        if now < fence {
+            // The first hop is retraining: hold injection until it returns.
+            self.arm_injector(ctx, flow_idx, fence);
+            return;
+        }
+        let hot = self.link_hot[first_link.index()];
+
+        // Size the train by the link's rate window.
+        let mtu = self.config.mtu.as_u64();
+        let budget = train_frames(hot.capacity, self.config.train_window, self.config.mtu);
+        let frames = budget.min(remaining.div_ceil(mtu)).max(1);
+        let mut sizes = Vec::with_capacity(frames as usize);
+        let mut left = remaining;
+        for _ in 0..frames {
+            let size = left.min(mtu);
+            sizes.push(Bytes::new(size));
+            left -= size;
+        }
+
+        let mut packets =
+            self.nics[flow.src.index()].build_train(now, FlowId(flow_idx as u64), flow.dst, &sizes);
+        let port = self.arena.port(flow.src, first_link);
+        let admission = self.ports[port.index()].enqueue_train(
+            &mut packets,
+            hot.capacity,
+            hot.propagation,
+            hot.fec,
+            true,
+        );
+        self.nics[flow.src.index()].record_sent(admission.accepted as u64);
+
+        let accepted_bytes: u64 = packets[..admission.accepted]
+            .iter()
+            .map(|p| p.size.as_u64())
+            .sum();
+        self.progress[flow_idx].injected += accepted_bytes;
+        self.bytes_this_epoch[first_link.index()] += accepted_bytes;
+        self.wire_bytes_this_epoch[first_link.index()] += accepted_bytes;
+
+        if admission.dropped {
+            self.metrics.dropped_packets.incr();
+        }
+        if admission.accepted > 0 {
+            packets.truncate(admission.accepted);
+            let train = Train {
+                route,
+                hop_index: 1,
+                packets,
+            };
+            ctx.schedule_at(
+                admission.last_arrives_at,
+                FabricEvent::TrainArrive { train },
+            );
+            // Pipeline the next train right behind this one's last frame.
+            self.arm_injector(ctx, flow_idx, admission.last_departs_at);
+        } else {
+            self.arm_injector(ctx, flow_idx, retry_at);
         }
     }
 
-    fn hop_arrive(&mut self, ctx: &mut Context<FabricEvent>, mut packet: Packet, route: Route) {
-        let now = ctx.now();
-        let at_node = route.nodes[packet.hop_index];
-        let flow_idx = packet.flow.0 as usize;
+    /// Drops an in-flight train: the source re-sends its bytes after the
+    /// retry delay (merged into the flow's single injector chain).
+    fn drop_train(&mut self, ctx: &mut Context<FabricEvent>, flow_idx: usize, bytes: u64, n: u64) {
+        self.metrics.dropped_packets.add(n);
+        let p = &mut self.progress[flow_idx];
+        p.injected = p.injected.saturating_sub(bytes);
+        let retry_at = ctx.now() + self.config.retry_delay;
+        self.arm_injector(ctx, flow_idx, retry_at);
+    }
 
-        if at_node == packet.dst {
-            // Delivered.
-            self.nics[at_node.index()].deliver(&packet);
-            self.metrics.delivered_packets.incr();
-            self.metrics.delivered_bytes += packet.size.as_u64();
+    /// Handles a train finishing arrival at its next node: final delivery or
+    /// one batched forward.
+    fn train_arrive(&mut self, ctx: &mut Context<FabricEvent>, mut train: Train) {
+        let now = ctx.now();
+        let at_node = train.route.route.nodes[train.hop_index];
+        let flow_idx = train.packets[0].flow.0 as usize;
+
+        if at_node == train.packets[0].dst {
+            // Delivered: record per-packet metrics at each packet's own
+            // analytic arrival instant.
+            self.nics[at_node.index()].deliver_train(&train.packets);
             self.metrics
-                .packet_latency
-                .record_duration(packet.latency_at(now));
-            self.metrics
-                .queueing_latency
-                .record_duration(packet.breakdown.queueing);
-            self.metrics.breakdown.accumulate(&packet.breakdown);
-            self.progress[flow_idx].delivered += packet.size.as_u64();
+                .delivered_packets
+                .add(train.packets.len() as u64);
+            for packet in &train.packets {
+                self.metrics.delivered_bytes += packet.size.as_u64();
+                self.metrics
+                    .packet_latency
+                    .record_duration(packet.latency_at(packet.arrived_at));
+                self.metrics
+                    .queueing_latency
+                    .record_duration(packet.breakdown.queueing);
+                self.metrics.breakdown.accumulate(&packet.breakdown);
+                self.progress[flow_idx].delivered += packet.size.as_u64();
+            }
             self.check_flow_completion(ctx, flow_idx);
             return;
         }
 
-        // Forward to the next hop.
-        let in_link = route.links[packet.hop_index - 1];
-        let out_link = route.links[packet.hop_index];
+        // Forward the whole train to the next hop.
+        let in_link = train.route.links[train.hop_index - 1];
+        let out_link = train.route.links[train.hop_index];
+        let out_live = self.link_live(out_link);
+        let fence = self.fence_lift(out_link);
+        if out_live && now < fence {
+            // The egress link is retraining: hold the train at this node and
+            // wake when the fence lifts. Pausing (not dropping) is how the
+            // paper models PLP retraining windows. Every packet's analytic
+            // arrival moves to the fence; the wait is real latency and is
+            // charged as queueing so breakdowns keep summing to end-to-end.
+            for packet in &mut train.packets {
+                packet.breakdown.queueing += fence.saturating_since(packet.arrived_at);
+                packet.arrived_at = fence;
+            }
+            ctx.schedule_at(fence, FabricEvent::TrainArrive { train });
+            return;
+        }
 
         // PLP #2: a bypass at this node short-circuits the switching logic.
         let bypass = self
             .phy
             .bypasses
-            .lookup(at_node.as_u32(), in_link)
+            .lookup(at_node.as_u32(), self.arena.link_id(in_link))
             .copied()
-            .filter(|b| b.out_link == out_link);
+            .filter(|b| b.out_link == self.arena.link_id(out_link));
         if let Some(bypass) = bypass {
-            if self.link_available(out_link, now) {
-                let link = self.phy.link(out_link).expect("available link exists");
-                packet.breakdown.bypass += bypass.latency;
-                packet.breakdown.propagation += link.propagation_delay();
-                packet.breakdown.fec += link.fec_latency();
-                packet.breakdown.bypassed_hops += 1;
-                *self.bytes_this_epoch.entry(out_link).or_insert(0) += packet.size.as_u64();
-                let arrive_at =
-                    now + bypass.latency + link.propagation_delay() + link.fec_latency();
-                packet.hop_index += 1;
-                ctx.schedule_at(arrive_at, FabricEvent::HopArrive { packet, route });
+            if out_live {
+                let hot = self.link_hot[out_link.index()];
+                let mut last_arrive = now;
+                for packet in &mut train.packets {
+                    packet.breakdown.bypass += bypass.latency;
+                    packet.breakdown.propagation += hot.propagation;
+                    packet.breakdown.fec += hot.fec;
+                    packet.breakdown.bypassed_hops += 1;
+                    // Each frame re-times from its own arrival at this node.
+                    packet.arrived_at =
+                        packet.arrived_at + bypass.latency + hot.propagation + hot.fec;
+                    last_arrive = last_arrive.max(packet.arrived_at);
+                }
+                self.bytes_this_epoch[out_link.index()] += train.bytes();
+                train.hop_index += 1;
+                ctx.schedule_at(last_arrive, FabricEvent::TrainArrive { train });
                 return;
             }
         }
 
         // Normal switched forwarding.
-        let Some(out) = self.phy.link(out_link) else {
+        if !out_live {
             // The route's link disappeared in a reconfiguration; resend.
-            self.handle_drop(ctx, flow_idx, packet.size);
+            let bytes = train.bytes();
+            let n = train.packets.len() as u64;
+            self.drop_train(ctx, flow_idx, bytes, n);
             return;
-        };
-        let switch_latency = self.config.switch.traversal_latency(packet.size, out);
-        let ready_at = now + switch_latency;
-        match self.enqueue_on_link(at_node, out_link, packet.size, ready_at) {
-            None => self.handle_drop(ctx, flow_idx, packet.size),
-            Some((queueing, _serialization, departs_at)) => {
-                packet.breakdown.switching += switch_latency;
-                packet.breakdown.switch_hops += 1;
-                packet.breakdown.queueing += queueing;
-                let link = self.phy.link(out_link).expect("just used");
-                packet.breakdown.propagation += link.propagation_delay();
-                packet.breakdown.fec += link.fec_latency();
-                let arrive_at = departs_at + link.propagation_delay() + link.fec_latency();
-                packet.hop_index += 1;
-                ctx.schedule_at(arrive_at, FabricEvent::HopArrive { packet, route });
-            }
+        }
+        let hot = self.link_hot[out_link.index()];
+        let switch = self.config.switch;
+        for packet in &mut train.packets {
+            let traversal = switch.traversal_latency_at(packet.size, hot.capacity);
+            packet.breakdown.switching += traversal;
+            packet.breakdown.switch_hops += 1;
+            // Each frame becomes ready at the egress port a traversal after
+            // its *own* arrival at this node, preserving the per-packet
+            // pipelining across hops (the train event merely batches the
+            // bookkeeping at the last frame's arrival).
+            packet.arrived_at += traversal;
+        }
+        let port = self.arena.port(at_node, out_link);
+        let admission = self.ports[port.index()].enqueue_train(
+            &mut train.packets,
+            hot.capacity,
+            hot.propagation,
+            hot.fec,
+            false,
+        );
+        let accepted_bytes: u64 = train.packets[..admission.accepted]
+            .iter()
+            .map(|p| p.size.as_u64())
+            .sum();
+        self.bytes_this_epoch[out_link.index()] += accepted_bytes;
+        self.wire_bytes_this_epoch[out_link.index()] += accepted_bytes;
+
+        if admission.dropped {
+            // Tail of the train overflowed the egress buffer: the first
+            // overflow counts as a drop, the rest of the tail is re-sent.
+            let tail = &train.packets[admission.accepted..];
+            let tail_bytes: u64 = tail.iter().map(|p| p.size.as_u64()).sum();
+            self.drop_train(ctx, flow_idx, tail_bytes, 1);
+        }
+        if admission.accepted > 0 {
+            train.packets.truncate(admission.accepted);
+            train.hop_index += 1;
+            // The last accepted frame's arrival is at or after this event in
+            // every reachable state; the clamp guards the engine's no-past-
+            // scheduling invariant against pathological timing interleavings.
+            ctx.schedule_at(
+                admission.last_arrives_at.max(now),
+                FabricEvent::TrainArrive { train },
+            );
         }
     }
 
@@ -405,24 +681,36 @@ impl AdaptiveFabric {
         }
     }
 
+    /// Flushes the accumulated switched bytes into the per-lane statistics.
+    /// Batched per epoch instead of per packet; totals are identical.
+    fn flush_wire_bytes(&mut self, now: SimTime) {
+        for (idx, id) in self.arena.iter() {
+            let bytes = self.wire_bytes_this_epoch[idx.index()];
+            if bytes > 0 {
+                if let Some(l) = self.phy.link_mut(id) {
+                    l.record_traffic(now, bytes);
+                }
+                self.wire_bytes_this_epoch[idx.index()] = 0;
+            }
+        }
+    }
+
     fn crc_epoch(&mut self, ctx: &mut Context<FabricEvent>) {
         let now = ctx.now();
         let epoch = now.saturating_since(self.epoch_start);
         let epoch_s = epoch.as_secs_f64().max(1e-12);
 
+        self.flush_wire_bytes(now);
+
         // Assemble per-link utilization / occupancy / throughput.
         let mut utilization = HashMap::new();
         let mut throughput = HashMap::new();
         let mut queue_bytes: HashMap<rackfabric_phy::LinkId, f64> = HashMap::new();
-        for id in self.phy.link_ids() {
-            let bytes = self.bytes_this_epoch.get(&id).copied().unwrap_or(0);
+        for (idx, id) in self.arena.iter() {
+            let bytes = self.bytes_this_epoch[idx.index()];
             let bps = bytes as f64 * 8.0 / epoch_s;
             throughput.insert(id, BitRate::from_bps(bps as u64));
-            let cap = self
-                .phy
-                .link(id)
-                .map(|l| l.capacity())
-                .unwrap_or(BitRate::ZERO);
+            let cap = self.link_hot[idx.index()].capacity;
             let util = if cap.is_zero() {
                 0.0
             } else {
@@ -430,9 +718,10 @@ impl AdaptiveFabric {
             };
             utilization.insert(id, util);
         }
-        for ((_, link), q) in self.queues.iter_mut() {
+        for (port, q) in self.ports.iter_mut().enumerate() {
+            let link = self.arena.link_id(LinkIdx(port as u32 / 2));
             let occ = q.mean_occupancy(now);
-            let entry = queue_bytes.entry(*link).or_insert(0.0);
+            let entry = queue_bytes.entry(link).or_insert(0.0);
             *entry = entry.max(occ);
         }
 
@@ -449,19 +738,26 @@ impl AdaptiveFabric {
         self.metrics.throughput_series.push_at(now, total_gbps);
 
         self.price_book = self.crc.price(&report);
+        // Prices feed cost-aware routing; only then is the cost map needed,
+        // and stale cached routes must not survive a price update.
+        if self.config.routing == RoutingAlgorithm::MinCost {
+            self.cost_map = self.price_book.as_cost_map();
+            self.route_cache.bump_epoch();
+        }
 
         if self.config.adaptive {
             let decision = self.crc.decide(&report, &self.phy);
+            let mut phy_changed = false;
             for command in &decision.commands {
                 match self.executor.execute(&mut self.phy, command) {
                     Ok(completion) => {
+                        phy_changed = true;
                         for link in &completion.affected {
-                            let until = now + completion.duration;
-                            let entry = self
-                                .reconfiguring_until
-                                .entry(*link)
-                                .or_insert(SimTime::ZERO);
-                            *entry = (*entry).max(until);
+                            if let Some(idx) = self.arena.index(*link) {
+                                let until = now + completion.duration;
+                                let fence = &mut self.reconfiguring_until[idx.index()];
+                                *fence = (*fence).max(until);
+                            }
                         }
                         self.metrics
                             .reconfig_events
@@ -474,6 +770,9 @@ impl AdaptiveFabric {
                     }
                 }
             }
+            if phy_changed {
+                self.refresh_link_hot();
+            }
             if decision.escalate_topology && !self.topology_upgraded {
                 if let Some(target) = self.config.upgrade_spec.clone() {
                     self.upgrade_topology(now, &target);
@@ -482,7 +781,7 @@ impl AdaptiveFabric {
         }
 
         // Reset epoch accounting and reschedule.
-        self.bytes_this_epoch.clear();
+        self.bytes_this_epoch.fill(0);
         self.epoch_start = now;
         ctx.schedule_in(self.config.crc.epoch, FabricEvent::CrcEpoch);
     }
@@ -493,14 +792,17 @@ impl AdaptiveFabric {
                 if let Ok(duration) =
                     reconfigure::apply(&plan, &self.executor, &mut self.phy, &mut self.topo)
                 {
-                    // Traffic pauses on every link while the fabric
-                    // re-trains (worst case, conservative).
-                    for id in self.phy.link_ids() {
-                        let entry = self.reconfiguring_until.entry(id).or_insert(SimTime::ZERO);
-                        *entry = (*entry).max(now + duration);
-                    }
                     self.current_spec = plan.target.clone();
                     self.topology_upgraded = true;
+                    // The link set changed: re-intern and migrate the dense
+                    // state (this also invalidates the route cache).
+                    self.rebuild_dense_state();
+                    // Traffic pauses on every link while the fabric
+                    // re-trains (worst case, conservative).
+                    let until = now + duration;
+                    for fence in &mut self.reconfiguring_until {
+                        *fence = (*fence).max(until);
+                    }
                     self.metrics.topology_reconfigurations += 1;
                     self.metrics
                         .reconfig_events
@@ -516,6 +818,10 @@ impl Model for AdaptiveFabric {
     type Event = FabricEvent;
 
     fn init(&mut self, ctx: &mut Context<FabricEvent>) {
+        // The scenario layer may have applied PLP commands (FEC, lane caps,
+        // power states) between construction and the first event; re-read
+        // the link constants so the datapath sees them.
+        self.refresh_link_hot();
         for (idx, flow) in self.flows.iter().enumerate() {
             ctx.schedule_at(flow.start_at, FabricEvent::FlowStart(idx));
         }
@@ -527,10 +833,19 @@ impl Model for AdaptiveFabric {
             FabricEvent::FlowStart(idx) | FabricEvent::InjectNext(idx) => {
                 self.inject_next(ctx, idx)
             }
-            FabricEvent::HopArrive { packet, route } => self.hop_arrive(ctx, packet, route),
+            FabricEvent::TrainArrive { train } => self.train_arrive(ctx, train),
             FabricEvent::CrcEpoch => self.crc_epoch(ctx),
             FabricEvent::PlpComplete => {}
         }
+    }
+
+    fn finish(&mut self, ctx: &mut Context<FabricEvent>) {
+        // Flush the tail of the epoch's lane statistics and publish the
+        // route-cache counters into the metrics.
+        self.flush_wire_bytes(ctx.now());
+        let stats = self.route_cache.stats();
+        self.metrics.route_cache_hits = stats.hits;
+        self.metrics.route_cache_misses = stats.misses;
     }
 }
 
@@ -708,5 +1023,55 @@ mod tests {
         );
         assert_eq!(fabric.current_spec.name, TopologySpec::torus(4, 4, 1).name);
         assert!(fabric.topo.diameter().unwrap() <= 4);
+    }
+
+    #[test]
+    fn route_cache_serves_repeat_admissions() {
+        let flows = small_shuffle(9, Bytes::from_kib(32));
+        let mut c = FabricConfig::baseline(TopologySpec::grid(3, 3, 2));
+        c.sim = SimConfig::with_seed(6).horizon(SimTime::from_millis(100));
+        let fabric = run_fabric(c, flows);
+        assert!(fabric.all_flows_complete());
+        let stats = fabric.route_cache_stats();
+        assert!(stats.hits > 0, "repeat admissions must hit the cache");
+        assert!(
+            stats.hit_rate() > 0.5,
+            "static routing should be overwhelmingly cached (rate {})",
+            stats.hit_rate()
+        );
+        let s = fabric.metrics.summary();
+        assert_eq!(s.route_cache_hits, stats.hits);
+        assert_eq!(s.route_cache_misses, stats.misses);
+        assert!(s.route_cache_hit_rate > 0.5);
+    }
+
+    #[test]
+    fn trains_batch_multiple_frames_per_event() {
+        // A single large flow on an idle line: packets must travel in
+        // multi-frame trains, i.e. far fewer events than frames.
+        let spec = TopologySpec::line(2, 4);
+        let mut config = quick_config(spec);
+        config.adaptive = false;
+        config.routing = RoutingAlgorithm::ShortestHop;
+        let flows = vec![Flow {
+            id: rackfabric_workload::WorkloadFlowId(0),
+            src: NodeId(0),
+            dst: NodeId(1),
+            size: Bytes::from_kib(600),
+            start_at: SimTime::ZERO,
+        }];
+        let horizon = config.sim.horizon;
+        let seed = config.sim.seed;
+        let mut sim = rackfabric_sim::Simulator::new(AdaptiveFabric::new(config, flows), seed);
+        sim.run_until(horizon);
+        let events = sim.events_processed();
+        let fabric = sim.into_model();
+        assert!(fabric.all_flows_complete());
+        let frames = fabric.metrics.delivered_packets.get();
+        assert!(frames > 100, "600 KiB is hundreds of MTU frames");
+        assert!(
+            events < frames,
+            "batching must use fewer events ({events}) than frames ({frames})"
+        );
     }
 }

@@ -3,6 +3,7 @@
 use rackfabric_sim::stats::{Counter, Histogram, Series, Summary};
 use rackfabric_sim::time::{SimDuration, SimTime};
 use rackfabric_switch::packet::LatencyBreakdown;
+use rackfabric_topo::cache::RouteCacheStats;
 use rackfabric_workload::WorkloadFlowId;
 use serde::{Deserialize, Serialize};
 
@@ -36,6 +37,10 @@ pub struct FabricMetrics {
     pub job_completion: Option<SimTime>,
     /// Number of whole-topology reconfigurations performed.
     pub topology_reconfigurations: u32,
+    /// Route-cache lookups answered from the cache.
+    pub route_cache_hits: u64,
+    /// Route-cache lookups that recomputed a route.
+    pub route_cache_misses: u64,
 }
 
 impl Default for FabricMetrics {
@@ -54,6 +59,8 @@ impl Default for FabricMetrics {
             reconfig_events: Vec::new(),
             job_completion: None,
             topology_reconfigurations: 0,
+            route_cache_hits: 0,
+            route_cache_misses: 0,
         }
     }
 }
@@ -94,6 +101,13 @@ impl FabricMetrics {
             plp_commands: self.reconfig_events.len(),
             topology_reconfigurations: self.topology_reconfigurations,
             switching_fraction: self.breakdown.switching_fraction(),
+            route_cache_hits: self.route_cache_hits,
+            route_cache_misses: self.route_cache_misses,
+            route_cache_hit_rate: RouteCacheStats {
+                hits: self.route_cache_hits,
+                misses: self.route_cache_misses,
+            }
+            .hit_rate(),
         }
     }
 }
@@ -137,6 +151,12 @@ pub struct RunSummary {
     pub topology_reconfigurations: u32,
     /// Fraction of delivered-packet latency spent in switching logic.
     pub switching_fraction: f64,
+    /// Route-cache lookups served from the cache.
+    pub route_cache_hits: u64,
+    /// Route-cache lookups that recomputed a route.
+    pub route_cache_misses: u64,
+    /// Fraction of route lookups served from the cache (0 when none ran).
+    pub route_cache_hit_rate: f64,
 }
 
 impl RunSummary {

@@ -43,6 +43,24 @@ pub struct CellSummary {
     pub plp_commands: u64,
     /// Total whole-topology reconfigurations across replicates.
     pub topology_reconfigurations: u64,
+    /// Route-cache hit rate over all replicates' lookups (deterministic).
+    pub route_cache_hit_rate: f64,
+    /// Total engine events processed across replicates (deterministic).
+    pub events_processed: u64,
+    /// Total wall-clock nanoseconds across replicates. **Not** deterministic;
+    /// reported by perf harnesses, excluded from byte-stable exports.
+    pub wall_nanos: u64,
+}
+
+impl CellSummary {
+    /// Engine events per wall-clock second across the cell's replicates.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            0.0
+        } else {
+            self.events_processed as f64 * 1e9 / self.wall_nanos as f64
+        }
+    }
 }
 
 /// Groups job records by cell and reduces each group. Records arrive in
@@ -80,6 +98,9 @@ fn reduce_cell(members: &[JobRecord]) -> CellSummary {
         max_power_w: 0.0,
         plp_commands: 0,
         topology_reconfigurations: 0,
+        route_cache_hit_rate: 0.0,
+        events_processed: 0,
+        wall_nanos: 0,
     };
     let mut packet_hist = Histogram::new();
     let mut queue_hist = Histogram::new();
@@ -88,6 +109,8 @@ fn reduce_cell(members: &[JobRecord]) -> CellSummary {
     let mut completion_count = 0usize;
     let mut power_sum = 0.0;
     let mut ok_runs = 0usize;
+    let mut cache_hits = 0u64;
+    let mut cache_misses = 0u64;
     for member in members {
         match &member.outcome {
             JobOutcome::Failed(_) => cell.failed_runs += 1,
@@ -100,6 +123,10 @@ fn reduce_cell(members: &[JobRecord]) -> CellSummary {
                 cell.dropped_packets += s.dropped_packets;
                 cell.plp_commands += s.plp_commands as u64;
                 cell.topology_reconfigurations += s.topology_reconfigurations as u64;
+                cache_hits += s.route_cache_hits;
+                cache_misses += s.route_cache_misses;
+                cell.events_processed += result.events_processed;
+                cell.wall_nanos += result.wall_nanos;
                 power_sum += s.mean_power_w;
                 cell.max_power_w = cell.max_power_w.max(s.max_power_w);
                 if result.all_flows_complete {
@@ -115,6 +142,11 @@ fn reduce_cell(members: &[JobRecord]) -> CellSummary {
     }
     cell.packet_latency = packet_hist.summary();
     cell.queueing_latency = queue_hist.summary();
+    cell.route_cache_hit_rate = rackfabric_topo::cache::RouteCacheStats {
+        hits: cache_hits,
+        misses: cache_misses,
+    }
+    .hit_rate();
     if ok_runs > 0 {
         cell.mean_power_w = power_sum / ok_runs as f64;
     }
@@ -151,6 +183,8 @@ mod tests {
             packet_latency: metrics.packet_latency.clone(),
             queueing_latency: metrics.queueing_latency.clone(),
             all_flows_complete: complete,
+            events_processed: 10,
+            wall_nanos: 1000,
         };
         JobRecord {
             job: Job {

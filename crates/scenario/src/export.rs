@@ -44,7 +44,7 @@ pub fn cells_to_csv(cells: &[CellSummary]) -> String {
         ",runs,failed_runs,completed_runs,packets,latency_p50_ps,latency_p99_ps,\
          latency_p999_ps,latency_max_ps,queueing_p99_ps,delivered_bytes,dropped_packets,\
          goodput_gbps,job_completion_us,mean_power_w,max_power_w,plp_commands,\
-         topology_reconfigs\n",
+         topology_reconfigs,route_cache_hit_rate,sim_events\n",
     );
     for cell in cells {
         out.push_str(&cell.cell.to_string());
@@ -69,6 +69,8 @@ pub fn cells_to_csv(cells: &[CellSummary]) -> String {
             num(cell.max_power_w),
             cell.plp_commands.to_string(),
             cell.topology_reconfigurations.to_string(),
+            num(cell.route_cache_hit_rate),
+            cell.events_processed.to_string(),
         ];
         for field in row {
             out.push(',');
@@ -133,6 +135,11 @@ pub fn cells_to_json(cells: &[CellSummary]) -> String {
         out.push_str(&format!(
             ", \"plp_commands\": {}, \"topology_reconfigs\": {}",
             cell.plp_commands, cell.topology_reconfigurations
+        ));
+        out.push_str(&format!(
+            ", \"route_cache_hit_rate\": {}, \"sim_events\": {}",
+            num(cell.route_cache_hit_rate),
+            cell.events_processed
         ));
         out.push('}');
     }

@@ -13,8 +13,10 @@ use crate::spec::{FecSetting, ScenarioSpec};
 use rackfabric::fabric::AdaptiveFabric;
 use rackfabric::metrics::RunSummary;
 use rackfabric_phy::{PlpCommand, PlpExecutor};
+use rackfabric_sim::engine::SchedulerKind;
+use rackfabric_sim::queue::Scheduler;
 use rackfabric_sim::stats::Histogram;
-use rackfabric_sim::Simulator;
+use rackfabric_sim::{CalendarQueue, EventQueue, Simulator};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -42,6 +44,24 @@ pub struct JobResult {
     pub queueing_latency: Histogram,
     /// Whether every flow delivered all of its bytes within the horizon.
     pub all_flows_complete: bool,
+    /// Engine events processed (deterministic: identical across schedulers
+    /// and thread counts).
+    pub events_processed: u64,
+    /// Wall-clock nanoseconds the engine spent on this job. **Not**
+    /// deterministic — used for perf reporting only, never exported in the
+    /// byte-stable CSV/JSON.
+    pub wall_nanos: u64,
+}
+
+impl JobResult {
+    /// Engine events per wall-clock second for this job.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            0.0
+        } else {
+            self.events_processed as f64 * 1e9 / self.wall_nanos as f64
+        }
+    }
 }
 
 /// One job together with its outcome, in matrix order.
@@ -72,20 +92,38 @@ impl MatrixResult {
     }
 }
 
-/// Executes a single fully resolved scenario (what each worker thread runs).
+/// Executes a single fully resolved scenario (what each worker thread runs)
+/// on the spec's configured scheduler.
 pub fn run_scenario(spec: &ScenarioSpec) -> JobResult {
+    match spec.scheduler {
+        SchedulerKind::Calendar => run_scenario_on(spec, CalendarQueue::new()),
+        SchedulerKind::Heap => run_scenario_on(spec, EventQueue::new()),
+    }
+}
+
+/// Executes a scenario on an explicit scheduler implementation.
+fn run_scenario_on<S: Scheduler<rackfabric::fabric::FabricEvent>>(
+    spec: &ScenarioSpec,
+    scheduler: S,
+) -> JobResult {
     let flows = spec.build_flows();
     let config = spec.to_fabric_config();
     let mut fabric = AdaptiveFabric::new(config, flows);
     apply_phy_policy(spec, &mut fabric);
-    let mut sim = Simulator::new(fabric, spec.seed).with_event_budget(spec.event_budget);
+    let mut sim = Simulator::with_scheduler(fabric, spec.seed, scheduler)
+        .with_event_budget(spec.event_budget);
+    let start = std::time::Instant::now();
     sim.run_until(spec.horizon);
+    let wall_nanos = start.elapsed().as_nanos() as u64;
+    let events_processed = sim.events_processed();
     let fabric = sim.into_model();
     JobResult {
         summary: fabric.metrics.summary(),
         packet_latency: fabric.metrics.packet_latency.clone(),
         queueing_latency: fabric.metrics.queueing_latency.clone(),
         all_flows_complete: fabric.all_flows_complete(),
+        events_processed,
+        wall_nanos,
     }
 }
 

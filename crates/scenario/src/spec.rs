@@ -10,6 +10,7 @@ use rackfabric::fabric::FabricConfig;
 use rackfabric::policy::CrcPolicy;
 use rackfabric_phy::{FecMode, PowerState};
 use rackfabric_sim::config::SimConfig;
+use rackfabric_sim::engine::SchedulerKind;
 use rackfabric_sim::rng::DetRng;
 use rackfabric_sim::time::{SimDuration, SimTime};
 use rackfabric_sim::units::{BitRate, Bytes};
@@ -350,6 +351,10 @@ pub struct ScenarioSpec {
     pub event_budget: u64,
     /// Stop as soon as every flow completes.
     pub stop_when_done: bool,
+    /// Which pending-event-set implementation drives the run. Results are
+    /// scheduler-independent; sweeps use this to cross-check the calendar
+    /// engine against the reference heap.
+    pub scheduler: SchedulerKind,
 }
 
 impl ScenarioSpec {
@@ -373,7 +378,14 @@ impl ScenarioSpec {
             horizon: SimTime::from_millis(50),
             event_budget: u64::MAX,
             stop_when_done: true,
+            scheduler: SchedulerKind::default(),
         }
+    }
+
+    /// Sets the engine scheduler, returning the modified spec.
+    pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
     }
 
     /// Sets the escalation topology, returning the modified spec.

@@ -1,0 +1,420 @@
+//! A two-level calendar-queue scheduler.
+//!
+//! Discrete-event simulators spend a large share of their cycles in the
+//! pending-event set; a binary heap pays `O(log n)` pointer-chasing per
+//! operation. A calendar queue exploits the fact that most events are
+//! scheduled a short, bounded distance into the future (serialization
+//! delays, per-hop propagation, control epochs) and buckets them by arrival
+//! window instead:
+//!
+//! * **Near level** — a power-of-two ring of buckets, each spanning a fixed
+//!   window of simulated time (the *bucket width*). Scheduling into the ring
+//!   is an index computation and a `Vec::push`: amortised `O(1)`.
+//! * **Far level** — events beyond the ring's coverage go to an overflow
+//!   binary heap and migrate into the ring as the cursor sweeps forward.
+//!
+//! The bucket currently being drained is kept as a small binary heap ordered
+//! by `(time, EventId)`, so delivery order is **identical** to
+//! [`EventQueue`](crate::queue::EventQueue): strictly increasing `(time, id)`
+//! across the whole run. Determinism does not depend on the geometry; bucket
+//! width and count only affect speed. The equivalence is property-tested in
+//! `tests/scheduler_equivalence.rs`.
+//!
+//! Cancellation follows the same lazy scheme as the heap queue: a pending-id
+//! set makes `cancel` exact (delivered ids report false), and a cancelled-id
+//! set lets entries be discarded when their bucket is drained.
+
+use crate::event::EventId;
+use crate::queue::{Entry, IdSet, Scheduler};
+use crate::time::SimTime;
+use std::collections::BinaryHeap;
+
+/// Default log2 of the bucket width in picoseconds: 2^16 ps ≈ 65.5 ns, a few
+/// MTU serialization times at 100 Gb/s.
+const DEFAULT_WIDTH_SHIFT: u32 = 16;
+/// Default log2 of the bucket count: 2048 buckets ≈ 134 µs of coverage,
+/// comfortably past the control-epoch and retry timescales of the fabric.
+const DEFAULT_BUCKET_SHIFT: u32 = 11;
+
+/// A two-level calendar/timing-wheel scheduler. See the module docs.
+pub struct CalendarQueue<E> {
+    /// Future near-level buckets; each holds one window's entries, unsorted.
+    buckets: Vec<Vec<Entry<E>>>,
+    /// The bucket currently being drained, as a `(time, id)` min-heap.
+    current: BinaryHeap<Entry<E>>,
+    /// Start (inclusive) of the current bucket's window, in picoseconds.
+    cursor_start: u64,
+    /// First instant (exclusive) covered by the ring; entries at or beyond
+    /// it overflow into `far`.
+    far_horizon: u64,
+    /// Overflow heap for the far future.
+    far: BinaryHeap<Entry<E>>,
+    /// Entries sitting in `buckets` (excluding `current` and `far`),
+    /// including not-yet-pruned cancelled ones.
+    near_count: usize,
+    /// Ids cancelled while still stored; pruned on pop.
+    cancelled: IdSet,
+    /// Ids scheduled and not yet delivered or cancelled.
+    pending: IdSet,
+    /// log2 of the bucket width in picoseconds.
+    width_shift: u32,
+    /// `buckets.len() - 1`; bucket count is a power of two.
+    index_mask: u64,
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> CalendarQueue<E> {
+    /// Creates a calendar queue with the default geometry (65.5 ns buckets,
+    /// 134 µs of near-level coverage).
+    pub fn new() -> Self {
+        Self::with_geometry(DEFAULT_WIDTH_SHIFT, DEFAULT_BUCKET_SHIFT)
+    }
+
+    /// Creates a calendar queue with `2^width_shift` picoseconds per bucket
+    /// and `2^bucket_shift` buckets. Geometry affects speed only, never
+    /// delivery order.
+    pub fn with_geometry(width_shift: u32, bucket_shift: u32) -> Self {
+        assert!(width_shift < 48, "bucket width out of range");
+        assert!(
+            (1..=20).contains(&bucket_shift),
+            "bucket count out of range"
+        );
+        let count = 1usize << bucket_shift;
+        let mut buckets = Vec::with_capacity(count);
+        buckets.resize_with(count, Vec::new);
+        CalendarQueue {
+            buckets,
+            current: BinaryHeap::new(),
+            cursor_start: 0,
+            far_horizon: horizon_for(0, width_shift, count as u64),
+            far: BinaryHeap::new(),
+            near_count: 0,
+            cancelled: IdSet::default(),
+            pending: IdSet::default(),
+            width_shift,
+            index_mask: count as u64 - 1,
+        }
+    }
+
+    /// Width of one bucket in picoseconds.
+    #[inline]
+    fn width(&self) -> u64 {
+        1u64 << self.width_shift
+    }
+
+    /// End (exclusive) of the current bucket's window.
+    #[inline]
+    fn current_window_end(&self) -> u64 {
+        self.cursor_start.saturating_add(self.width())
+    }
+
+    /// The ring slot owning instant `t` (valid only for `t < far_horizon`).
+    #[inline]
+    fn slot_of(&self, t: u64) -> usize {
+        ((t >> self.width_shift) & self.index_mask) as usize
+    }
+
+    /// Stores an entry in whichever level owns its timestamp. Entries at or
+    /// before the current window go straight into the drain heap, which
+    /// keeps out-of-order pushes (and same-instant re-schedules) correct.
+    fn place(&mut self, entry: Entry<E>) {
+        let t = entry.at.as_picos();
+        if t < self.current_window_end() {
+            self.current.push(entry);
+        } else if t < self.far_horizon {
+            let slot = self.slot_of(t);
+            self.buckets[slot].push(entry);
+            self.near_count += 1;
+        } else {
+            self.far.push(entry);
+        }
+    }
+
+    /// Migrates far-heap entries whose time has come under the ring horizon.
+    fn drain_far(&mut self) {
+        while let Some(head) = self.far.peek() {
+            if head.at.as_picos() >= self.far_horizon {
+                break;
+            }
+            let entry = self.far.pop().expect("peeked entry must pop");
+            self.place(entry);
+        }
+    }
+
+    /// Advances to the next non-empty region, filling `current`. Returns
+    /// false when nothing is stored anywhere. Does not deliver events, so it
+    /// is safe to call from `peek_time`.
+    fn advance(&mut self) -> bool {
+        debug_assert!(self.current.is_empty());
+        loop {
+            if self.near_count == 0 {
+                // The ring is empty: jump the wheel straight to the earliest
+                // far entry instead of sweeping empty buckets.
+                let Some(head) = self.far.peek() else {
+                    return false;
+                };
+                let base = head.at.as_picos() >> self.width_shift;
+                self.cursor_start = base << self.width_shift;
+                self.far_horizon =
+                    horizon_for(self.cursor_start, self.width_shift, self.index_mask + 1);
+                self.drain_far();
+                if self.current.is_empty() {
+                    // Pathological timestamps at or beyond the saturated
+                    // horizon (e.g. SimTime::MAX) cannot be placed in the
+                    // ring; drain them straight into the current heap.
+                    let entry = self.far.pop().expect("far head exists");
+                    self.current.push(entry);
+                }
+                return true;
+            }
+            // Sweep forward one bucket. The slot just vacated becomes the
+            // ring's new farthest window, so pull any far entries that now
+            // fit under the horizon.
+            self.cursor_start = self.cursor_start.saturating_add(self.width());
+            self.far_horizon = self.far_horizon.saturating_add(self.width());
+            self.drain_far();
+            let slot = self.slot_of(self.cursor_start);
+            if !self.buckets[slot].is_empty() {
+                let v = std::mem::take(&mut self.buckets[slot]);
+                self.near_count -= v.len();
+                self.current = v.into();
+                return true;
+            }
+        }
+    }
+}
+
+fn horizon_for(start: u64, width_shift: u32, bucket_count: u64) -> u64 {
+    (start >> width_shift)
+        .saturating_add(bucket_count)
+        .saturating_mul(1u64 << width_shift)
+}
+
+impl<E> Scheduler<E> for CalendarQueue<E> {
+    fn push(&mut self, at: SimTime, id: EventId, event: E) {
+        self.pending.insert(id);
+        self.place(Entry { at, id, event });
+    }
+
+    fn cancel(&mut self, id: EventId) -> bool {
+        if self.pending.remove(&id) {
+            self.cancelled.insert(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
+        loop {
+            while let Some(entry) = self.current.pop() {
+                if self.cancelled.remove(&entry.id) {
+                    continue;
+                }
+                self.pending.remove(&entry.id);
+                return Some((entry.at, entry.id, entry.event));
+            }
+            if !self.advance() {
+                return None;
+            }
+        }
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            while let Some(head) = self.current.peek() {
+                if self.cancelled.contains(&head.id) {
+                    let entry = self.current.pop().expect("peeked entry must pop");
+                    self.cancelled.remove(&entry.id);
+                    continue;
+                }
+                return Some(head.at);
+            }
+            if !self.advance() {
+                return None;
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn clear(&mut self) {
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.current.clear();
+        self.far.clear();
+        self.near_count = 0;
+        self.cancelled.clear();
+        self.pending.clear();
+        self.cursor_start = 0;
+        self.far_horizon = horizon_for(0, self.width_shift, self.index_mask + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::EventQueue;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn pops_in_time_order_within_one_bucket() {
+        let mut q = CalendarQueue::new();
+        q.push(t(30), EventId(2), "c");
+        q.push(t(10), EventId(0), "a");
+        q.push(t(20), EventId(1), "b");
+        assert_eq!(q.pop().unwrap().2, "a");
+        assert_eq!(q.pop().unwrap().2, "b");
+        assert_eq!(q.pop().unwrap().2, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn equal_timestamps_are_fifo_by_id() {
+        let mut q = CalendarQueue::new();
+        q.push(t(5), EventId(7), "second");
+        q.push(t(5), EventId(3), "first");
+        q.push(t(5), EventId(9), "third");
+        assert_eq!(q.pop().unwrap().2, "first");
+        assert_eq!(q.pop().unwrap().2, "second");
+        assert_eq!(q.pop().unwrap().2, "third");
+    }
+
+    #[test]
+    fn orders_across_buckets_and_far_overflow() {
+        // Times span many bucket windows and far past the ring horizon.
+        let mut q = CalendarQueue::with_geometry(10, 3); // 1 ns buckets, 8 of them
+        let times = [5u64, 900, 3, 44_000, 7, 1_000_000, 2, 512, 100_000];
+        for (i, &ns) in times.iter().enumerate() {
+            q.push(t(ns), EventId(i as u64), ns);
+        }
+        let mut sorted = times;
+        sorted.sort();
+        for &expect in &sorted {
+            let (at, _, v) = q.pop().unwrap();
+            assert_eq!(v, expect);
+            assert_eq!(at, t(expect));
+        }
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancellation_and_delivered_id_semantics() {
+        let mut q = CalendarQueue::new();
+        q.push(t(1), EventId(0), "keep");
+        q.push(t(2), EventId(1), "drop");
+        q.push(t(3), EventId(2), "keep2");
+        assert!(q.cancel(EventId(1)));
+        assert!(!q.cancel(EventId(1)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().2, "keep");
+        // Delivered ids must not cancel (the EventQueue regression, mirrored).
+        assert!(!q.cancel(EventId(0)));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().2, "keep2");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_time_prunes_cancelled_heads() {
+        let mut q = CalendarQueue::new();
+        q.push(t(1), EventId(0), 1u32);
+        q.push(t(2), EventId(1), 2u32);
+        q.cancel(EventId(0));
+        assert_eq!(q.peek_time(), Some(t(2)));
+        assert_eq!(q.pop().unwrap().2, 2);
+    }
+
+    #[test]
+    fn cancelled_entry_in_far_future_is_skipped() {
+        let mut q = CalendarQueue::with_geometry(10, 3);
+        q.push(t(1), EventId(0), "now");
+        q.push(t(10_000_000), EventId(1), "far");
+        q.push(t(20_000_000), EventId(2), "farther");
+        q.cancel(EventId(1));
+        assert_eq!(q.pop().unwrap().2, "now");
+        assert_eq!(q.pop().unwrap().2, "farther");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut q = CalendarQueue::with_geometry(10, 3);
+        for i in 0..100u64 {
+            q.push(t(i * 1000), EventId(i), i);
+        }
+        assert_eq!(q.len(), 100);
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+        // Still usable after clear.
+        q.push(t(5), EventId(1000), 7u64);
+        assert_eq!(q.pop().unwrap().2, 7);
+    }
+
+    #[test]
+    fn interleaved_push_pop_matches_heap_queue() {
+        // A deterministic pseudo-random workload driven against both
+        // schedulers must produce the same delivery sequence.
+        let mut cal = CalendarQueue::with_geometry(12, 4);
+        let mut heap = EventQueue::new();
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = |m: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        let mut id = 0u64;
+        let mut clock = 0u64;
+        for _ in 0..2000 {
+            match next(4) {
+                0 | 1 => {
+                    let at = t(clock + next(500_000));
+                    cal.push(at, EventId(id), id);
+                    heap.push(at, EventId(id), id);
+                    id += 1;
+                }
+                2 => {
+                    if id > 0 {
+                        let victim = EventId(next(id));
+                        assert_eq!(cal.cancel(victim), heap.cancel(victim));
+                    }
+                }
+                _ => {
+                    let a = cal.pop();
+                    let b = heap.pop();
+                    match (&a, &b) {
+                        (Some((ta, ia, _)), Some((tb, ib, _))) => {
+                            assert_eq!((ta, ia), (tb, ib));
+                            clock = ta.as_picos() / 1000;
+                        }
+                        (None, None) => {}
+                        _ => panic!("one scheduler drained before the other"),
+                    }
+                }
+            }
+            assert_eq!(cal.len(), heap.len());
+        }
+        loop {
+            let a = cal.pop();
+            let b = heap.pop();
+            match (&a, &b) {
+                (Some((ta, ia, _)), Some((tb, ib, _))) => assert_eq!((ta, ia), (tb, ib)),
+                (None, None) => break,
+                _ => panic!("one scheduler drained before the other"),
+            }
+        }
+    }
+}

@@ -4,11 +4,45 @@
 //! advances the model by repeatedly popping the earliest event and calling
 //! [`Model::handle`](crate::event::Model::handle). Directives issued through
 //! the [`Context`](crate::event::Context) are applied after each callback.
+//!
+//! The pending-event set is pluggable through the
+//! [`Scheduler`](crate::queue::Scheduler) trait: [`Simulator::new`] uses the
+//! [`CalendarQueue`](crate::calendar::CalendarQueue) (the fast default),
+//! while [`Simulator::with_scheduler`] accepts any implementation — the
+//! binary-heap [`EventQueue`](crate::queue::EventQueue) is kept as a
+//! reference for cross-checking, see [`HeapSimulator`]. Every scheduler
+//! delivers events in the same `(time, EventId)` order, so the choice never
+//! changes simulation results, only wall-clock speed.
 
+use crate::calendar::CalendarQueue;
 use crate::event::{Context, Directive, EventId, Model};
-use crate::queue::EventQueue;
+use crate::queue::{EventQueue, Scheduler};
 use crate::rng::DetRng;
 use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Which pending-event-set implementation an engine run uses. All kinds
+/// deliver identical event orders; the choice only affects wall-clock speed.
+/// Declarative configs (scenario specs) carry this so sweeps can cross-check
+/// the schedulers against each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize, Hash)]
+pub enum SchedulerKind {
+    /// The reference binary-heap [`EventQueue`].
+    Heap,
+    /// The two-level [`CalendarQueue`] (default).
+    #[default]
+    Calendar,
+}
+
+impl SchedulerKind {
+    /// Short name for labels and exports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedulerKind::Heap => "heap",
+            SchedulerKind::Calendar => "calendar",
+        }
+    }
+}
 
 /// Why a call to [`Simulator::run_until`] returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,9 +58,13 @@ pub enum RunOutcome {
 }
 
 /// A deterministic discrete-event simulator driving a single [`Model`].
-pub struct Simulator<M: Model> {
+///
+/// The second type parameter selects the pending-event set; it defaults to
+/// the calendar-queue scheduler. All schedulers deliver identical event
+/// orders, so results never depend on this choice.
+pub struct Simulator<M: Model, S: Scheduler<M::Event> = CalendarQueue<<M as Model>::Event>> {
     model: M,
-    queue: EventQueue<M::Event>,
+    queue: S,
     now: SimTime,
     next_id: u64,
     rng: DetRng,
@@ -36,12 +74,32 @@ pub struct Simulator<M: Model> {
     initialized: bool,
 }
 
-impl<M: Model> Simulator<M> {
-    /// Creates a simulator over `model`, seeding all randomness from `seed`.
+/// A simulator running on the reference binary-heap scheduler, used to
+/// cross-check the calendar queue.
+pub type HeapSimulator<M> = Simulator<M, EventQueue<<M as Model>::Event>>;
+
+impl<M: Model> Simulator<M, CalendarQueue<M::Event>> {
+    /// Creates a simulator over `model`, seeding all randomness from `seed`,
+    /// on the default calendar-queue scheduler.
     pub fn new(model: M, seed: u64) -> Self {
+        Simulator::with_scheduler(model, seed, CalendarQueue::new())
+    }
+}
+
+impl<M: Model> HeapSimulator<M> {
+    /// Creates a simulator on the reference binary-heap scheduler.
+    pub fn new_heap(model: M, seed: u64) -> Self {
+        Simulator::with_scheduler(model, seed, EventQueue::new())
+    }
+}
+
+impl<M: Model, S: Scheduler<M::Event>> Simulator<M, S> {
+    /// Creates a simulator over `model` driving events through an explicit
+    /// scheduler implementation.
+    pub fn with_scheduler(model: M, seed: u64, scheduler: S) -> Self {
         Simulator {
             model,
-            queue: EventQueue::new(),
+            queue: scheduler,
             now: SimTime::ZERO,
             next_id: 0,
             rng: DetRng::new(seed),
@@ -170,7 +228,7 @@ impl<M: Model> Simulator<M> {
     }
 
     fn apply_directives(
-        queue: &mut EventQueue<M::Event>,
+        queue: &mut S,
         stop: &mut bool,
         directives: &mut Vec<(EventId, Directive<M::Event>)>,
     ) {
@@ -356,6 +414,47 @@ mod tests {
         };
         assert_eq!(run(7), run(7), "identical seeds must give identical traces");
         assert_ne!(run(7), run(8), "different seeds should diverge");
+    }
+
+    #[test]
+    fn heap_and_calendar_schedulers_produce_identical_traces() {
+        /// Schedules bursts of events at random offsets; the delivery trace
+        /// must be scheduler-independent.
+        struct Burst {
+            remaining: u32,
+            trace: Vec<(u64, u64)>,
+        }
+        impl Model for Burst {
+            type Event = u64;
+            fn init(&mut self, ctx: &mut Context<u64>) {
+                for k in 0..8 {
+                    ctx.schedule_in(SimDuration::from_nanos(10 * k + 1), k);
+                }
+            }
+            fn handle(&mut self, ctx: &mut Context<u64>, ev: u64) {
+                self.trace.push((ctx.now().as_picos(), ev));
+                if self.remaining > 0 {
+                    self.remaining -= 1;
+                    let d = ctx.rng().range_u64(1..2_000_000);
+                    ctx.schedule_in(SimDuration::from_picos(d), d);
+                    // Occasionally schedule-and-cancel to exercise that path.
+                    if self.remaining.is_multiple_of(17) {
+                        let id = ctx.schedule_in(SimDuration::from_nanos(5), 999);
+                        ctx.cancel(id);
+                    }
+                }
+            }
+        }
+        let model = || Burst {
+            remaining: 500,
+            trace: Vec::new(),
+        };
+        let mut heap_sim = Simulator::new_heap(model(), 11);
+        heap_sim.run();
+        let mut cal_sim = Simulator::new(model(), 11);
+        cal_sim.run();
+        assert_eq!(heap_sim.events_processed(), cal_sim.events_processed());
+        assert_eq!(heap_sim.model().trace, cal_sim.model().trace);
     }
 
     #[test]

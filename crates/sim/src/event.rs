@@ -15,8 +15,13 @@ use crate::rng::DetRng;
 use crate::time::{SimDuration, SimTime};
 
 /// Identifier of a scheduled event, usable for cancellation.
+///
+/// The engine allocates ids from a monotone sequence counter; the raw value
+/// is public so standalone scheduler harnesses (benchmarks, the
+/// cross-scheduler property tests) can drive the queues directly. Models
+/// should treat ids as opaque.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct EventId(pub(crate) u64);
+pub struct EventId(pub u64);
 
 impl EventId {
     /// The raw sequence number of this event.

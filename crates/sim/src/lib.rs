@@ -16,8 +16,12 @@
 //!   conversions into simulated durations (serialization, propagation).
 //! * [`event`] — the [`Model`](event::Model) trait implemented by anything
 //!   the engine can drive, and the [`Context`](event::Context) handed to it.
-//! * [`queue`] — the pending-event set (binary heap with FIFO tie-breaking).
-//! * [`engine`] — the [`Simulator`](engine::Simulator) main loop.
+//! * [`queue`] — the [`Scheduler`](queue::Scheduler) trait and the
+//!   reference binary-heap pending-event set with FIFO tie-breaking.
+//! * [`calendar`] — the two-level calendar-queue scheduler, the default
+//!   engine since the hot-path refactor.
+//! * [`engine`] — the [`Simulator`](engine::Simulator) main loop, generic
+//!   over the scheduler.
 //! * [`rng`] — a self-contained, versioned deterministic RNG plus the
 //!   distributions the workloads need.
 //! * [`stats`] — counters, histograms, time-weighted gauges, rate meters and
@@ -53,6 +57,7 @@
 //! assert_eq!(sim.model().ticks, 10);
 //! ```
 
+pub mod calendar;
 pub mod config;
 pub mod engine;
 pub mod event;
@@ -65,17 +70,21 @@ pub mod units;
 
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
+    pub use crate::calendar::CalendarQueue;
     pub use crate::config::SimConfig;
-    pub use crate::engine::{RunOutcome, Simulator};
+    pub use crate::engine::{HeapSimulator, RunOutcome, SchedulerKind, Simulator};
     pub use crate::event::{Context, Model};
+    pub use crate::queue::{EventQueue, Scheduler};
     pub use crate::rng::DetRng;
     pub use crate::stats::{Counter, Histogram, RateMeter, Series, Summary, TimeWeighted};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::units::{BitRate, Bytes, Energy, Length, Power};
 }
 
+pub use calendar::CalendarQueue;
 pub use config::SimConfig;
-pub use engine::{RunOutcome, Simulator};
+pub use engine::{HeapSimulator, RunOutcome, SchedulerKind, Simulator};
 pub use event::{Context, Model};
+pub use queue::{EventQueue, Scheduler};
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};

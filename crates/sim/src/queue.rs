@@ -1,23 +1,39 @@
 //! The pending-event set.
 //!
-//! A binary heap keyed on `(timestamp, sequence number)`. The sequence number
-//! makes delivery of same-timestamp events FIFO with respect to scheduling
-//! order, which is what keeps simulations deterministic when many components
-//! react at the same instant (e.g. all mappers of a shuffle start at t=0).
+//! Two interchangeable implementations sit behind the [`Scheduler`] trait:
+//!
+//! * [`EventQueue`] — a binary heap keyed on `(timestamp, sequence number)`,
+//!   the reference implementation. Simple, allocation-light, `O(log n)` per
+//!   operation.
+//! * [`CalendarQueue`](crate::calendar::CalendarQueue) — a two-level
+//!   calendar/timing-wheel scheduler with amortised `O(1)` scheduling for the
+//!   near future, the default engine since the hot-path refactor.
+//!
+//! Both deliver events in strictly increasing `(time, EventId)` order. The
+//! sequence number makes delivery of same-timestamp events FIFO with respect
+//! to scheduling order, which is what keeps simulations deterministic when
+//! many components react at the same instant (e.g. all mappers of a shuffle
+//! start at t=0). The property test in `tests/scheduler_equivalence.rs`
+//! checks the two implementations agree on arbitrary schedule/cancel
+//! sequences.
 //!
 //! Cancellation is lazy: cancelled ids are kept in a set and skipped when
-//! popped, which is O(1) per cancellation and avoids a heap rebuild.
+//! popped, which is O(1) per cancellation and avoids a heap rebuild. A
+//! second set tracks the ids that are actually pending, so cancelling an id
+//! that was already delivered (or never scheduled) is a detectable no-op
+//! instead of silently corrupting the live count.
 
 use crate::event::EventId;
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
 
-/// One scheduled entry.
-struct Entry<E> {
-    at: SimTime,
-    id: EventId,
-    event: E,
+/// One scheduled entry. Shared with the calendar scheduler.
+pub(crate) struct Entry<E> {
+    pub(crate) at: SimTime,
+    pub(crate) id: EventId,
+    pub(crate) event: E,
 }
 
 impl<E> PartialEq for Entry<E> {
@@ -39,12 +55,62 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// A timestamp-ordered queue of pending events with lazy cancellation.
+/// A fast multiply-mix hasher for [`EventId`] sets. Event ids are dense
+/// sequence numbers, so SipHash's DoS resistance buys nothing on this hot
+/// path; a single splitmix round distributes them well.
+#[derive(Default, Clone)]
+pub(crate) struct IdHasher(u64);
+
+impl Hasher for IdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.0 = crate::rng::mix64(n.wrapping_add(0x9E37_79B9_7F4A_7C15));
+    }
+}
+
+/// A hash set of event ids using the fast id hasher.
+pub(crate) type IdSet = HashSet<EventId, BuildHasherDefault<IdHasher>>;
+
+/// The pending-event set interface the [`Simulator`](crate::engine::Simulator)
+/// drives. Implementations must deliver events in strictly increasing
+/// `(time, EventId)` order; ids pushed must be unique over the lifetime of
+/// the scheduler (the engine's monotone sequence counter guarantees this).
+pub trait Scheduler<E> {
+    /// Inserts an event at `at` with identity `id`.
+    fn push(&mut self, at: SimTime, id: EventId, event: E);
+    /// Marks a pending event as cancelled. Returns true only if the id was
+    /// actually pending (not yet delivered, not already cancelled).
+    fn cancel(&mut self, id: EventId) -> bool;
+    /// Removes and returns the earliest live event, skipping cancelled ones.
+    fn pop(&mut self) -> Option<(SimTime, EventId, E)>;
+    /// Timestamp of the earliest live event without removing it. Takes
+    /// `&mut self` so implementations may prune cancelled entries.
+    fn peek_time(&mut self) -> Option<SimTime>;
+    /// Number of live (non-cancelled) pending events.
+    fn len(&self) -> usize;
+    /// True if there are no live pending events.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Discards every pending event.
+    fn clear(&mut self);
+}
+
+/// A timestamp-ordered binary-heap queue of pending events with lazy
+/// cancellation — the reference [`Scheduler`] implementation.
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
-    cancelled: HashSet<EventId>,
-    /// Number of live (non-cancelled) entries.
-    live: usize,
+    /// Ids cancelled while still sitting in the heap; skipped on pop.
+    cancelled: IdSet,
+    /// Ids scheduled and not yet delivered or cancelled.
+    pending: IdSet,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -58,27 +124,23 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
-            live: 0,
+            cancelled: IdSet::default(),
+            pending: IdSet::default(),
         }
     }
 
     /// Inserts an event at `at` with identity `id`.
     pub fn push(&mut self, at: SimTime, id: EventId, event: E) {
         self.heap.push(Entry { at, id, event });
-        self.live += 1;
+        self.pending.insert(id);
     }
 
-    /// Marks an event as cancelled. Returns true if the id was still pending.
+    /// Marks an event as cancelled. Returns true only if the id was still
+    /// pending; cancelling a delivered, unknown or already-cancelled id is a
+    /// no-op that returns false.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        // We cannot cheaply check membership in the heap; optimistically mark
-        // and let `pop` discard. `live` is only decremented when we are sure
-        // the id was pending, which we approximate by always decrementing and
-        // clamping at zero: the engine only hands out ids it created, so
-        // cancelling a never-scheduled id is a programming error upstream but
-        // must not corrupt the count here.
-        if self.cancelled.insert(id) {
-            self.live = self.live.saturating_sub(1);
+        if self.pending.remove(&id) {
+            self.cancelled.insert(id);
             true
         } else {
             false
@@ -91,7 +153,7 @@ impl<E> EventQueue<E> {
             if self.cancelled.remove(&entry.id) {
                 continue;
             }
-            self.live = self.live.saturating_sub(1);
+            self.pending.remove(&entry.id);
             return Some((entry.at, entry.id, entry.event));
         }
         None
@@ -113,19 +175,40 @@ impl<E> EventQueue<E> {
 
     /// Number of live (non-cancelled) pending events.
     pub fn len(&self) -> usize {
-        self.live
+        self.pending.len()
     }
 
     /// True if there are no live pending events.
     pub fn is_empty(&self) -> bool {
-        self.live == 0
+        self.pending.is_empty()
     }
 
     /// Discards every pending event.
     pub fn clear(&mut self) {
         self.heap.clear();
         self.cancelled.clear();
-        self.live = 0;
+        self.pending.clear();
+    }
+}
+
+impl<E> Scheduler<E> for EventQueue<E> {
+    fn push(&mut self, at: SimTime, id: EventId, event: E) {
+        EventQueue::push(self, at, id, event)
+    }
+    fn cancel(&mut self, id: EventId) -> bool {
+        EventQueue::cancel(self, id)
+    }
+    fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
+        EventQueue::pop(self)
+    }
+    fn peek_time(&mut self) -> Option<SimTime> {
+        EventQueue::peek_time(self)
+    }
+    fn len(&self) -> usize {
+        EventQueue::len(self)
+    }
+    fn clear(&mut self) {
+        EventQueue::clear(self)
     }
 }
 
@@ -172,6 +255,45 @@ mod tests {
         assert_eq!(q.pop().unwrap().2, "keep");
         assert_eq!(q.pop().unwrap().2, "keep2");
         assert!(q.pop().is_none());
+    }
+
+    /// Regression test: cancelling an id that was already delivered used to
+    /// report success, permanently leak the id into the cancelled set, and
+    /// undercount the live total (making `is_empty` lie and stopping
+    /// simulations early).
+    #[test]
+    fn cancelling_a_delivered_id_is_a_no_op() {
+        let mut q = EventQueue::new();
+        q.push(t(1), EventId(0), "a");
+        q.push(t(2), EventId(1), "b");
+        assert_eq!(q.pop().unwrap().2, "a");
+        // Id 0 has been delivered: cancelling it must fail and must not
+        // affect the still-pending id 1.
+        assert!(!q.cancel(EventId(0)), "delivered ids cannot be cancelled");
+        assert_eq!(q.len(), 1, "live count must not be corrupted");
+        assert!(!q.is_empty());
+        assert_eq!(q.pop().unwrap().2, "b", "pending event must still deliver");
+        assert!(q.pop().is_none());
+        // Cancelling an id that was never scheduled is also a no-op.
+        assert!(!q.cancel(EventId(99)));
+        assert_eq!(q.len(), 0);
+    }
+
+    /// The delivered-id leak also corrupted a later push/pop cycle when the
+    /// cancelled set was consulted; pushing fresh events after a bogus cancel
+    /// must still deliver all of them.
+    #[test]
+    fn bogus_cancels_do_not_leak_into_later_cycles() {
+        let mut q = EventQueue::new();
+        q.push(t(1), EventId(0), 0u32);
+        assert!(q.pop().is_some());
+        assert!(!q.cancel(EventId(0)));
+        q.push(t(2), EventId(1), 1u32);
+        q.push(t(3), EventId(2), 2u32);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().2, 1);
+        assert_eq!(q.pop().unwrap().2, 2);
+        assert!(q.is_empty());
     }
 
     #[test]

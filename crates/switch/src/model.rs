@@ -21,7 +21,7 @@
 use crate::packet::CUT_THROUGH_HEADER;
 use rackfabric_phy::Link;
 use rackfabric_sim::time::SimDuration;
-use rackfabric_sim::units::Bytes;
+use rackfabric_sim::units::{BitRate, Bytes};
 use serde::{Deserialize, Serialize};
 
 /// Forwarding discipline of a switch.
@@ -83,13 +83,20 @@ impl SwitchModel {
     /// * store-and-forward pays the pipeline plus receiving the whole frame
     ///   at the egress link rate.
     pub fn traversal_latency(&self, size: Bytes, egress: &Link) -> SimDuration {
+        self.traversal_latency_at(size, egress.capacity())
+    }
+
+    /// [`Self::traversal_latency`] against a raw egress capacity, for
+    /// callers that cache link capacities in dense arrays instead of holding
+    /// a [`Link`] reference on the hot path.
+    pub fn traversal_latency_at(&self, size: Bytes, capacity: BitRate) -> SimDuration {
         match self.kind {
             SwitchKind::CutThrough => {
                 let hdr = Bytes::new(size.as_u64().min(CUT_THROUGH_HEADER.as_u64()));
-                self.pipeline_latency + egress.capacity().serialization_delay(hdr)
+                self.pipeline_latency + capacity.serialization_delay(hdr)
             }
             SwitchKind::StoreAndForward => {
-                self.pipeline_latency + egress.capacity().serialization_delay(size)
+                self.pipeline_latency + capacity.serialization_delay(size)
             }
         }
     }

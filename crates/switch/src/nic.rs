@@ -40,6 +40,14 @@ impl Nic {
         }
     }
 
+    /// Allocates the next node-scoped packet id (node index in the high
+    /// bits, per-node sequence in the low 40).
+    fn alloc_packet_id(&mut self) -> PacketId {
+        let id = PacketId((self.node.as_u32() as u64) << 40 | self.next_packet_id);
+        self.next_packet_id += 1;
+        id
+    }
+
     /// Builds the next packet of `flow` toward `dst` and offers it to the
     /// injection queue at `rate`. Returns the packet and the enqueue outcome
     /// (the packet is returned even when dropped, so the caller can decide to
@@ -52,8 +60,7 @@ impl Nic {
         size: Bytes,
         rate: BitRate,
     ) -> (Packet, EnqueueOutcome) {
-        let id = PacketId((self.node.as_u32() as u64) << 40 | self.next_packet_id);
-        self.next_packet_id += 1;
+        let id = self.alloc_packet_id();
         let packet = Packet::new(id, flow, self.node, dst, size, now);
         let outcome = self.queue.enqueue(now, size, rate);
         if matches!(outcome, EnqueueOutcome::Accepted { .. }) {
@@ -67,6 +74,41 @@ impl Nic {
         debug_assert_eq!(packet.dst, self.node, "packet delivered to the wrong NIC");
         self.packets_received += 1;
         self.bytes_received += packet.size.as_u64();
+    }
+
+    /// Builds the next train of `flow` toward `dst` — one packet per entry
+    /// of `sizes`, with node-scoped ids — without offering it to a queue.
+    /// The fabric admits trains to the egress port of the route's first link
+    /// (an arena-indexed queue this NIC does not own), so building and
+    /// admission are separate steps; [`Nic::record_sent`] closes the loop
+    /// once admission is known.
+    pub fn build_train(
+        &mut self,
+        now: SimTime,
+        flow: FlowId,
+        dst: NodeId,
+        sizes: &[Bytes],
+    ) -> Vec<Packet> {
+        sizes
+            .iter()
+            .map(|&size| {
+                let id = self.alloc_packet_id();
+                Packet::new(id, flow, self.node, dst, size, now)
+            })
+            .collect()
+    }
+
+    /// Counts `n` packets as injected (train admission happens at the
+    /// arena's port queue, outside the NIC).
+    pub fn record_sent(&mut self, n: u64) {
+        self.packets_sent += n;
+    }
+
+    /// Records delivery of a whole train's packets to this node.
+    pub fn deliver_train(&mut self, packets: &[Packet]) {
+        for packet in packets {
+            self.deliver(packet);
+        }
     }
 }
 

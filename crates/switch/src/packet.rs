@@ -37,8 +37,10 @@ pub struct Packet {
     pub size: Bytes,
     /// Time the packet was created at the sender.
     pub created_at: SimTime,
-    /// Index of the next hop to take along the flow's route.
-    pub hop_index: usize,
+    /// Instant the packet finishes arriving at the next node. Packets travel
+    /// in trains that fire one event per batch, so each packet's own arrival
+    /// is tracked analytically here rather than by a dedicated event.
+    pub arrived_at: SimTime,
     /// Accumulated latency breakdown.
     pub breakdown: LatencyBreakdown,
 }
@@ -60,7 +62,7 @@ impl Packet {
             dst,
             size,
             created_at,
-            hop_index: 0,
+            arrived_at: created_at,
             breakdown: LatencyBreakdown::default(),
         }
     }
@@ -147,7 +149,7 @@ mod tests {
         );
         // Delivery "before" creation saturates instead of panicking.
         assert_eq!(p.latency_at(SimTime::from_nanos(50)), SimDuration::ZERO);
-        assert_eq!(p.hop_index, 0);
+        assert_eq!(p.arrived_at, SimTime::from_nanos(100));
     }
 
     #[test]

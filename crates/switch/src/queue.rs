@@ -6,6 +6,7 @@
 //! occupancy telemetry — the congestion signal the Closed Ring Control prices
 //! links by.
 
+use crate::packet::Packet;
 use rackfabric_sim::stats::TimeWeighted;
 use rackfabric_sim::time::{SimDuration, SimTime};
 use rackfabric_sim::units::{BitRate, Bytes};
@@ -29,6 +30,24 @@ pub enum EnqueueOutcome {
     },
     /// The buffer was full; the packet is dropped.
     Dropped,
+}
+
+/// The result of offering a packet train to an egress queue via
+/// [`EgressQueue::enqueue_train`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrainAdmission {
+    /// Packets admitted — always a prefix of the offered train (the first
+    /// tail-drop stops the batch; the source retries the remainder).
+    pub accepted: usize,
+    /// True if the packet following the accepted prefix was tail-dropped
+    /// (counted in [`EgressQueue::dropped`]).
+    pub dropped: bool,
+    /// Departure instant of the last accepted packet (only meaningful when
+    /// `accepted > 0`).
+    pub last_departs_at: SimTime,
+    /// Arrival instant of the last accepted packet at the far end of the
+    /// link (departure plus propagation and FEC).
+    pub last_arrives_at: SimTime,
 }
 
 /// An egress port queue with tail-drop and ECN marking.
@@ -87,20 +106,28 @@ impl EgressQueue {
     /// Offers a packet of `size` to the queue at `now`, transmitting at
     /// `rate` (the link's current effective capacity). A zero rate (link down
     /// or reconfiguring) drops the packet.
+    ///
+    /// `now` may lag the queue's accounting high-water mark: train events
+    /// fire at their *last* frame's arrival, so trains converging from
+    /// different upstream hops can offer frames whose readiness instants
+    /// interleave out of order. The drain model only ever advances (never
+    /// rewinds `last_drain`, which would double-drain the overlap), while
+    /// queueing/departure for the packet itself are still measured from its
+    /// own `now` through the monotone `busy_until` chain.
     pub fn enqueue(&mut self, now: SimTime, size: Bytes, rate: BitRate) -> EnqueueOutcome {
         if rate.is_zero() {
             self.dropped += 1;
             return EnqueueOutcome::Dropped;
         }
-        // Advance the drain model to now.
+        // Advance the drain model to now (monotonically).
         let backlog = self.backlog_at(now);
         self.queued_bytes = backlog;
-        self.last_drain = now;
+        self.last_drain = self.last_drain.max(now);
         self.drain_rate = rate;
 
         if backlog + size.as_u64() > self.buffer.as_u64() {
             self.dropped += 1;
-            self.occupancy.set(now, backlog as f64);
+            self.occupancy.set(self.last_drain, backlog as f64);
             return EnqueueOutcome::Dropped;
         }
 
@@ -121,7 +148,8 @@ impl EgressQueue {
         self.queued_bytes += size.as_u64();
         self.accepted += 1;
         self.bytes_out += size.as_u64();
-        self.occupancy.set(now, self.queued_bytes as f64);
+        self.occupancy
+            .set(self.last_drain, self.queued_bytes as f64);
 
         EnqueueOutcome::Accepted {
             queueing,
@@ -129,6 +157,60 @@ impl EgressQueue {
             departs_at,
             ecn_marked,
         }
+    }
+
+    /// Offers a train of packets back-to-back, each at its **own** readiness
+    /// instant — the packet's current [`Packet::arrived_at`] (callers add any
+    /// switch traversal into it first). Pipelining across hops is preserved
+    /// exactly: a frame that physically arrived earlier starts its next
+    /// serialization earlier, even though the train fires a single event at
+    /// its last frame's arrival. Each accepted packet's latency breakdown is
+    /// updated and its `arrived_at` becomes its departure plus `propagation`
+    /// and `fec`. Admission stops at the first tail-drop: the dropped packet
+    /// is counted and the rest of the train is left untouched for the source
+    /// to retry. When `charge_serialization` is false the serialization
+    /// delay still shapes departures but is not added to the breakdown
+    /// (forwarding hops charge only queueing, matching the per-packet path).
+    pub fn enqueue_train(
+        &mut self,
+        packets: &mut [Packet],
+        rate: BitRate,
+        propagation: SimDuration,
+        fec: SimDuration,
+        charge_serialization: bool,
+    ) -> TrainAdmission {
+        let mut admission = TrainAdmission {
+            accepted: 0,
+            dropped: false,
+            last_departs_at: SimTime::ZERO,
+            last_arrives_at: SimTime::ZERO,
+        };
+        for packet in packets.iter_mut() {
+            match self.enqueue(packet.arrived_at, packet.size, rate) {
+                EnqueueOutcome::Accepted {
+                    queueing,
+                    serialization,
+                    departs_at,
+                    ..
+                } => {
+                    packet.breakdown.queueing += queueing;
+                    if charge_serialization {
+                        packet.breakdown.serialization += serialization;
+                    }
+                    packet.breakdown.propagation += propagation;
+                    packet.breakdown.fec += fec;
+                    packet.arrived_at = departs_at + propagation + fec;
+                    admission.accepted += 1;
+                    admission.last_departs_at = departs_at;
+                    admission.last_arrives_at = packet.arrived_at;
+                }
+                EnqueueOutcome::Dropped => {
+                    admission.dropped = true;
+                    break;
+                }
+            }
+        }
+        admission
     }
 
     /// Mean queue occupancy in bytes over the observation window ending at
@@ -273,6 +355,117 @@ mod tests {
             }
         ));
         assert_eq!(q.marked, 1);
+    }
+
+    /// Regression test: trains converging from different upstream hops can
+    /// offer frames whose readiness instants go *backwards* relative to the
+    /// port's accounting high-water mark. Rewinding `last_drain` would
+    /// double-drain the overlap window and undercount backlog (missing
+    /// tail-drops and ECN marks).
+    #[test]
+    fn out_of_order_enqueues_do_not_rewind_the_drain_model() {
+        let mut q = EgressQueue::new(Bytes::new(3200));
+        let t = |ns: u64| SimTime::from_nanos(ns);
+        // Two MTUs at t=1000 ns: backlog 3000 B, drain mark at 1000 ns.
+        q.enqueue(t(1000), Bytes::new(1500), GBPS100);
+        q.enqueue(t(1000), Bytes::new(1500), GBPS100);
+        // A converging train's frame ready at t=960 ns (before the mark).
+        assert!(matches!(
+            q.enqueue(t(960), Bytes::new(64), GBPS100),
+            EnqueueOutcome::Accepted { .. }
+        ));
+        // At t=1010 ns only 10 ns have drained past the mark (125 B at
+        // 100 Gb/s): 3064 - 125 + 500 > 3200 must tail-drop. A rewound
+        // drain mark would fabricate 50 ns of drainage and accept it.
+        assert_eq!(
+            q.enqueue(t(1010), Bytes::new(500), GBPS100),
+            EnqueueOutcome::Dropped,
+            "rewound drain model under-counts backlog"
+        );
+    }
+
+    #[test]
+    fn train_enqueue_matches_sequential_enqueues() {
+        use crate::packet::{FlowId, PacketId};
+        use rackfabric_topo::NodeId;
+        let t = SimTime::from_micros(1);
+        let prop = SimDuration::from_nanos(10);
+        let fec = SimDuration::from_nanos(100);
+
+        // Reference: three sequential per-packet enqueues.
+        let mut seq = EgressQueue::new(Bytes::from_kib(256));
+        let mut reference = Vec::new();
+        for _ in 0..3 {
+            if let EnqueueOutcome::Accepted { departs_at, .. } =
+                seq.enqueue(t, Bytes::new(1500), GBPS100)
+            {
+                reference.push(departs_at + prop + fec);
+            }
+        }
+
+        // Batched: one train of three packets.
+        let mut batched = EgressQueue::new(Bytes::from_kib(256));
+        let mut packets: Vec<Packet> = (0..3)
+            .map(|i| {
+                Packet::new(
+                    PacketId(i),
+                    FlowId(0),
+                    NodeId(0),
+                    NodeId(1),
+                    Bytes::new(1500),
+                    t,
+                )
+            })
+            .collect();
+        let admission = batched.enqueue_train(&mut packets, GBPS100, prop, fec, true);
+        assert_eq!(admission.accepted, 3);
+        assert!(!admission.dropped);
+        let arrivals: Vec<SimTime> = packets.iter().map(|p| p.arrived_at).collect();
+        assert_eq!(arrivals, reference, "per-packet arrivals must be exact");
+        assert_eq!(admission.last_arrives_at, *reference.last().unwrap());
+        assert_eq!(batched.accepted, seq.accepted);
+        assert_eq!(batched.bytes_out, seq.bytes_out);
+        // Breakdown accounting: the second packet queued behind the first.
+        assert!(packets[1].breakdown.queueing > SimDuration::ZERO);
+        assert_eq!(packets[1].breakdown.propagation, prop);
+        assert_eq!(packets[1].breakdown.fec, fec);
+        assert!(packets[1].breakdown.serialization > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn train_enqueue_stops_at_first_drop() {
+        use crate::packet::{FlowId, PacketId};
+        use rackfabric_topo::NodeId;
+        // 3 kB buffer: two MTUs fit, the third tail-drops, the fourth is
+        // left untouched for retry.
+        let mut q = EgressQueue::new(Bytes::new(3000));
+        let t = SimTime::from_micros(1);
+        let mut packets: Vec<Packet> = (0..4)
+            .map(|i| {
+                Packet::new(
+                    PacketId(i),
+                    FlowId(0),
+                    NodeId(0),
+                    NodeId(1),
+                    Bytes::new(1500),
+                    t,
+                )
+            })
+            .collect();
+        let admission = q.enqueue_train(
+            &mut packets,
+            GBPS100,
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+            true,
+        );
+        assert_eq!(admission.accepted, 2);
+        assert!(admission.dropped);
+        assert_eq!(q.accepted, 2);
+        assert_eq!(q.dropped, 1, "only the first overflow is counted");
+        // The untouched tail packet kept its pristine breakdown.
+        assert_eq!(packets[3].breakdown.queueing, SimDuration::ZERO);
+        assert_eq!(packets[3].arrived_at, t);
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Packet trains: batched link transmission.
+//!
+//! Under load a flow emits long runs of back-to-back MTU frames whose
+//! departure and arrival instants are fully determined by the egress queue's
+//! serialization chain — simulating each frame with its own event buys no
+//! fidelity and multiplies the event count. A [`Train`] groups the frames
+//! that one injection (or one hop traversal) admits back-to-back, so the
+//! simulation fires **one event per link drain** — sized by the link's rate
+//! window — instead of one per packet. Per-packet latency accounting stays
+//! exact: each packet's departure/arrival instants are computed analytically
+//! by [`EgressQueue::enqueue_train`](crate::queue::EgressQueue::enqueue_train)
+//! and carried on the packet itself ([`Packet::arrived_at`]).
+
+use crate::packet::Packet;
+use rackfabric_sim::time::SimDuration;
+use rackfabric_sim::units::{BitRate, Bytes};
+use rackfabric_topo::InternedRoute;
+use std::sync::Arc;
+
+/// A batch of same-flow packets moving together along one route. The train's
+/// event fires when its **last** packet finishes arriving; earlier packets'
+/// arrival instants are carried per packet.
+#[derive(Debug, Clone)]
+pub struct Train {
+    /// The route every packet in the train follows (shared, interned).
+    pub route: Arc<InternedRoute>,
+    /// Index of the next node in `route.route.nodes` the train arrives at.
+    pub hop_index: usize,
+    /// The packets, in injection order.
+    pub packets: Vec<Packet>,
+}
+
+impl Train {
+    /// Number of packets in the train.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// True if the train carries no packets.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Total bytes carried.
+    pub fn bytes(&self) -> u64 {
+        self.packets.iter().map(|p| p.size.as_u64()).sum()
+    }
+}
+
+/// Maximum number of MTU frames one train may carry: the number of frames a
+/// link at `rate` serialises within `window`, at least 1. This is the
+/// event-collapsing factor of the batched drain.
+pub fn train_frames(rate: BitRate, window: SimDuration, mtu: Bytes) -> u64 {
+    if mtu.as_u64() == 0 {
+        return 1;
+    }
+    (rate.bytes_in(window).as_u64() / mtu.as_u64()).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, PacketId};
+    use rackfabric_sim::time::SimTime;
+    use rackfabric_topo::routing::Route;
+    use rackfabric_topo::NodeId;
+
+    #[test]
+    fn train_frames_scales_with_rate_window() {
+        let mtu = Bytes::new(1500);
+        // 100 Gb/s for 1 µs = 12.5 kB = 8 MTUs.
+        assert_eq!(
+            train_frames(BitRate::from_gbps(100), SimDuration::from_micros(1), mtu),
+            8
+        );
+        // A slow link still sends at least one frame per train.
+        assert_eq!(
+            train_frames(BitRate::from_gbps(1), SimDuration::from_nanos(10), mtu),
+            1
+        );
+        assert_eq!(
+            train_frames(BitRate::ZERO, SimDuration::from_micros(1), mtu),
+            1
+        );
+    }
+
+    #[test]
+    fn train_accounting() {
+        let route = Arc::new(InternedRoute {
+            route: Route::trivial(NodeId(0)),
+            links: Vec::new(),
+        });
+        let t = Train {
+            route,
+            hop_index: 0,
+            packets: (0..3)
+                .map(|i| {
+                    Packet::new(
+                        PacketId(i),
+                        FlowId(0),
+                        NodeId(0),
+                        NodeId(1),
+                        Bytes::new(1000),
+                        SimTime::ZERO,
+                    )
+                })
+                .collect(),
+        };
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.bytes(), 3000);
+    }
+}

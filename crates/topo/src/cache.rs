@@ -1,0 +1,263 @@
+//! Epoch-invalidated route caching.
+//!
+//! Flow admission used to re-run BFS/Dijkstra for every injected packet —
+//! by far the most expensive per-packet work in the fabric model. Within one
+//! *topology epoch* (the interval between reconfigurations, and between
+//! price updates for cost-aware routing) the route for a `(src, dst)` pair
+//! is a pure function, so it can be computed once, interned against the
+//! [`LinkArena`](crate::arena::LinkArena), and reused by every subsequent
+//! train of that pair.
+//!
+//! Invalidation is by epoch counter: bumping the epoch makes every cached
+//! entry stale without touching the map (stale entries are overwritten on
+//! next access), so invalidation is O(1) no matter how many pairs are
+//! cached.
+
+use crate::arena::{LinkArena, LinkIdx};
+use crate::graph::NodeId;
+use crate::routing::Route;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A route resolved against a [`LinkArena`]: the public [`Route`] plus the
+/// dense link indices the hot path consumes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InternedRoute {
+    /// The underlying node/link route.
+    pub route: Route,
+    /// `route.links` interned to dense indices, same order.
+    pub links: Vec<LinkIdx>,
+}
+
+impl InternedRoute {
+    /// Interns `route` against `arena`. Returns `None` when the route
+    /// references a link the arena does not know (a torn-down link id from a
+    /// previous epoch) — callers should recompute the route.
+    pub fn intern(route: Route, arena: &LinkArena) -> Option<InternedRoute> {
+        let links = route
+            .links
+            .iter()
+            .map(|&id| arena.index(id))
+            .collect::<Option<Vec<_>>>()?;
+        Some(InternedRoute { route, links })
+    }
+
+    /// Number of hops.
+    #[inline]
+    pub fn hops(&self) -> usize {
+        self.links.len()
+    }
+}
+
+/// Hit/miss counters of a [`RouteCache`], cheap to copy into run metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouteCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to recompute (cold or stale entry).
+    pub misses: u64,
+}
+
+impl RouteCacheStats {
+    /// Fraction of lookups served from the cache (0 when never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Cache key: a source/destination pair plus a selector discriminating
+/// routes that legitimately differ per flow on the same pair (ECMP).
+type Key = (NodeId, NodeId, u64);
+
+/// An epoch-tagged cache of interned routes.
+///
+/// `None` values are cached too: "no route exists right now" is just as
+/// expensive to recompute as a route.
+#[derive(Debug, Default)]
+pub struct RouteCache {
+    epoch: u64,
+    entries: HashMap<Key, (u64, Option<Arc<InternedRoute>>)>,
+    stats: RouteCacheStats,
+}
+
+impl RouteCache {
+    /// An empty cache at epoch 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current epoch.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Invalidates every cached route in O(1) by advancing the epoch. Call
+    /// on reconfiguration, and on every price update when routing is
+    /// cost-aware.
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Looks up `(src, dst, selector)` in the current epoch. The outer
+    /// `Option` is hit/miss; the inner one is the cached answer (which may
+    /// be "no route"). Counts towards the hit/miss statistics.
+    pub fn lookup(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        selector: u64,
+    ) -> Option<Option<Arc<InternedRoute>>> {
+        if let Some((epoch, cached)) = self.entries.get(&(src, dst, selector)) {
+            if *epoch == self.epoch {
+                self.stats.hits += 1;
+                return Some(cached.clone());
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Stores an answer for `(src, dst, selector)` at the current epoch.
+    /// Used to pre-populate whole single-source route trees after one miss.
+    pub fn insert(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        selector: u64,
+        value: Option<Arc<InternedRoute>>,
+    ) {
+        self.entries
+            .insert((src, dst, selector), (self.epoch, value));
+    }
+
+    /// Looks up the route for `(src, dst, selector)` in the current epoch,
+    /// computing and caching it via `compute` on a miss.
+    pub fn get_or_compute(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        selector: u64,
+        compute: impl FnOnce() -> Option<Arc<InternedRoute>>,
+    ) -> Option<Arc<InternedRoute>> {
+        match self.lookup(src, dst, selector) {
+            Some(cached) => cached,
+            None => {
+                let computed = compute();
+                self.insert(src, dst, selector, computed.clone());
+                computed
+            }
+        }
+    }
+
+    /// Hit/miss counters accumulated since construction.
+    #[inline]
+    pub fn stats(&self) -> RouteCacheStats {
+        self.stats
+    }
+
+    /// Number of stored entries (live and stale).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops every entry and resets the counters (the epoch is retained).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.stats = RouteCacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::shortest_path;
+    use crate::spec::TopologySpec;
+    use rackfabric_phy::PhyState;
+    use rackfabric_sim::units::BitRate;
+
+    fn setup() -> (crate::graph::Topology, LinkArena) {
+        let mut phy = PhyState::new();
+        let topo = TopologySpec::grid(3, 3, 1).instantiate(&mut phy, BitRate::from_gbps(25));
+        let arena = LinkArena::build(&topo);
+        (topo, arena)
+    }
+
+    #[test]
+    fn caches_within_an_epoch_and_recomputes_after_bump() {
+        let (topo, arena) = setup();
+        let mut cache = RouteCache::new();
+        let mut computes = 0;
+        for _ in 0..5 {
+            let r = cache.get_or_compute(NodeId(0), NodeId(8), 0, || {
+                computes += 1;
+                shortest_path(&topo, NodeId(0), NodeId(8))
+                    .and_then(|r| InternedRoute::intern(r, &arena))
+                    .map(Arc::new)
+            });
+            assert_eq!(r.unwrap().hops(), 4);
+        }
+        assert_eq!(computes, 1, "one compute serves the whole epoch");
+        assert_eq!(cache.stats().hits, 4);
+        assert_eq!(cache.stats().misses, 1);
+
+        cache.bump_epoch();
+        cache.get_or_compute(NodeId(0), NodeId(8), 0, || {
+            computes += 1;
+            None
+        });
+        assert_eq!(computes, 2, "bumping the epoch invalidates the entry");
+    }
+
+    #[test]
+    fn selector_discriminates_ecmp_flows() {
+        let (_, _) = setup();
+        let mut cache = RouteCache::new();
+        cache.get_or_compute(NodeId(0), NodeId(1), 7, || None);
+        cache.get_or_compute(NodeId(0), NodeId(1), 8, || None);
+        assert_eq!(cache.stats().misses, 2, "different selectors are distinct");
+        cache.get_or_compute(NodeId(0), NodeId(1), 7, || None);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn negative_results_are_cached() {
+        let mut cache = RouteCache::new();
+        let mut computes = 0;
+        for _ in 0..3 {
+            let r = cache.get_or_compute(NodeId(0), NodeId(5), 0, || {
+                computes += 1;
+                None
+            });
+            assert!(r.is_none());
+        }
+        assert_eq!(computes, 1, "'no route' is cached like any other answer");
+    }
+
+    #[test]
+    fn interning_fails_for_unknown_links() {
+        let (topo, arena) = setup();
+        let route = shortest_path(&topo, NodeId(0), NodeId(8)).unwrap();
+        let mut broken = route.clone();
+        broken.links[0] = rackfabric_phy::LinkId(9999);
+        assert!(InternedRoute::intern(route, &arena).is_some());
+        assert!(InternedRoute::intern(broken, &arena).is_none());
+    }
+
+    #[test]
+    fn hit_rate_counts() {
+        let stats = RouteCacheStats { hits: 3, misses: 1 };
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(RouteCacheStats::default().hit_rate(), 0.0);
+    }
+}

@@ -19,12 +19,21 @@
 //! * [`reconfig`] — structural diffs between two topology specs, the input to
 //!   the reconfiguration planner in the core crate (e.g. the paper's
 //!   grid-at-2-lanes to torus-at-1-lane example).
+//! * [`arena`] — dense [`LinkIdx`]/[`PortIdx`] interning of the live links,
+//!   built once per topology epoch so per-packet state lives in plain
+//!   vectors instead of hash maps.
+//! * [`cache`] — the epoch-invalidated [`RouteCache`] that amortises route
+//!   computation across every train of a `(src, dst)` pair.
 
+pub mod arena;
+pub mod cache;
 pub mod graph;
 pub mod reconfig;
 pub mod routing;
 pub mod spec;
 
+pub use arena::{LinkArena, LinkIdx, PortIdx};
+pub use cache::{InternedRoute, RouteCache, RouteCacheStats};
 pub use graph::{NodeId, Topology};
 pub use reconfig::{EdgeChange, SpecDiff};
 pub use routing::{dijkstra, ecmp_paths, shortest_path, Route, RoutingAlgorithm};

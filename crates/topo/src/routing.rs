@@ -95,6 +95,112 @@ pub fn shortest_path(topo: &Topology, src: NodeId, dst: NodeId) -> Option<Route>
     None
 }
 
+/// A single-source predecessor tree: `tree[n]` is the `(parent, link)` pair
+/// reaching node `n`, dense-indexed by node. Produced by
+/// [`shortest_path_tree`] / [`dijkstra_tree`], consumed by
+/// [`route_from_tree`]. Dense vectors (not maps) because route-cache misses
+/// build one of these per source per control epoch — a measured hot spot.
+pub type PredecessorTree = Vec<Option<(NodeId, LinkId)>>;
+
+/// BFS shortest-path *tree* from `src`, covering every reachable node. One
+/// call amortises route construction for all destinations of a source.
+pub fn shortest_path_tree(topo: &Topology, src: NodeId) -> PredecessorTree {
+    let mut prev: PredecessorTree = vec![None; topo.node_count()];
+    let mut queue = VecDeque::new();
+    queue.push_back(src);
+    while let Some(n) = queue.pop_front() {
+        for adj in topo.neighbors(n) {
+            if adj.neighbor != src && prev[adj.neighbor.index()].is_none() {
+                prev[adj.neighbor.index()] = Some((n, adj.link));
+                queue.push_back(adj.neighbor);
+            }
+        }
+    }
+    prev
+}
+
+/// Dijkstra minimum-cost *tree* from `src` under `costs`, with the same
+/// deterministic tie-breaking as [`dijkstra`]. Links with non-finite or
+/// negative cost are unusable.
+pub fn dijkstra_tree(
+    topo: &Topology,
+    src: NodeId,
+    costs: &HashMap<LinkId, f64>,
+    default_cost: f64,
+) -> PredecessorTree {
+    #[derive(PartialEq)]
+    struct Item {
+        cost: f64,
+        node: NodeId,
+    }
+    impl Eq for Item {}
+    impl Ord for Item {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            other
+                .cost
+                .partial_cmp(&self.cost)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| other.node.cmp(&self.node))
+        }
+    }
+    impl PartialOrd for Item {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut dist = vec![f64::INFINITY; topo.node_count()];
+    let mut prev: PredecessorTree = vec![None; topo.node_count()];
+    let mut heap = BinaryHeap::new();
+    dist[src.index()] = 0.0;
+    heap.push(Item {
+        cost: 0.0,
+        node: src,
+    });
+    while let Some(Item { cost, node }) = heap.pop() {
+        if cost > dist[node.index()] {
+            continue;
+        }
+        for adj in topo.neighbors(node) {
+            let link_cost = costs.get(&adj.link).copied().unwrap_or(default_cost);
+            if !link_cost.is_finite() || link_cost < 0.0 {
+                continue;
+            }
+            let next = cost + link_cost;
+            if next < dist[adj.neighbor.index()] {
+                dist[adj.neighbor.index()] = next;
+                prev[adj.neighbor.index()] = Some((node, adj.link));
+                heap.push(Item {
+                    cost: next,
+                    node: adj.neighbor,
+                });
+            }
+        }
+    }
+    prev
+}
+
+/// Reconstructs the route from `src` to `dst` out of a predecessor tree.
+/// Returns `None` when `dst` is unreachable.
+pub fn route_from_tree(src: NodeId, dst: NodeId, tree: &PredecessorTree) -> Option<Route> {
+    if src == dst {
+        return Some(Route::trivial(src));
+    }
+    tree.get(dst.index())?.as_ref()?;
+    let mut nodes = vec![dst];
+    let mut links = Vec::new();
+    let mut cur = dst;
+    while cur != src {
+        let (p, l) = tree[cur.index()].expect("tree path is connected");
+        links.push(l);
+        nodes.push(p);
+        cur = p;
+    }
+    nodes.reverse();
+    links.reverse();
+    Some(Route { nodes, links })
+}
+
 fn rebuild(src: NodeId, dst: NodeId, prev: &HashMap<NodeId, (NodeId, LinkId)>) -> Route {
     let mut nodes = vec![dst];
     let mut links = Vec::new();

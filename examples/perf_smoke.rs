@@ -1,0 +1,171 @@
+//! Hot-path perf smoke sweep.
+//!
+//! Drives the heavy-shuffle scenario matrix through the scenario engine,
+//! measures engine events/sec and tail latency per cell, and writes the
+//! results to `BENCH_hotpath.json` — the perf-trajectory artifact the
+//! ROADMAP tracks across hot-path work. It also cross-checks the calendar
+//! scheduler against the reference heap (byte-identical CSV exports) and a
+//! single-threaded against a parallel runner, exiting non-zero on any
+//! divergence or failed job so CI can gate on correctness **without** gating
+//! on timing.
+//!
+//! ```text
+//! cargo run --release --example perf_smoke            # full 8x8 sweep
+//! cargo run --release --example perf_smoke -- --tiny  # CI-sized matrix
+//! ```
+
+use rackfabric::prelude::TopologySpec;
+use rackfabric_scenario::prelude::*;
+use rackfabric_sim::json;
+use rackfabric_sim::prelude::*;
+
+/// Pre-refactor engine throughput on this sweep's 8×8 heavy-shuffle cells
+/// (binary-heap scheduler, hash-map fabric state, one event per packet),
+/// measured at the PR-1 tree on the reference dev container. These anchor
+/// the speedup column; absolute numbers vary by machine, ratios far less.
+const PRE_PR_EVENTS_PER_SEC_ADAPTIVE: f64 = 315_794.0;
+const PRE_PR_EVENTS_PER_SEC_BASELINE: f64 = 654_893.0;
+
+fn matrix(tiny: bool, scheduler: SchedulerKind) -> Matrix {
+    let (rack, horizon) = if tiny {
+        (TopologySpec::grid(3, 3, 2), SimTime::from_millis(10))
+    } else {
+        (TopologySpec::grid(8, 8, 2), SimTime::from_millis(50))
+    };
+    let base = ScenarioSpec::new(
+        "hotpath-perf-smoke",
+        rack,
+        WorkloadSpec::Shuffle {
+            partition: Bytes::from_kib(64),
+            load: 1.0,
+        },
+    )
+    .horizon(horizon)
+    .scheduler(scheduler);
+    Matrix::new(base)
+        .axis(
+            "controller",
+            vec![
+                AxisValue::Controller(ControllerSpec::Baseline),
+                AxisValue::Controller(ControllerSpec::adaptive_default()),
+            ],
+        )
+        .master_seed(7)
+}
+
+fn main() {
+    let tiny = std::env::args().any(|a| a == "--tiny");
+    let mode = if tiny { "tiny" } else { "full" };
+    eprintln!("perf_smoke: running {mode} heavy-shuffle sweep...");
+
+    // Timed runs: calendar scheduler, single thread (clean per-job timing),
+    // best wall-clock of three passes per cell to shrug off machine noise.
+    // Event counts and all simulation results are identical across passes
+    // (enforced below); only the wall measurement varies.
+    let mut passes: Vec<MatrixResult> = (0..3)
+        .map(|_| Runner::single_threaded().run(&matrix(tiny, SchedulerKind::Calendar)))
+        .collect();
+    for pass in &passes {
+        if pass.failed_jobs() > 0 {
+            eprintln!("perf_smoke: FAIL — {} job(s) panicked", pass.failed_jobs());
+            std::process::exit(1);
+        }
+    }
+    let repeat_ok = passes
+        .windows(2)
+        .all(|w| w[0].to_csv() == w[1].to_csv() && w[0].to_json() == w[1].to_json());
+    if !repeat_ok {
+        eprintln!("perf_smoke: FAIL — repeated runs diverged");
+    }
+    let mut timed = passes.remove(0);
+    for pass in &passes {
+        for (cell, other) in timed.cells.iter_mut().zip(&pass.cells) {
+            cell.wall_nanos = cell.wall_nanos.min(other.wall_nanos);
+        }
+    }
+
+    // Correctness cross-checks (never timing-sensitive):
+    // 1. heap vs calendar must export byte-identical aggregates,
+    // 2. 1 thread vs N threads must export byte-identical aggregates.
+    let heap = Runner::single_threaded().run(&matrix(tiny, SchedulerKind::Heap));
+    let parallel = Runner::new(0).run(&matrix(tiny, SchedulerKind::Calendar));
+    let heap_ok = timed.to_csv() == heap.to_csv() && timed.to_json() == heap.to_json();
+    let threads_ok = timed.to_csv() == parallel.to_csv() && timed.to_json() == parallel.to_json();
+    if !heap_ok {
+        eprintln!("perf_smoke: FAIL — heap and calendar schedulers diverged");
+    }
+    if !threads_ok {
+        eprintln!("perf_smoke: FAIL — 1-thread and N-thread sweeps diverged");
+    }
+
+    // Render BENCH_hotpath.json.
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"hotpath_perf_smoke\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str(&format!(
+        "  \"pre_pr_events_per_sec\": {{\"baseline\": {}, \"adaptive\": {}}},\n",
+        json::number(PRE_PR_EVENTS_PER_SEC_BASELINE),
+        json::number(PRE_PR_EVENTS_PER_SEC_ADAPTIVE),
+    ));
+    out.push_str(&format!(
+        "  \"determinism\": {{\"heap_vs_calendar_identical\": {heap_ok}, \"serial_vs_parallel_identical\": {threads_ok}}},\n"
+    ));
+    out.push_str("  \"cells\": [\n");
+    for (i, cell) in timed.cells.iter().enumerate() {
+        let controller = cell
+            .labels
+            .iter()
+            .find(|(k, _)| k == "controller")
+            .map(|(_, v)| v.as_str())
+            .unwrap_or("?");
+        let events_per_sec = cell.events_per_sec();
+        let pre_pr = match controller {
+            "baseline" => PRE_PR_EVENTS_PER_SEC_BASELINE,
+            _ => PRE_PR_EVENTS_PER_SEC_ADAPTIVE,
+        };
+        // Speedup is only meaningful against the matching full-size cells.
+        let speedup = if tiny { 0.0 } else { events_per_sec / pre_pr };
+        out.push_str(&format!(
+            "    {{\"controller\": \"{}\", \"events\": {}, \"wall_ms\": {}, \"events_per_sec\": {}, \
+             \"latency_p50_ps\": {}, \"latency_p99_ps\": {}, \"route_cache_hit_rate\": {}, \
+             \"completed_runs\": {}, \"speedup_vs_pre_pr\": {}}}{}\n",
+            json::escape(controller),
+            cell.events_processed,
+            json::number(cell.wall_nanos as f64 / 1e6),
+            json::number(events_per_sec),
+            json::number(cell.packet_latency.p50),
+            json::number(cell.packet_latency.p99),
+            json::number(cell.route_cache_hit_rate),
+            cell.completed_runs,
+            json::number(speedup),
+            if i + 1 < timed.cells.len() { "," } else { "" },
+        ));
+        eprintln!(
+            "  {controller:>9}: {:>9} events in {:>8.1} ms = {:>9.0} events/sec \
+             (p50 {:.0} ps, p99 {:.0} ps, cache {:.3}{})",
+            cell.events_processed,
+            cell.wall_nanos as f64 / 1e6,
+            events_per_sec,
+            cell.packet_latency.p50,
+            cell.packet_latency.p99,
+            cell.route_cache_hit_rate,
+            if tiny {
+                String::new()
+            } else {
+                format!(", {speedup:.2}x vs pre-PR")
+            },
+        );
+    }
+    out.push_str("  ]\n}\n");
+
+    let path = "BENCH_hotpath.json";
+    if let Err(e) = std::fs::write(path, &out) {
+        eprintln!("perf_smoke: FAIL — could not write {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("perf_smoke: wrote {path}");
+
+    if !(heap_ok && threads_ok && repeat_ok) {
+        std::process::exit(1);
+    }
+}

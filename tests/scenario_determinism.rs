@@ -11,12 +11,17 @@ use rackfabric_sim::prelude::*;
 
 /// 4 rack sizes × 4 loads × 4 seeds = 64 jobs in 16 cells.
 fn sweep_matrix() -> Matrix {
+    sweep_matrix_on(SchedulerKind::Calendar)
+}
+
+fn sweep_matrix_on(scheduler: SchedulerKind) -> Matrix {
     let base = ScenarioSpec::new(
         "determinism-sweep",
         TopologySpec::grid(3, 3, 2),
         WorkloadSpec::shuffle(Bytes::from_kib(2)),
     )
-    .horizon(SimTime::from_millis(30));
+    .horizon(SimTime::from_millis(30))
+    .scheduler(scheduler);
     Matrix::new(base)
         .axis(
             "racks",
@@ -85,6 +90,32 @@ fn one_thread_and_n_threads_agree_bit_for_bit() {
                 assert_eq!(x.summary, y.summary, "job {} diverged", a.job.index);
             }
             _ => panic!("job {} did not complete in both runs", a.job.index),
+        }
+    }
+}
+
+/// The hot-path acceptance criterion: the calendar-queue engine and the
+/// reference heap engine must render **byte-identical** CSV/JSON matrix
+/// exports, across thread counts. Every float, histogram percentile and
+/// counter participates via the textual comparison.
+#[test]
+fn heap_and_calendar_schedulers_export_identical_bytes() {
+    let calendar = Runner::new(4).run(&sweep_matrix_on(SchedulerKind::Calendar));
+    let heap = Runner::single_threaded().run(&sweep_matrix_on(SchedulerKind::Heap));
+    assert_eq!(calendar.to_csv(), heap.to_csv());
+    assert_eq!(calendar.to_json(), heap.to_json());
+    assert_eq!(calendar.jobs_csv(), heap.jobs_csv());
+    // Event counts are part of the determinism contract too.
+    for (a, b) in calendar.jobs.iter().zip(&heap.jobs) {
+        match (&a.outcome, &b.outcome) {
+            (JobOutcome::Completed(x), JobOutcome::Completed(y)) => {
+                assert_eq!(
+                    x.events_processed, y.events_processed,
+                    "job {} processed different event counts across schedulers",
+                    a.job.index
+                );
+            }
+            _ => panic!("job {} did not complete on both schedulers", a.job.index),
         }
     }
 }
