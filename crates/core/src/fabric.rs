@@ -15,13 +15,14 @@
 //!
 //! * All per-link and per-port state (egress queues, epoch byte counters,
 //!   reconfiguration fences, cached link capacities/latencies) lives in
-//!   dense vectors indexed by [`LinkIdx`]/[`PortIdx`], interned once per
-//!   topology epoch by a [`LinkArena`]. The arena is rebuilt — and the dense
-//!   state migrated by `LinkId` — only on whole-rack reconfigurations.
+//!   dense vectors indexed by [`LinkIdx`]/[`PortIdx`](rackfabric_topo::PortIdx),
+//!   interned once per topology epoch by a [`LinkArena`]. The arena is
+//!   rebuilt — and the dense state migrated by `LinkId` — only on
+//!   whole-rack reconfigurations.
 //! * Packets move in [`Train`]s: each injection admits a batch of
 //!   back-to-back frames sized by the first link's rate window, and each hop
 //!   forwards the whole batch with a single event. Per-packet latency stays
-//!   exact (see [`Packet::arrived_at`]).
+//!   exact (see [`Packet::arrived_at`](rackfabric_switch::packet::Packet)).
 //! * Routes are served from an epoch-invalidated [`RouteCache`]; BFS or
 //!   Dijkstra runs once per `(src, dst)` pair per epoch instead of once per
 //!   packet.
@@ -134,17 +135,18 @@ struct FlowProgress {
 
 /// Cached per-link datapath constants, refreshed whenever the physical layer
 /// changes (PLP commands, reconfigurations) — never consulted through a hash
-/// map on the per-packet path.
+/// map on the per-packet path. Shared with the sharded engine
+/// ([`crate::shard`]), which broadcasts one copy per shard at sync points.
 #[derive(Debug, Clone, Copy)]
-struct LinkHot {
-    capacity: BitRate,
-    propagation: SimDuration,
-    fec: SimDuration,
-    up: bool,
+pub(crate) struct LinkHot {
+    pub(crate) capacity: BitRate,
+    pub(crate) propagation: SimDuration,
+    pub(crate) fec: SimDuration,
+    pub(crate) up: bool,
 }
 
 impl LinkHot {
-    const DOWN: LinkHot = LinkHot {
+    pub(crate) const DOWN: LinkHot = LinkHot {
         capacity: BitRate::ZERO,
         propagation: SimDuration::ZERO,
         fec: SimDuration::ZERO,
@@ -344,8 +346,9 @@ impl AdaptiveFabric {
     /// miss on ECMP or dimension-ordered routing; the single-path algorithms
     /// go through the tree branch of [`Self::cached_route`] instead).
     /// Associated function so the borrow of the route cache can coexist with
-    /// the lookup state.
-    fn route_for(
+    /// the lookup state. Shared with the sharded engine's per-shard route
+    /// caches.
+    pub(crate) fn route_for(
         config: &FabricConfig,
         topo: &Topology,
         current_spec: &TopologySpec,

@@ -25,6 +25,9 @@
 //!   (e.g. grid → torus) as PLP command sequences.
 //! * [`fabric`] — the discrete-event fabric simulation tying the physical
 //!   layer, switching, workloads and the CRC together.
+//! * [`shard`] — the sharded multi-rack engine: the same fabric partitioned
+//!   into rack groups, advanced in conservative time windows with
+//!   bit-identical results for any shard count.
 //! * [`baseline`] — the same fabric with the CRC disabled (the static
 //!   packet-switched comparison point).
 //! * [`metrics`] — per-run metrics and summaries.
@@ -58,6 +61,7 @@ pub mod metrics;
 pub mod policy;
 pub mod price;
 pub mod reconfigure;
+pub mod shard;
 
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
@@ -69,6 +73,7 @@ pub mod prelude {
     pub use crate::policy::CrcPolicy;
     pub use crate::price::{LinkPrice, PriceBook, PriceNormalization, PriceWeights};
     pub use crate::reconfigure::{plan as plan_reconfiguration, ReconfigPlan};
+    pub use crate::shard::{run_sharded, ShardedConfig, ShardedFabric, ShardedRun};
     pub use rackfabric_phy::{FecMode, PlpCommand, PlpTiming, PowerState};
     pub use rackfabric_topo::routing::RoutingAlgorithm;
     pub use rackfabric_topo::spec::TopologySpec;

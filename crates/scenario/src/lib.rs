@@ -8,14 +8,14 @@
 //! only holds across a *space* of operating points (rack size, workload mix,
 //! FEC mode, power policy, seeds). This crate expresses that space directly:
 //!
-//! * [`ScenarioSpec`](spec::ScenarioSpec) — one cell as plain data: topology,
+//! * [`ScenarioSpec`] — one cell as plain data: topology,
 //!   workload, PHY policy (FEC / lanes / power), controller policy, seed and
 //!   horizon.
-//! * [`Matrix`](matrix::Matrix) — a base spec plus sweep [`Axis`](matrix::Axis)
+//! * [`Matrix`] — a base spec plus sweep [`Axis`]
 //!   definitions (`racks × load × fec × N seeds`), expanded into a job list
 //!   by pure cartesian product with seeds derived from one
 //!   [`DetRng`](rackfabric_sim::rng::DetRng) stream.
-//! * [`Runner`](runner::Runner) — a work-stealing pool of OS threads running
+//! * [`Runner`] — a work-stealing pool of OS threads running
 //!   hundreds of independent single-threaded simulations; results are keyed
 //!   by job index, so output is **bit-identical for 1 and N threads**.
 //! * [`aggregate`] / [`export`] — per-cell p50/p99/p999 latency (histograms

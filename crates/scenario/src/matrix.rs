@@ -44,6 +44,10 @@ pub enum AxisValue {
     Mtu(Bytes),
     /// Set the simulation horizon.
     Horizon(SimTime),
+    /// Select the engine: `0` = monolithic, `n >= 1` = sharded multi-rack
+    /// engine with `n` rack groups. Sweeps use this axis to cross-check
+    /// 1-shard against N-shard runs (byte-identical exports).
+    Shards(usize),
 }
 
 impl AxisValue {
@@ -75,6 +79,7 @@ impl AxisValue {
             AxisValue::LaneRate(rate) => spec.lane_rate = *rate,
             AxisValue::Mtu(m) => spec.mtu = *m,
             AxisValue::Horizon(h) => spec.horizon = *h,
+            AxisValue::Shards(n) => spec.shards = *n,
         }
     }
 
@@ -95,6 +100,8 @@ impl AxisValue {
             AxisValue::LaneRate(rate) => format!("{}gbps", rate.as_gbps_f64()),
             AxisValue::Mtu(m) => format!("{}B", m.as_u64()),
             AxisValue::Horizon(h) => format!("{}us", h.as_micros_f64()),
+            AxisValue::Shards(0) => "monolithic".into(),
+            AxisValue::Shards(n) => format!("{n}"),
         }
     }
 }

@@ -92,12 +92,42 @@ impl MatrixResult {
     }
 }
 
-/// Executes a single fully resolved scenario (what each worker thread runs)
-/// on the spec's configured scheduler.
+/// Executes a single fully resolved scenario (what each worker thread runs):
+/// the monolithic engine on the spec's configured scheduler, or the sharded
+/// multi-rack engine when `spec.shards >= 1`.
 pub fn run_scenario(spec: &ScenarioSpec) -> JobResult {
+    if spec.shards >= 1 {
+        return run_scenario_sharded(spec);
+    }
     match spec.scheduler {
         SchedulerKind::Calendar => run_scenario_on(spec, CalendarQueue::new()),
         SchedulerKind::Heap => run_scenario_on(spec, EventQueue::new()),
+    }
+}
+
+/// Executes a scenario on the sharded engine. Results are byte-identical
+/// for every shard count (the 1-shard run is the reference the CI gate
+/// diffs N-shard runs against).
+fn run_scenario_sharded(spec: &ScenarioSpec) -> JobResult {
+    let flows = spec.build_flows();
+    let mut config = rackfabric::shard::ShardedConfig::new(spec.to_fabric_config(), spec.shards);
+    // Parallelism already comes from the job-level Runner pool; letting every
+    // job also spawn one spinning window-worker per shard would nest two
+    // thread pools and oversubscribe the machine. Worker count never affects
+    // results, so the scenario path always drains windows on the job thread.
+    config.workers = 1;
+    let mut fabric = rackfabric::shard::ShardedFabric::new(config, flows);
+    apply_phy_policy_to(spec, fabric.phy_mut());
+    let start = std::time::Instant::now();
+    let run = fabric.run();
+    let wall_nanos = start.elapsed().as_nanos() as u64;
+    JobResult {
+        summary: run.metrics.summary(),
+        packet_latency: run.metrics.packet_latency.clone(),
+        queueing_latency: run.metrics.queueing_latency.clone(),
+        all_flows_complete: run.all_flows_complete,
+        events_processed: run.events_processed,
+        wall_nanos,
     }
 }
 
@@ -130,20 +160,26 @@ fn run_scenario_on<S: Scheduler<rackfabric::fabric::FabricEvent>>(
 /// Applies the spec's initial PLP state (FEC, lane caps, power) to the
 /// freshly instantiated fabric, before the first event fires.
 fn apply_phy_policy(spec: &ScenarioSpec, fabric: &mut AdaptiveFabric) {
+    apply_phy_policy_to(spec, &mut fabric.phy);
+}
+
+/// Applies the spec's initial PLP state to a bare physical state (shared by
+/// the monolithic and sharded engine paths).
+fn apply_phy_policy_to(spec: &ScenarioSpec, phy: &mut rackfabric_phy::PhyState) {
     let executor = PlpExecutor::default();
-    let link_ids = fabric.phy.link_ids();
+    let link_ids = phy.link_ids();
     for link in link_ids {
         if let FecSetting::Fixed(mode) = spec.phy.fec {
-            let _ = executor.execute(&mut fabric.phy, &PlpCommand::SetFec { link, mode });
+            let _ = executor.execute(phy, &PlpCommand::SetFec { link, mode });
         }
         if let Some(cap) = spec.phy.active_lanes {
-            let total = fabric.phy.link(link).map(|l| l.total_lanes()).unwrap_or(0);
+            let total = phy.link(link).map(|l| l.total_lanes()).unwrap_or(0);
             let lanes = cap.min(total).max(1);
-            let _ = executor.execute(&mut fabric.phy, &PlpCommand::SetActiveLanes { link, lanes });
+            let _ = executor.execute(phy, &PlpCommand::SetActiveLanes { link, lanes });
         }
         if spec.phy.power != rackfabric_phy::PowerState::Active {
             let _ = executor.execute(
-                &mut fabric.phy,
+                phy,
                 &PlpCommand::SetPower {
                     link,
                     state: spec.phy.power,

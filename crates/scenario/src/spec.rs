@@ -355,6 +355,13 @@ pub struct ScenarioSpec {
     /// scheduler-independent; sweeps use this to cross-check the calendar
     /// engine against the reference heap.
     pub scheduler: SchedulerKind,
+    /// Which engine runs the cell: `0` is the monolithic single-core engine
+    /// (`run_fabric`); `n >= 1` is the sharded multi-rack engine partitioned
+    /// into `n` rack groups. Sharded results are byte-identical for every
+    /// `n >= 1` — sweeps put a shards axis on a matrix to cross-check the
+    /// 1-shard reference against N-shard parallel runs — but are a
+    /// different model from the monolithic engine (flow acks have latency).
+    pub shards: usize,
 }
 
 impl ScenarioSpec {
@@ -379,12 +386,20 @@ impl ScenarioSpec {
             event_budget: u64::MAX,
             stop_when_done: true,
             scheduler: SchedulerKind::default(),
+            shards: 0,
         }
     }
 
     /// Sets the engine scheduler, returning the modified spec.
     pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {
         self.scheduler = scheduler;
+        self
+    }
+
+    /// Selects the sharded engine with `n` rack groups (`0` reverts to the
+    /// monolithic engine), returning the modified spec.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
         self
     }
 

@@ -2,14 +2,14 @@
 //!
 //! [`Simulator`] owns the clock, the pending-event set and the model, and
 //! advances the model by repeatedly popping the earliest event and calling
-//! [`Model::handle`](crate::event::Model::handle). Directives issued through
-//! the [`Context`](crate::event::Context) are applied after each callback.
+//! [`Model::handle`]. Directives issued through
+//! the [`Context`] are applied after each callback.
 //!
 //! The pending-event set is pluggable through the
-//! [`Scheduler`](crate::queue::Scheduler) trait: [`Simulator::new`] uses the
-//! [`CalendarQueue`](crate::calendar::CalendarQueue) (the fast default),
+//! [`Scheduler`] trait: [`Simulator::new`] uses the
+//! [`CalendarQueue`] (the fast default),
 //! while [`Simulator::with_scheduler`] accepts any implementation — the
-//! binary-heap [`EventQueue`](crate::queue::EventQueue) is kept as a
+//! binary-heap [`EventQueue`] is kept as a
 //! reference for cross-checking, see [`HeapSimulator`]. Every scheduler
 //! delivers events in the same `(time, EventId)` order, so the choice never
 //! changes simulation results, only wall-clock speed.

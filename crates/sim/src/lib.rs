@@ -14,19 +14,22 @@
 //! * [`time`] — picosecond-resolution [`SimTime`]/[`SimDuration`] arithmetic.
 //! * [`units`] — physical units (bit rates, lengths, power) and the
 //!   conversions into simulated durations (serialization, propagation).
-//! * [`event`] — the [`Model`](event::Model) trait implemented by anything
-//!   the engine can drive, and the [`Context`](event::Context) handed to it.
-//! * [`queue`] — the [`Scheduler`](queue::Scheduler) trait and the
+//! * [`event`] — the [`Model`] trait implemented by anything
+//!   the engine can drive, and the [`Context`] handed to it.
+//! * [`queue`] — the [`Scheduler`] trait and the
 //!   reference binary-heap pending-event set with FIFO tie-breaking.
 //! * [`calendar`] — the two-level calendar-queue scheduler, the default
 //!   engine since the hot-path refactor.
-//! * [`engine`] — the [`Simulator`](engine::Simulator) main loop, generic
+//! * [`engine`] — the [`Simulator`] main loop, generic
 //!   over the scheduler.
 //! * [`rng`] — a self-contained, versioned deterministic RNG plus the
 //!   distributions the workloads need.
 //! * [`stats`] — counters, histograms, time-weighted gauges, rate meters and
 //!   series recorders used for every experiment's output.
 //! * [`config`] — serde-serialisable simulation configuration.
+//! * [`windowed`] — conservative time-window execution of sharded models:
+//!   per-shard calendar queues, content-keyed event ordering, outbox
+//!   mailboxes exchanged at barriers, and a sync hook for global control.
 //! * [`json`] — a minimal dependency-free JSON reader/writer used for run
 //!   provenance and scenario-matrix exports.
 //!
@@ -67,6 +70,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod units;
+pub mod windowed;
 
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
@@ -79,6 +83,7 @@ pub mod prelude {
     pub use crate::stats::{Counter, Histogram, RateMeter, Series, Summary, TimeWeighted};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::units::{BitRate, Bytes, Energy, Length, Power};
+    pub use crate::windowed::{ShardModel, SyncHook, WindowCtx, WindowedOutcome, WindowedSim};
 }
 
 pub use calendar::CalendarQueue;

@@ -79,7 +79,12 @@ pub struct Histogram {
     /// 64 major buckets (by leading zero count) x 32 sub-buckets.
     counts: Vec<u64>,
     total: u64,
-    sum: f64,
+    /// Exact integer sum of recorded samples. Kept as an integer (not `f64`)
+    /// so that accumulation and [`Histogram::merge`] are associative and
+    /// commutative bit-for-bit — the sharded engine merges per-shard
+    /// histograms in shard order and still must export byte-identical means
+    /// regardless of how samples were distributed across shards.
+    sum: u128,
     min: f64,
     max: f64,
 }
@@ -99,7 +104,7 @@ impl Histogram {
         Histogram {
             counts: vec![0; 64 * SUB_BUCKETS],
             total: 0,
-            sum: 0.0,
+            sum: 0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
         }
@@ -130,7 +135,7 @@ impl Histogram {
         let idx = Self::bucket_index(value);
         self.counts[idx] += 1;
         self.total += 1;
-        self.sum += value as f64;
+        self.sum += value as u128;
         self.min = self.min.min(value as f64);
         self.max = self.max.max(value as f64);
     }
@@ -150,7 +155,7 @@ impl Histogram {
         if self.total == 0 {
             0.0
         } else {
-            self.sum / self.total as f64
+            self.sum as f64 / self.total as f64
         }
     }
 
@@ -191,7 +196,9 @@ impl Histogram {
         }
     }
 
-    /// Merges another histogram into this one.
+    /// Merges another histogram into this one. Merging is exact: counts and
+    /// the integer sample sum combine associatively, so merging per-shard
+    /// histograms yields bit-identical summaries regardless of merge order.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
             *a += b;

@@ -1,0 +1,828 @@
+//! Conservative time-window execution of a sharded model.
+//!
+//! The monolithic [`Simulator`](crate::engine::Simulator) drives one model on
+//! one core. This module is the substrate for running a simulation split
+//! into **shards**: each shard owns a disjoint slice of the model's state and
+//! a private [`CalendarQueue`], and the [`WindowedSim`] driver advances all
+//! shards in lockstep **windows** bounded by a conservative lookahead — the
+//! classic synchronous-window variant of conservative parallel DES. A shard
+//! may freely process every event strictly before the window edge because the
+//! protocol guarantees no other shard can still produce an event inside the
+//! window:
+//!
+//! * Cross-shard interactions travel as [`Envelope`]s through per-shard
+//!   **outboxes**. During a window each shard appends to its own outbox with
+//!   no locking or atomics; envelopes are routed into the destination shards'
+//!   queues at the barrier between windows.
+//! * Every envelope must be timestamped at least one **lookahead** after the
+//!   sending shard's current time (asserted at the barrier). The window
+//!   length never exceeds the lookahead, so an envelope handed over at a
+//!   barrier is always still in the receiver's future.
+//!
+//! ## Determinism: content-keyed event ordering
+//!
+//! The engine's schedulers deliver events in `(time, EventId)` order. The
+//! monolithic simulator allocates ids from a sequence counter, which makes
+//! same-instant ordering depend on *allocation order* — a property that
+//! cannot be reproduced when the allocating work is distributed over shards.
+//! The windowed driver therefore gives the **model** control of the id: every
+//! scheduled event and envelope carries an explicit 64-bit `key`, and
+//! same-instant events are delivered in ascending key order. A model that
+//! derives keys from stable identities (flow ids, sequence numbers) gets an
+//! event order that is a pure function of the simulation content — identical
+//! for 1 shard and N shards, and identical no matter how envelopes interleave
+//! with local scheduling.
+//!
+//! Two caveats follow from keyed ids: keys must be unique among events
+//! pending at the same instant (models derive them from identities that can
+//! be pending at most once), and cancellation is not offered (the lazy
+//! cancel sets in the schedulers assume ids are never reused; keyed models
+//! re-use a key only after its event was delivered).
+//!
+//! Global control that must observe *all* shards at one instant (e.g. a
+//! telemetry/control epoch) runs through the [`SyncHook`]: the driver stops
+//! window planning at `next_sync()`, calls `on_sync` with exclusive access to
+//! every shard, and resumes. Sync points are driver-level, not events, so
+//! they impose a total order against surrounding events: everything strictly
+//! before the sync instant happens before it, everything at or after happens
+//! after.
+//!
+//! Worker threads are persistent for the whole run and synchronise on a
+//! spinning barrier; with a single worker (or one shard) the driver runs
+//! inline with no synchronisation at all. Thread count never affects results
+//! — only the shard *content* does, and a well-keyed model makes even the
+//! shard count immaterial.
+
+use crate::calendar::CalendarQueue;
+use crate::engine::RunOutcome;
+use crate::event::EventId;
+use crate::queue::Scheduler;
+use crate::time::{SimDuration, SimTime};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// A cross-shard message: an event addressed to another shard at an absolute
+/// instant, with the content-derived tie-break key.
+#[derive(Debug)]
+pub struct Envelope<E> {
+    /// Destination shard index.
+    pub to: usize,
+    /// Absolute delivery instant (≥ sender's now + lookahead).
+    pub at: SimTime,
+    /// Content-derived tie-break key (see module docs).
+    pub key: u64,
+    /// The event payload delivered to the destination shard.
+    pub event: E,
+}
+
+/// The scheduling interface handed to a shard while it processes one event.
+pub struct WindowCtx<'a, E> {
+    now: SimTime,
+    shard: usize,
+    window_end_ps: u64,
+    queue: &'a mut CalendarQueue<E>,
+    outbox: &'a mut Vec<Envelope<E>>,
+}
+
+impl<'a, E> WindowCtx<'a, E> {
+    /// The current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The index of the shard processing this event.
+    #[inline]
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Schedules a local event on this shard at `at` with tie-break `key`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past.
+    pub fn schedule(&mut self, at: SimTime, key: u64, event: E) {
+        assert!(
+            at >= self.now,
+            "shard {} scheduled an event in the past (now={}, at={})",
+            self.shard,
+            self.now,
+            at
+        );
+        self.queue.push(at, EventId(key), event);
+    }
+
+    /// Sends an event to shard `to` (possibly this shard) at `at` with
+    /// tie-break `key`. Self-sends short-circuit into the local queue —
+    /// because delivery order is keyed, this is indistinguishable from a
+    /// barrier hand-off, which is what keeps 1-shard and N-shard runs
+    /// identical.
+    ///
+    /// # Panics
+    /// Panics when a cross-shard send violates the conservative lookahead
+    /// (`at` earlier than the current window's edge): such an envelope could
+    /// land in a part of the window its receiver already processed.
+    pub fn send(&mut self, to: usize, at: SimTime, key: u64, event: E) {
+        if to == self.shard {
+            self.schedule(at, key, event);
+            return;
+        }
+        assert!(
+            at.as_picos() >= self.window_end_ps,
+            "shard {} sent an envelope below the conservative window edge \
+             (at={}, window end={} ps): lookahead bound violated",
+            self.shard,
+            at,
+            self.window_end_ps
+        );
+        self.outbox.push(Envelope { to, at, key, event });
+    }
+}
+
+/// A model shard drivable by [`WindowedSim`].
+pub trait ShardModel: Send {
+    /// The event payload (local events and envelopes share the type).
+    type Event: Send;
+
+    /// Processes one event. All scheduling goes through the context.
+    fn handle(&mut self, ctx: &mut WindowCtx<'_, Self::Event>, event: Self::Event);
+}
+
+/// Exclusive access to every shard, handed to [`SyncHook`] callbacks at
+/// barriers (models live behind per-shard locks during a parallel run).
+pub struct ShardsView<'a, M: ShardModel> {
+    guards: Vec<MutexGuard<'a, ShardCell<M>>>,
+}
+
+impl<'a, M: ShardModel> ShardsView<'a, M> {
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.guards.len()
+    }
+
+    /// True when the view holds no shards (never the case in a run).
+    pub fn is_empty(&self) -> bool {
+        self.guards.is_empty()
+    }
+
+    /// Mutable access to shard `i`'s model.
+    pub fn model(&mut self, i: usize) -> &mut M {
+        &mut self.guards[i].model
+    }
+
+    /// Iterates over every shard's model.
+    pub fn models_mut(&mut self) -> impl Iterator<Item = &mut M> + use<'_, 'a, M> {
+        self.guards.iter_mut().map(|g| &mut g.model)
+    }
+}
+
+/// Global-control callbacks of a windowed run.
+pub trait SyncHook<M: ShardModel> {
+    /// Absolute time of the next synchronous control point
+    /// ([`SimTime::MAX`] when there is none). Must be non-decreasing between
+    /// `on_sync` calls.
+    fn next_sync(&self) -> SimTime;
+
+    /// Runs the control point at `at`. Every event strictly before `at` has
+    /// been processed; no event at or after `at` has.
+    fn on_sync(&mut self, at: SimTime, shards: &mut ShardsView<'_, M>);
+
+    /// The conservative lookahead for upcoming windows: a lower bound on the
+    /// delay of every cross-shard envelope. Clamped to at least 1 ps by the
+    /// driver. **Must not depend on the shard count** if runs with different
+    /// shard counts are expected to produce identical results (the window
+    /// sequence — and therefore where budget/stop checks land — derives from
+    /// it).
+    fn lookahead(&self) -> SimDuration;
+
+    /// Called after every window; return false to stop the run (the model's
+    /// equivalent of [`crate::event::Context::stop`]).
+    fn keep_running(&mut self, now: SimTime, shards: &mut ShardsView<'_, M>) -> bool;
+}
+
+pub(crate) struct ShardCell<M: ShardModel> {
+    shard: usize,
+    pub(crate) model: M,
+    queue: CalendarQueue<M::Event>,
+    outbox: Vec<Envelope<M::Event>>,
+    events: u64,
+}
+
+impl<M: ShardModel> ShardCell<M> {
+    /// Processes every pending event strictly before `end_ps`.
+    fn drain(&mut self, end_ps: u64) {
+        while let Some(t) = self.queue.peek_time() {
+            if t.as_picos() >= end_ps {
+                break;
+            }
+            let (at, _id, event) = self.queue.pop().expect("peeked event must pop");
+            self.events += 1;
+            let mut ctx = WindowCtx {
+                now: at,
+                shard: self.shard,
+                window_end_ps: end_ps,
+                queue: &mut self.queue,
+                outbox: &mut self.outbox,
+            };
+            self.model.handle(&mut ctx, event);
+        }
+    }
+}
+
+/// What [`WindowedSim::run`] produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowedOutcome {
+    /// Why the run ended (same vocabulary as the monolithic engine).
+    pub outcome: RunOutcome,
+    /// The clock when the run ended.
+    pub now: SimTime,
+    /// Total events processed across all shards.
+    pub events: u64,
+    /// Number of conservative windows executed.
+    pub windows: u64,
+    /// Number of sync points executed.
+    pub syncs: u64,
+}
+
+/// One step of the window planner.
+enum Step {
+    /// Run the sync hook at this instant.
+    Sync(SimTime),
+    /// Drain all shards up to (exclusive) this pico-instant.
+    Window(u64),
+    /// Nothing left to do.
+    Done(RunOutcome),
+}
+
+/// A sense-reversing spinning barrier for the persistent window workers.
+/// Window bodies are short (often well under a microsecond), so parking on a
+/// futex every window would dominate; spinning with a yield fallback keeps
+/// the barrier in the tens-of-nanoseconds range.
+struct SpinBarrier {
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+    total: usize,
+}
+
+impl SpinBarrier {
+    fn new(total: usize) -> Self {
+        SpinBarrier {
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            total,
+        }
+    }
+
+    fn wait(&self) {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            self.arrived.store(0, Ordering::Relaxed);
+            self.generation
+                .store(gen.wrapping_add(1), Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// The published window edge: `u64::MAX` tells the workers to exit.
+const EXIT: u64 = u64::MAX;
+
+/// A sharded simulation advanced in conservative time windows.
+pub struct WindowedSim<M: ShardModel> {
+    cells: Vec<Mutex<ShardCell<M>>>,
+    now: SimTime,
+    events: u64,
+    event_budget: u64,
+    /// Worker threads used for window execution (0 = one per shard, capped
+    /// at the machine's parallelism).
+    workers: usize,
+}
+
+impl<M: ShardModel> WindowedSim<M> {
+    /// Creates a windowed simulation over one model per shard.
+    pub fn new(models: Vec<M>) -> Self {
+        assert!(
+            !models.is_empty(),
+            "a windowed sim needs at least one shard"
+        );
+        let cells = models
+            .into_iter()
+            .enumerate()
+            .map(|(shard, model)| {
+                Mutex::new(ShardCell {
+                    shard,
+                    model,
+                    queue: CalendarQueue::new(),
+                    outbox: Vec::new(),
+                    events: 0,
+                })
+            })
+            .collect();
+        WindowedSim {
+            cells,
+            now: SimTime::ZERO,
+            events: 0,
+            event_budget: u64::MAX,
+            workers: 0,
+        }
+    }
+
+    /// Caps the total number of events processed across all shards.
+    pub fn with_event_budget(mut self, budget: u64) -> Self {
+        self.event_budget = budget;
+        self
+    }
+
+    /// Sets the worker-thread count (0 = one per shard, capped at the
+    /// machine's parallelism). Thread count never affects results.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The current simulated time (the low edge of planning).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events
+    }
+
+    /// Schedules an event on shard `shard` from outside the run (seeding).
+    pub fn schedule(&mut self, shard: usize, at: SimTime, key: u64, event: M::Event) {
+        let cell = self.cells[shard].get_mut().expect("shard lock poisoned");
+        cell.queue.push(at, EventId(key), event);
+    }
+
+    /// Exclusive access to shard `shard`'s model between runs.
+    pub fn model_mut(&mut self, shard: usize) -> &mut M {
+        &mut self.cells[shard]
+            .get_mut()
+            .expect("shard lock poisoned")
+            .model
+    }
+
+    /// Consumes the simulation, returning the shard models in order.
+    pub fn into_models(self) -> Vec<M> {
+        self.cells
+            .into_iter()
+            .map(|c| c.into_inner().expect("shard lock poisoned").model)
+            .collect()
+    }
+
+    /// Locks every shard (uncontended outside windows) into a view.
+    fn view(&self) -> ShardsView<'_, M> {
+        ShardsView {
+            guards: self
+                .cells
+                .iter()
+                .map(|c| c.lock().expect("shard lock poisoned"))
+                .collect(),
+        }
+    }
+
+    /// The earliest pending event across all shards.
+    fn min_pending(&self) -> Option<SimTime> {
+        let mut min = None;
+        for cell in &self.cells {
+            let mut cell = cell.lock().expect("shard lock poisoned");
+            if let Some(t) = cell.queue.peek_time() {
+                min = Some(min.map_or(t, |m: SimTime| m.min(t)));
+            }
+        }
+        min
+    }
+
+    /// Routes every outbox envelope into its destination queue. Runs at
+    /// barriers only; asserts the conservative bound on every envelope.
+    fn exchange(&self, window_end_ps: u64) {
+        let mut pending: Vec<Envelope<M::Event>> = Vec::new();
+        for cell in &self.cells {
+            let mut cell = cell.lock().expect("shard lock poisoned");
+            pending.append(&mut cell.outbox);
+        }
+        for env in pending {
+            assert!(
+                env.at.as_picos() >= window_end_ps,
+                "envelope below the conservative window edge (at={}, end={} ps)",
+                env.at,
+                window_end_ps
+            );
+            let mut dest = self.cells[env.to].lock().expect("shard lock poisoned");
+            dest.queue.push(env.at, EventId(env.key), env.event);
+        }
+    }
+
+    /// Plans the next step given the global pending state and the hook's
+    /// sync/lookahead answers. Pure control logic — identical for any shard
+    /// or worker count.
+    fn plan_step<H: SyncHook<M>>(&self, hook: &H, horizon: SimTime) -> Step {
+        // `SimTime::MAX` means "no sync point" — it must never be stepped
+        // to, even with an unbounded horizon.
+        let next_sync = hook.next_sync();
+        let has_sync = next_sync < SimTime::MAX;
+        let lookahead = hook.lookahead().as_picos().max(1);
+        match self.min_pending() {
+            None => {
+                if has_sync && next_sync <= horizon {
+                    Step::Sync(next_sync)
+                } else {
+                    Step::Done(RunOutcome::Drained)
+                }
+            }
+            Some(t) => {
+                if has_sync && next_sync <= t.min(horizon) {
+                    Step::Sync(next_sync)
+                } else if t > horizon {
+                    Step::Done(RunOutcome::HorizonReached)
+                } else {
+                    // Half-open [t, end): the window may not cross the next
+                    // sync point, and events exactly at the horizon still run.
+                    let end = t
+                        .as_picos()
+                        .saturating_add(lookahead)
+                        .min(next_sync.as_picos())
+                        .min(horizon.as_picos().saturating_add(1));
+                    Step::Window(end)
+                }
+            }
+        }
+    }
+
+    /// Runs until `horizon` (inclusive), the queues drain, the hook stops the
+    /// run, or the event budget is exhausted.
+    pub fn run<H: SyncHook<M>>(&mut self, horizon: SimTime, hook: &mut H) -> WindowedOutcome {
+        let workers = if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(self.cells.len())
+        } else {
+            self.workers.min(self.cells.len())
+        }
+        .max(1);
+        let result = if workers == 1 {
+            self.run_on(horizon, hook, None, 1)
+        } else {
+            let barrier = SpinBarrier::new(workers);
+            let edge = AtomicU64::new(0);
+            let cells = &self.cells;
+            let this = &*self;
+            std::thread::scope(|scope| {
+                for worker in 1..workers {
+                    let barrier = &barrier;
+                    let edge = &edge;
+                    scope.spawn(move || loop {
+                        barrier.wait();
+                        let end = edge.load(Ordering::Acquire);
+                        if end == EXIT {
+                            break;
+                        }
+                        for cell in cells.iter().skip(worker).step_by(workers) {
+                            cell.lock().expect("shard lock poisoned").drain(end);
+                        }
+                        barrier.wait();
+                    });
+                }
+                this.run_on(horizon, hook, Some((&barrier, &edge)), workers)
+            })
+        };
+        self.now = result.now;
+        self.events = result.events;
+        result
+    }
+
+    /// The main control loop. With `sync` = None runs serially; otherwise
+    /// coordinates the persistent workers through the barrier, executing this
+    /// thread's share (`worker 0`) inline.
+    fn run_on<H: SyncHook<M>>(
+        &self,
+        horizon: SimTime,
+        hook: &mut H,
+        sync: Option<(&SpinBarrier, &AtomicU64)>,
+        workers: usize,
+    ) -> WindowedOutcome {
+        let mut now = self.now;
+        let mut windows = 0u64;
+        let mut syncs = 0u64;
+        let total_events = |this: &Self| -> u64 {
+            this.cells
+                .iter()
+                .map(|c| c.lock().expect("shard lock poisoned").events)
+                .sum()
+        };
+        let finish = |outcome: RunOutcome, now: SimTime, events: u64, windows, syncs| {
+            if let Some((barrier, edge)) = sync {
+                edge.store(EXIT, Ordering::Release);
+                barrier.wait();
+            }
+            WindowedOutcome {
+                outcome,
+                now,
+                events,
+                windows,
+                syncs,
+            }
+        };
+        loop {
+            match self.plan_step(hook, horizon) {
+                Step::Done(outcome) => {
+                    if outcome == RunOutcome::HorizonReached {
+                        now = horizon;
+                    }
+                    return finish(outcome, now, total_events(self), windows, syncs);
+                }
+                Step::Sync(at) => {
+                    let mut view = self.view();
+                    hook.on_sync(at, &mut view);
+                    drop(view);
+                    now = at;
+                    syncs += 1;
+                }
+                Step::Window(end_ps) => {
+                    match sync {
+                        None => {
+                            for cell in &self.cells {
+                                cell.lock().expect("shard lock poisoned").drain(end_ps);
+                            }
+                        }
+                        Some((barrier, edge)) => {
+                            edge.store(end_ps, Ordering::Release);
+                            barrier.wait();
+                            for cell in self.cells.iter().step_by(workers) {
+                                cell.lock().expect("shard lock poisoned").drain(end_ps);
+                            }
+                            barrier.wait();
+                        }
+                    }
+                    self.exchange(end_ps);
+                    now = SimTime::from_picos(end_ps.saturating_sub(1)).min(horizon);
+                    windows += 1;
+                    let events = total_events(self);
+                    if events >= self.event_budget {
+                        return finish(
+                            RunOutcome::EventBudgetExhausted,
+                            now,
+                            events,
+                            windows,
+                            syncs,
+                        );
+                    }
+                    let mut view = self.view();
+                    let go = hook.keep_running(now, &mut view);
+                    drop(view);
+                    if !go {
+                        return finish(RunOutcome::Stopped, now, events, windows, syncs);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A ring of logical nodes passing a token: node `n` receives the token,
+    /// records `(time, n, hops)`, and forwards it to `(n + 1) % nodes` with a
+    /// fixed latency. Nodes are mapped onto shards round-robin, so different
+    /// shard counts exercise both local sends and cross-shard envelopes.
+    struct Ring {
+        shard: usize,
+        shards: usize,
+        nodes: usize,
+        latency: SimDuration,
+        hops_left: u64,
+        trace: Vec<(u64, usize, u64)>,
+    }
+
+    #[derive(Debug)]
+    struct Token {
+        node: usize,
+        hops: u64,
+    }
+
+    impl ShardModel for Ring {
+        type Event = Token;
+        fn handle(&mut self, ctx: &mut WindowCtx<'_, Token>, token: Token) {
+            assert_eq!(token.node % self.shards, self.shard);
+            self.trace
+                .push((ctx.now().as_picos(), token.node, token.hops));
+            if token.hops >= self.hops_left {
+                return;
+            }
+            let next = (token.node + 1) % self.nodes;
+            ctx.send(
+                next % self.shards,
+                ctx.now() + self.latency,
+                token.hops + 1,
+                Token {
+                    node: next,
+                    hops: token.hops + 1,
+                },
+            );
+        }
+    }
+
+    struct NoSync {
+        lookahead: SimDuration,
+    }
+    impl SyncHook<Ring> for NoSync {
+        fn next_sync(&self) -> SimTime {
+            SimTime::MAX
+        }
+        fn on_sync(&mut self, _: SimTime, _: &mut ShardsView<'_, Ring>) {}
+        fn lookahead(&self) -> SimDuration {
+            self.lookahead
+        }
+        fn keep_running(&mut self, _: SimTime, _: &mut ShardsView<'_, Ring>) -> bool {
+            true
+        }
+    }
+
+    fn run_ring(shards: usize, workers: usize) -> Vec<(u64, usize, u64)> {
+        let nodes = 5;
+        let latency = SimDuration::from_nanos(7);
+        let models: Vec<Ring> = (0..shards)
+            .map(|shard| Ring {
+                shard,
+                shards,
+                nodes,
+                latency,
+                hops_left: 200,
+                trace: Vec::new(),
+            })
+            .collect();
+        let mut sim = WindowedSim::new(models).with_workers(workers);
+        sim.schedule(0, SimTime::ZERO, 0, Token { node: 0, hops: 0 });
+        let out = sim.run(SimTime::MAX, &mut NoSync { lookahead: latency });
+        assert_eq!(out.outcome, RunOutcome::Drained);
+        assert_eq!(out.events, 201);
+        let mut trace: Vec<(u64, usize, u64)> = sim
+            .into_models()
+            .into_iter()
+            .flat_map(|m| m.trace)
+            .collect();
+        trace.sort();
+        trace
+    }
+
+    #[test]
+    fn shard_count_does_not_change_the_trace() {
+        let one = run_ring(1, 1);
+        assert_eq!(one.len(), 201);
+        assert_eq!(one, run_ring(2, 1));
+        assert_eq!(one, run_ring(5, 2));
+        assert_eq!(one, run_ring(3, 3));
+    }
+
+    #[test]
+    fn event_budget_stops_the_run() {
+        let models: Vec<Ring> = (0..2)
+            .map(|shard| Ring {
+                shard,
+                shards: 2,
+                nodes: 2,
+                latency: SimDuration::from_nanos(1),
+                hops_left: u64::MAX,
+                trace: Vec::new(),
+            })
+            .collect();
+        let mut sim = WindowedSim::new(models)
+            .with_event_budget(100)
+            .with_workers(1);
+        sim.schedule(0, SimTime::ZERO, 0, Token { node: 0, hops: 0 });
+        let out = sim.run(
+            SimTime::MAX,
+            &mut NoSync {
+                lookahead: SimDuration::from_nanos(1),
+            },
+        );
+        assert_eq!(out.outcome, RunOutcome::EventBudgetExhausted);
+        assert!(out.events >= 100);
+    }
+
+    #[test]
+    fn horizon_bounds_the_run() {
+        let models: Vec<Ring> = vec![Ring {
+            shard: 0,
+            shards: 1,
+            nodes: 1,
+            latency: SimDuration::from_nanos(10),
+            hops_left: u64::MAX,
+            trace: Vec::new(),
+        }];
+        let mut sim = WindowedSim::new(models).with_workers(1);
+        sim.schedule(0, SimTime::ZERO, 0, Token { node: 0, hops: 0 });
+        let out = sim.run(
+            SimTime::from_nanos(100),
+            &mut NoSync {
+                lookahead: SimDuration::from_nanos(10),
+            },
+        );
+        assert_eq!(out.outcome, RunOutcome::HorizonReached);
+        // Tokens at 0, 10, ..., 100 ns inclusive.
+        assert_eq!(out.events, 11);
+        assert_eq!(out.now, SimTime::from_nanos(100));
+    }
+
+    /// Sync points interleave deterministically with events: everything
+    /// strictly before the sync instant is processed first.
+    #[test]
+    fn sync_points_observe_a_consistent_cut() {
+        struct EpochHook {
+            next: SimTime,
+            period: SimDuration,
+            cuts: Vec<(u64, usize)>,
+        }
+        impl SyncHook<Ring> for EpochHook {
+            fn next_sync(&self) -> SimTime {
+                self.next
+            }
+            fn on_sync(&mut self, at: SimTime, shards: &mut ShardsView<'_, Ring>) {
+                let seen: usize = (0..shards.len()).map(|i| shards.model(i).trace.len()).sum();
+                self.cuts.push((at.as_picos(), seen));
+                self.next = at + self.period;
+            }
+            fn lookahead(&self) -> SimDuration {
+                SimDuration::from_nanos(7)
+            }
+            fn keep_running(&mut self, _: SimTime, _: &mut ShardsView<'_, Ring>) -> bool {
+                true
+            }
+        }
+        let run = |shards: usize| {
+            let models: Vec<Ring> = (0..shards)
+                .map(|shard| Ring {
+                    shard,
+                    shards,
+                    nodes: 4,
+                    latency: SimDuration::from_nanos(7),
+                    hops_left: 50,
+                    trace: Vec::new(),
+                })
+                .collect();
+            let mut sim = WindowedSim::new(models).with_workers(1);
+            sim.schedule(0, SimTime::ZERO, 0, Token { node: 0, hops: 0 });
+            let mut hook = EpochHook {
+                next: SimTime::from_nanos(20),
+                period: SimDuration::from_nanos(20),
+                cuts: Vec::new(),
+            };
+            let out = sim.run(SimTime::from_nanos(400), &mut hook);
+            assert_eq!(out.outcome, RunOutcome::Drained);
+            assert!(out.syncs > 0);
+            hook.cuts
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead bound violated")]
+    fn cross_shard_sends_below_the_window_edge_panic() {
+        struct Bad {
+            shard: usize,
+        }
+        impl ShardModel for Bad {
+            type Event = ();
+            fn handle(&mut self, ctx: &mut WindowCtx<'_, ()>, _: ()) {
+                // Claims a 100 ns lookahead but sends 1 ns ahead.
+                let to = 1 - self.shard;
+                ctx.send(to, ctx.now() + SimDuration::from_nanos(1), 1, ());
+            }
+        }
+        struct Hook;
+        impl SyncHook<Bad> for Hook {
+            fn next_sync(&self) -> SimTime {
+                SimTime::MAX
+            }
+            fn on_sync(&mut self, _: SimTime, _: &mut ShardsView<'_, Bad>) {}
+            fn lookahead(&self) -> SimDuration {
+                SimDuration::from_nanos(100)
+            }
+            fn keep_running(&mut self, _: SimTime, _: &mut ShardsView<'_, Bad>) -> bool {
+                true
+            }
+        }
+        let mut sim = WindowedSim::new(vec![Bad { shard: 0 }, Bad { shard: 1 }]).with_workers(1);
+        sim.schedule(0, SimTime::from_nanos(50), 0, ());
+        sim.run(SimTime::MAX, &mut Hook);
+    }
+}

@@ -125,6 +125,30 @@ impl LinkArena {
         LinkIdx(port.0 / 2)
     }
 
+    /// The node transmitting on an interned port (the inverse of
+    /// [`LinkArena::port`]).
+    #[inline]
+    pub fn port_node(&self, port: PortIdx) -> NodeId {
+        let (a, b) = self.endpoints[(port.0 / 2) as usize];
+        if port.0.is_multiple_of(2) {
+            a
+        } else {
+            b
+        }
+    }
+
+    /// The **cut mask** of a node-ownership assignment: `mask[idx]` is true
+    /// when the link's endpoints are owned by different shards. This is the
+    /// per-epoch cut-edge metadata a sharded engine derives its conservative
+    /// lookahead and mailbox routing from; it is rebuilt together with the
+    /// arena on whole-rack reconfigurations.
+    pub fn cut_mask(&self, owner_of_node: &[u32]) -> Vec<bool> {
+        self.endpoints
+            .iter()
+            .map(|&(a, b)| owner_of_node[a.index()] != owner_of_node[b.index()])
+            .collect()
+    }
+
     /// Iterates `(LinkIdx, LinkId)` pairs in dense order.
     pub fn iter(&self) -> impl Iterator<Item = (LinkIdx, LinkId)> + '_ {
         self.ids

@@ -5,7 +5,7 @@
 //! *topology epoch* (the interval between reconfigurations, and between
 //! price updates for cost-aware routing) the route for a `(src, dst)` pair
 //! is a pure function, so it can be computed once, interned against the
-//! [`LinkArena`](crate::arena::LinkArena), and reused by every subsequent
+//! [`LinkArena`], and reused by every subsequent
 //! train of that pair.
 //!
 //! Invalidation is by epoch counter: bumping the epoch makes every cached

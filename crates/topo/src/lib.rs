@@ -24,10 +24,13 @@
 //!   vectors instead of hash maps.
 //! * [`cache`] — the epoch-invalidated [`RouteCache`] that amortises route
 //!   computation across every train of a `(src, dst)` pair.
+//! * [`partition`] — node-to-shard rack grouping and the per-epoch cut-edge
+//!   metadata (which links cross shards) the sharded engine synchronises on.
 
 pub mod arena;
 pub mod cache;
 pub mod graph;
+pub mod partition;
 pub mod reconfig;
 pub mod routing;
 pub mod spec;
@@ -35,6 +38,7 @@ pub mod spec;
 pub use arena::{LinkArena, LinkIdx, PortIdx};
 pub use cache::{InternedRoute, RouteCache, RouteCacheStats};
 pub use graph::{NodeId, Topology};
+pub use partition::FabricPartition;
 pub use reconfig::{EdgeChange, SpecDiff};
 pub use routing::{dijkstra, ecmp_paths, shortest_path, Route, RoutingAlgorithm};
 pub use spec::{EdgeSpec, TopologyKind, TopologySpec};

@@ -1,0 +1,214 @@
+//! Partitioning a fabric into shards (rack groups).
+//!
+//! The sharded engine splits the fabric's dense per-link/per-port state
+//! along the [`LinkIdx`]/[`PortIdx`] boundary: every
+//! node — and with it every directed port the node transmits on — is owned
+//! by exactly one **shard**, and links whose endpoints live in different
+//! shards form the **cut**. Packet trains crossing a cut link are handed
+//! between shards through mailboxes; the minimum latency across the cut
+//! bounds how far shards may run ahead of each other (the conservative
+//! lookahead).
+//!
+//! Nodes are assigned to shards in contiguous index ranges. Every builder in
+//! [`TopologySpec`](crate::spec::TopologySpec) numbers nodes row-major (grids/tori) or
+//! hosts-then-switches (fat-trees), so contiguous ranges correspond to
+//! physical rack groups: row bands of a torus, host-blocks of a Clos — the
+//! same grouping a multi-rack deployment would cable.
+//!
+//! A partition is a pure function of `(node count, shard count)`; the cut
+//! mask additionally depends on the link set and is rebuilt together with
+//! the [`LinkArena`] after whole-rack reconfigurations.
+
+use crate::arena::{LinkArena, LinkIdx, PortIdx};
+use crate::graph::NodeId;
+
+/// A node-to-shard assignment plus the derived cut-edge metadata for one
+/// topology epoch.
+#[derive(Debug, Clone)]
+pub struct FabricPartition {
+    shards: usize,
+    /// `node index -> shard`.
+    owner: Vec<u32>,
+    /// `LinkIdx -> crosses a shard boundary`.
+    cut: Vec<bool>,
+    cut_count: usize,
+}
+
+impl FabricPartition {
+    /// Partitions `nodes` nodes into `shards` contiguous rack groups and
+    /// derives the cut mask from `arena`. `shards` is clamped to
+    /// `1..=nodes`.
+    pub fn build(nodes: usize, shards: usize, arena: &LinkArena) -> Self {
+        assert!(nodes > 0, "cannot partition an empty fabric");
+        let shards = shards.clamp(1, nodes);
+        let chunk = nodes.div_ceil(shards);
+        let owner: Vec<u32> = (0..nodes).map(|n| (n / chunk) as u32).collect();
+        let cut = arena.cut_mask(&owner);
+        let cut_count = cut.iter().filter(|&&c| c).count();
+        FabricPartition {
+            shards,
+            owner,
+            cut,
+            cut_count,
+        }
+    }
+
+    /// Rebuilds the cut mask against a fresh arena (the ownership is
+    /// unchanged — reconfigurations alter links, not nodes).
+    pub fn recut(&mut self, arena: &LinkArena) {
+        self.cut = arena.cut_mask(&self.owner);
+        self.cut_count = self.cut.iter().filter(|&&c| c).count();
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Number of nodes partitioned.
+    #[inline]
+    pub fn nodes(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// The shard owning `node`.
+    #[inline]
+    pub fn owner(&self, node: NodeId) -> usize {
+        self.owner[node.index()] as usize
+    }
+
+    /// The full node-to-shard table.
+    #[inline]
+    pub fn owners(&self) -> &[u32] {
+        &self.owner
+    }
+
+    /// True when `link` crosses a shard boundary.
+    #[inline]
+    pub fn is_cut(&self, link: LinkIdx) -> bool {
+        self.cut[link.index()]
+    }
+
+    /// Number of cut links in this epoch.
+    #[inline]
+    pub fn cut_count(&self) -> usize {
+        self.cut_count
+    }
+
+    /// Iterates the cut links in dense order.
+    pub fn cut_links(&self) -> impl Iterator<Item = LinkIdx> + '_ {
+        self.cut
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c)
+            .map(|(i, _)| LinkIdx(i as u32))
+    }
+
+    /// The shard owning a directed port (the shard of its transmitting
+    /// node).
+    #[inline]
+    pub fn port_owner(&self, arena: &LinkArena, port: PortIdx) -> usize {
+        self.owner(arena.port_node(port))
+    }
+
+    /// Number of nodes owned by `shard`.
+    pub fn shard_size(&self, shard: usize) -> usize {
+        self.owner.iter().filter(|&&o| o as usize == shard).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::TopologySpec;
+    use rackfabric_phy::PhyState;
+    use rackfabric_sim::units::BitRate;
+
+    fn arena_of(spec: &TopologySpec) -> LinkArena {
+        let mut phy = PhyState::new();
+        let topo = spec.instantiate(&mut phy, BitRate::from_gbps(25));
+        LinkArena::build(&topo)
+    }
+
+    #[test]
+    fn contiguous_ranges_cover_every_node() {
+        let spec = TopologySpec::grid(4, 4, 1);
+        let arena = arena_of(&spec);
+        let p = FabricPartition::build(spec.nodes, 4, &arena);
+        assert_eq!(p.shards(), 4);
+        assert_eq!(p.nodes(), 16);
+        // Row-major grid + contiguous ranges = one row per shard.
+        for n in 0..16u32 {
+            assert_eq!(p.owner(NodeId(n)), (n / 4) as usize);
+        }
+        let sizes: Vec<usize> = (0..4).map(|s| p.shard_size(s)).collect();
+        assert_eq!(sizes, vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn cut_links_are_exactly_the_inter_row_links() {
+        let spec = TopologySpec::grid(4, 4, 1);
+        let arena = arena_of(&spec);
+        let p = FabricPartition::build(spec.nodes, 4, &arena);
+        // A 4x4 grid split into rows cuts the 12 vertical links.
+        assert_eq!(p.cut_count(), 12);
+        for link in p.cut_links() {
+            let (a, b) = arena.endpoints(link);
+            assert_ne!(p.owner(a), p.owner(b));
+        }
+        let uncut = arena.len() - p.cut_count();
+        assert_eq!(uncut, 12, "the 12 horizontal links stay internal");
+    }
+
+    #[test]
+    fn single_shard_has_no_cut() {
+        let spec = TopologySpec::torus(4, 4, 1);
+        let arena = arena_of(&spec);
+        let p = FabricPartition::build(spec.nodes, 1, &arena);
+        assert_eq!(p.shards(), 1);
+        assert_eq!(p.cut_count(), 0);
+        assert_eq!(p.cut_links().count(), 0);
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_node_count() {
+        let spec = TopologySpec::line(3, 1);
+        let arena = arena_of(&spec);
+        let p = FabricPartition::build(spec.nodes, 64, &arena);
+        assert_eq!(p.shards(), 3);
+        assert_eq!(p.cut_count(), 2);
+    }
+
+    #[test]
+    fn port_owner_follows_the_transmitting_node() {
+        let spec = TopologySpec::grid(2, 2, 1);
+        let arena = arena_of(&spec);
+        let p = FabricPartition::build(spec.nodes, 2, &arena);
+        for (idx, _) in arena.iter() {
+            let (a, b) = arena.endpoints(idx);
+            let pa = arena.port(a, idx);
+            let pb = arena.port(b, idx);
+            assert_eq!(p.port_owner(&arena, pa), p.owner(a));
+            assert_eq!(p.port_owner(&arena, pb), p.owner(b));
+            assert_eq!(arena.port_node(pa), a);
+            assert_eq!(arena.port_node(pb), b);
+        }
+    }
+
+    #[test]
+    fn recut_tracks_a_rebuilt_arena() {
+        let spec = TopologySpec::grid(2, 2, 1);
+        let mut phy = PhyState::new();
+        let mut topo = spec.instantiate(&mut phy, BitRate::from_gbps(25));
+        let arena = LinkArena::build(&topo);
+        let mut p = FabricPartition::build(spec.nodes, 2, &arena);
+        let before = p.cut_count();
+        // Remove one cut link and recut.
+        let victim = p.cut_links().next().unwrap();
+        topo.remove_edge(arena.link_id(victim));
+        let rebuilt = LinkArena::build(&topo);
+        p.recut(&rebuilt);
+        assert_eq!(p.cut_count(), before - 1);
+    }
+}

@@ -6,7 +6,7 @@
 //! Closed Ring Control reasons about when it plans a reconfiguration (the
 //! paper's Figure 2 moves from a 2-lane grid spec to a 1-lane torus spec);
 //! [`TopologySpec::instantiate`] realises a spec against a
-//! [`PhyState`](rackfabric_phy::PhyState), creating the physical links and
+//! [`PhyState`], creating the physical links and
 //! returning the runtime [`Topology`].
 
 use crate::graph::{NodeId, Topology};

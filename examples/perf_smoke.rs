@@ -1,18 +1,34 @@
 //! Hot-path perf smoke sweep.
 //!
-//! Drives the heavy-shuffle scenario matrix through the scenario engine,
+//! Drives the heavy-shuffle scenario matrices through the scenario engine,
 //! measures engine events/sec and tail latency per cell, and writes the
 //! results to `BENCH_hotpath.json` — the perf-trajectory artifact the
-//! ROADMAP tracks across hot-path work. It also cross-checks the calendar
-//! scheduler against the reference heap (byte-identical CSV exports) and a
-//! single-threaded against a parallel runner, exiting non-zero on any
-//! divergence or failed job so CI can gate on correctness **without** gating
-//! on timing.
+//! ROADMAP tracks across hot-path work. Correctness gates (never
+//! timing-sensitive):
+//!
+//! * heap vs calendar schedulers must export byte-identical aggregates,
+//! * 1-thread vs N-thread runners must export byte-identical aggregates,
+//! * **1-shard vs N-shard runs of the sharded multi-rack engine must export
+//!   byte-identical aggregates** — the acceptance gate of the sharded
+//!   engine, which also opens the 16×16 torus and multi-rack fat-tree cells
+//!   the monolithic engine could not afford.
+//!
+//! `BENCH_hotpath.json` bookkeeping: the `pre_pr_events_per_sec` baseline
+//! recorded by the first run on a machine is **preserved** across runs (it
+//! anchors the speedup column; overwriting it with the latest tree's
+//! numbers would erase the trajectory), and every full run **appends** a
+//! `history` entry so the perf trajectory is browsable per-commit.
 //!
 //! ```text
-//! cargo run --release --example perf_smoke            # full 8x8 sweep
-//! cargo run --release --example perf_smoke -- --tiny  # CI-sized matrix
+//! cargo run --release --example perf_smoke                 # full sweep
+//! cargo run --release --example perf_smoke -- --tiny       # CI-sized
+//! cargo run --release --example perf_smoke -- --shards 4   # N-shard arm
+//! cargo run --release --example perf_smoke -- --export-cells out.json
 //! ```
+//!
+//! `--export-cells` writes the sharded sweep's byte-stable cells JSON (no
+//! wall-clock fields) to a file; CI runs the example twice with different
+//! `--shards` values and diffs the two exports byte for byte.
 
 use rackfabric::prelude::TopologySpec;
 use rackfabric_scenario::prelude::*;
@@ -21,10 +37,14 @@ use rackfabric_sim::prelude::*;
 
 /// Pre-refactor engine throughput on this sweep's 8×8 heavy-shuffle cells
 /// (binary-heap scheduler, hash-map fabric state, one event per packet),
-/// measured at the PR-1 tree on the reference dev container. These anchor
-/// the speedup column; absolute numbers vary by machine, ratios far less.
+/// measured at the PR-1 tree on the reference dev container. Used only when
+/// no `BENCH_hotpath.json` exists yet; afterwards the baseline recorded in
+/// the file wins and is never overwritten.
 const PRE_PR_EVENTS_PER_SEC_ADAPTIVE: f64 = 315_794.0;
 const PRE_PR_EVENTS_PER_SEC_BASELINE: f64 = 654_893.0;
+
+/// How many history entries the bench file retains.
+const HISTORY_CAP: usize = 50;
 
 fn matrix(tiny: bool, scheduler: SchedulerKind) -> Matrix {
     let (rack, horizon) = if tiny {
@@ -53,10 +73,87 @@ fn matrix(tiny: bool, scheduler: SchedulerKind) -> Matrix {
         .master_seed(7)
 }
 
+/// The sharded-engine sweep: multi-rack cells the monolithic engine could
+/// not afford, each run at `shards` rack groups. Tiny mode keeps one small
+/// rack so the CI gate stays cheap.
+fn sharded_matrix(tiny: bool, shards: usize) -> Matrix {
+    let (topologies, partition, horizon) = if tiny {
+        (
+            vec![AxisValue::Topology(TopologySpec::grid(3, 3, 2))],
+            Bytes::from_kib(16),
+            SimTime::from_millis(10),
+        )
+    } else {
+        (
+            vec![
+                AxisValue::Topology(TopologySpec::torus(16, 16, 2)),
+                AxisValue::Topology(TopologySpec::fat_tree(128, 16, 4, 2)),
+            ],
+            Bytes::from_kib(4),
+            SimTime::from_millis(40),
+        )
+    };
+    let base = ScenarioSpec::new(
+        "sharded-perf-smoke",
+        TopologySpec::grid(3, 3, 2),
+        WorkloadSpec::Shuffle {
+            partition,
+            load: 1.0,
+        },
+    )
+    .horizon(horizon)
+    .shards(shards);
+    Matrix::new(base)
+        .axis("racks", topologies)
+        .axis(
+            "controller",
+            vec![
+                AxisValue::Controller(ControllerSpec::Baseline),
+                AxisValue::Controller(ControllerSpec::adaptive_default()),
+            ],
+        )
+        .master_seed(7)
+}
+
+/// The previously recorded bench file, if any (used to preserve the pre-PR
+/// baseline and the run history across runs).
+fn previous_bench(path: &str) -> Option<json::JsonValue> {
+    let text = std::fs::read_to_string(path).ok()?;
+    json::parse(&text).ok()
+}
+
+/// Renders one `{"baseline": x, "adaptive": y}` object.
+fn baselines_json(baseline: f64, adaptive: f64) -> String {
+    format!(
+        "{{\"baseline\": {}, \"adaptive\": {}}}",
+        json::number(baseline),
+        json::number(adaptive)
+    )
+}
+
 fn main() {
-    let tiny = std::env::args().any(|a| a == "--tiny");
+    let args: Vec<String> = std::env::args().collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    // A malformed --shards must be a hard error: silently falling back would
+    // let both CI arms run the same shard count and turn the byte-for-byte
+    // cmp gate into a tautology.
+    let shards = match args.iter().position(|a| a == "--shards") {
+        None => 4,
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) => n.max(1),
+            None => {
+                eprintln!("perf_smoke: FAIL — --shards requires an integer argument");
+                std::process::exit(1);
+            }
+        },
+    };
+    let export_cells = args
+        .iter()
+        .position(|a| a == "--export-cells")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let mode = if tiny { "tiny" } else { "full" };
-    eprintln!("perf_smoke: running {mode} heavy-shuffle sweep...");
+    eprintln!("perf_smoke: running {mode} heavy-shuffle sweep ({shards}-shard arm)...");
 
     // Timed runs: calendar scheduler, single thread (clean per-job timing),
     // best wall-clock of three passes per cell to shrug off machine noise.
@@ -98,20 +195,87 @@ fn main() {
         eprintln!("perf_smoke: FAIL — 1-thread and N-thread sweeps diverged");
     }
 
+    // 3. The sharded engine: N shards must export byte-identically to the
+    //    1-shard reference. The N-shard arm is the timed one (it is the
+    //    configuration the multi-rack cells are meant to run at). When this
+    //    invocation *is* the 1-shard arm there is nothing to cross-check
+    //    in-process — rerunning the identical matrix would only compare a
+    //    run against its own repeat; the CI gate compares this arm's export
+    //    against the N-shard arm's across processes instead.
+    eprintln!("perf_smoke: running sharded multi-rack sweep ({shards}-shard arm)...");
+    let sharded_n = Runner::single_threaded().run(&sharded_matrix(tiny, shards));
+    if sharded_n.failed_jobs() > 0 {
+        eprintln!("perf_smoke: FAIL — sharded job(s) panicked");
+        std::process::exit(1);
+    }
+    let shards_ok = if shards == 1 {
+        true
+    } else {
+        let sharded_1 = Runner::single_threaded().run(&sharded_matrix(tiny, 1));
+        if sharded_1.failed_jobs() > 0 {
+            eprintln!("perf_smoke: FAIL — sharded job(s) panicked");
+            std::process::exit(1);
+        }
+        sharded_1.to_csv() == sharded_n.to_csv() && sharded_1.to_json() == sharded_n.to_json()
+    };
+    if !shards_ok {
+        eprintln!("perf_smoke: FAIL — 1-shard and {shards}-shard sweeps diverged");
+    }
+    for cell in &sharded_n.cells {
+        if cell.completed_runs != cell.runs - cell.failed_runs {
+            eprintln!(
+                "perf_smoke: FAIL — sharded cell {:?} left flows incomplete",
+                cell.labels
+            );
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(path) = &export_cells {
+        // Byte-stable cells export (no wall-clock fields): CI diffs the
+        // files produced by two runs with different --shards values.
+        if let Err(e) = std::fs::write(path, sharded_n.to_json()) {
+            eprintln!("perf_smoke: FAIL — could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("perf_smoke: wrote byte-stable sharded cells to {path}");
+    }
+
+    // Preserve the first-recorded pre-PR baseline and the run history.
+    let bench_path = "BENCH_hotpath.json";
+    let previous = previous_bench(bench_path);
+    let pre_pr = previous
+        .as_ref()
+        .and_then(|p| p.get("pre_pr_events_per_sec"))
+        .and_then(|b| Some((b.get("baseline")?.as_f64()?, b.get("adaptive")?.as_f64()?)))
+        .unwrap_or((
+            PRE_PR_EVENTS_PER_SEC_BASELINE,
+            PRE_PR_EVENTS_PER_SEC_ADAPTIVE,
+        ));
+    let mut history: Vec<String> = previous
+        .as_ref()
+        .and_then(|p| p.get("history"))
+        .and_then(|h| h.as_array())
+        .map(|entries| entries.iter().map(render_history_entry).collect())
+        .unwrap_or_default();
+
     // Render BENCH_hotpath.json.
     let mut out = String::from("{\n");
     out.push_str("  \"experiment\": \"hotpath_perf_smoke\",\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     out.push_str(&format!(
-        "  \"pre_pr_events_per_sec\": {{\"baseline\": {}, \"adaptive\": {}}},\n",
-        json::number(PRE_PR_EVENTS_PER_SEC_BASELINE),
-        json::number(PRE_PR_EVENTS_PER_SEC_ADAPTIVE),
+        "  \"pre_pr_events_per_sec\": {},\n",
+        baselines_json(pre_pr.0, pre_pr.1)
     ));
     out.push_str(&format!(
-        "  \"determinism\": {{\"heap_vs_calendar_identical\": {heap_ok}, \"serial_vs_parallel_identical\": {threads_ok}}},\n"
+        "  \"determinism\": {{\"heap_vs_calendar_identical\": {heap_ok}, \
+         \"serial_vs_parallel_identical\": {threads_ok}, \
+         \"shard_counts_identical\": {shards_ok}}},\n"
     ));
     out.push_str("  \"cells\": [\n");
-    for (i, cell) in timed.cells.iter().enumerate() {
+    let mut cell_rows: Vec<String> = Vec::new();
+    let mut history_cells: Vec<String> = Vec::new();
+    for cell in timed.cells.iter() {
         let controller = cell
             .labels
             .iter()
@@ -119,16 +283,17 @@ fn main() {
             .map(|(_, v)| v.as_str())
             .unwrap_or("?");
         let events_per_sec = cell.events_per_sec();
-        let pre_pr = match controller {
-            "baseline" => PRE_PR_EVENTS_PER_SEC_BASELINE,
-            _ => PRE_PR_EVENTS_PER_SEC_ADAPTIVE,
+        let anchor = match controller {
+            "baseline" => pre_pr.0,
+            _ => pre_pr.1,
         };
         // Speedup is only meaningful against the matching full-size cells.
-        let speedup = if tiny { 0.0 } else { events_per_sec / pre_pr };
-        out.push_str(&format!(
-            "    {{\"controller\": \"{}\", \"events\": {}, \"wall_ms\": {}, \"events_per_sec\": {}, \
-             \"latency_p50_ps\": {}, \"latency_p99_ps\": {}, \"route_cache_hit_rate\": {}, \
-             \"completed_runs\": {}, \"speedup_vs_pre_pr\": {}}}{}\n",
+        let speedup = if tiny { 0.0 } else { events_per_sec / anchor };
+        cell_rows.push(format!(
+            "    {{\"engine\": \"monolithic\", \"controller\": \"{}\", \"events\": {}, \
+             \"wall_ms\": {}, \"events_per_sec\": {}, \"latency_p50_ps\": {}, \
+             \"latency_p99_ps\": {}, \"route_cache_hit_rate\": {}, \"completed_runs\": {}, \
+             \"speedup_vs_pre_pr\": {}}}",
             json::escape(controller),
             cell.events_processed,
             json::number(cell.wall_nanos as f64 / 1e6),
@@ -138,7 +303,11 @@ fn main() {
             json::number(cell.route_cache_hit_rate),
             cell.completed_runs,
             json::number(speedup),
-            if i + 1 < timed.cells.len() { "," } else { "" },
+        ));
+        history_cells.push(format!(
+            "{{\"cell\": \"{}\", \"events_per_sec\": {}}}",
+            json::escape(controller),
+            json::number(events_per_sec)
         ));
         eprintln!(
             "  {controller:>9}: {:>9} events in {:>8.1} ms = {:>9.0} events/sec \
@@ -156,16 +325,120 @@ fn main() {
             },
         );
     }
-    out.push_str("  ]\n}\n");
+    for cell in sharded_n.cells.iter() {
+        let rack = cell
+            .labels
+            .iter()
+            .find(|(k, _)| k == "racks")
+            .map(|(_, v)| v.as_str())
+            .unwrap_or("?");
+        let controller = cell
+            .labels
+            .iter()
+            .find(|(k, _)| k == "controller")
+            .map(|(_, v)| v.as_str())
+            .unwrap_or("?");
+        let label = format!("{rack}/{controller}");
+        let events_per_sec = cell.events_per_sec();
+        cell_rows.push(format!(
+            "    {{\"engine\": \"sharded\", \"racks\": \"{}\", \"controller\": \"{}\", \
+             \"shards\": {}, \"events\": {}, \"wall_ms\": {}, \"events_per_sec\": {}, \
+             \"latency_p50_ps\": {}, \"latency_p99_ps\": {}, \"route_cache_hit_rate\": {}, \
+             \"completed_runs\": {}}}",
+            json::escape(rack),
+            json::escape(controller),
+            shards,
+            cell.events_processed,
+            json::number(cell.wall_nanos as f64 / 1e6),
+            json::number(events_per_sec),
+            json::number(cell.packet_latency.p50),
+            json::number(cell.packet_latency.p99),
+            json::number(cell.route_cache_hit_rate),
+            cell.completed_runs,
+        ));
+        history_cells.push(format!(
+            "{{\"cell\": \"{}\", \"events_per_sec\": {}}}",
+            json::escape(&label),
+            json::number(events_per_sec)
+        ));
+        eprintln!(
+            "  {label:>32} [{shards} shards]: {:>9} events in {:>8.1} ms = {:>9.0} events/sec \
+             (p50 {:.0} ps, p99 {:.0} ps)",
+            cell.events_processed,
+            cell.wall_nanos as f64 / 1e6,
+            events_per_sec,
+            cell.packet_latency.p50,
+            cell.packet_latency.p99,
+        );
+    }
+    out.push_str(&cell_rows.join(",\n"));
+    out.push_str("\n  ],\n");
 
-    let path = "BENCH_hotpath.json";
-    if let Err(e) = std::fs::write(path, &out) {
-        eprintln!("perf_smoke: FAIL — could not write {path}: {e}");
+    // Append this run to the history (full runs only: tiny CI runs measure
+    // nothing meaningful and would flood the trajectory).
+    if !tiny {
+        let unix_secs = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        history.push(format!(
+            "{{\"unix_secs\": {unix_secs}, \"mode\": \"{mode}\", \"shards\": {shards}, \
+             \"cells\": [{}]}}",
+            history_cells.join(", ")
+        ));
+        if history.len() > HISTORY_CAP {
+            let excess = history.len() - HISTORY_CAP;
+            history.drain(..excess);
+        }
+    }
+    if history.is_empty() {
+        out.push_str("  \"history\": []\n}\n");
+    } else {
+        out.push_str("  \"history\": [\n    ");
+        out.push_str(&history.join(",\n    "));
+        out.push_str("\n  ]\n}\n");
+    }
+
+    if let Err(e) = std::fs::write(bench_path, &out) {
+        eprintln!("perf_smoke: FAIL — could not write {bench_path}: {e}");
         std::process::exit(1);
     }
-    eprintln!("perf_smoke: wrote {path}");
+    eprintln!("perf_smoke: wrote {bench_path}");
 
-    if !(heap_ok && threads_ok && repeat_ok) {
+    if !(heap_ok && threads_ok && repeat_ok && shards_ok) {
         std::process::exit(1);
     }
+}
+
+/// Re-renders a parsed history entry back to compact JSON (the entries are
+/// written by this example, so the shape is fixed).
+fn render_history_entry(entry: &json::JsonValue) -> String {
+    let unix_secs = entry.get("unix_secs").and_then(|v| v.as_u64()).unwrap_or(0);
+    let mode = entry.get("mode").and_then(|v| v.as_str()).unwrap_or("full");
+    let shards = entry.get("shards").and_then(|v| v.as_u64()).unwrap_or(0);
+    let cells = entry
+        .get("cells")
+        .and_then(|v| v.as_array())
+        .map(|cells| {
+            cells
+                .iter()
+                .map(|c| {
+                    format!(
+                        "{{\"cell\": \"{}\", \"events_per_sec\": {}}}",
+                        json::escape(c.get("cell").and_then(|v| v.as_str()).unwrap_or("?")),
+                        json::number(
+                            c.get("events_per_sec")
+                                .and_then(|v| v.as_f64())
+                                .unwrap_or(0.0)
+                        )
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ")
+        })
+        .unwrap_or_default();
+    format!(
+        "{{\"unix_secs\": {unix_secs}, \"mode\": \"{}\", \"shards\": {shards}, \"cells\": [{cells}]}}",
+        json::escape(mode)
+    )
 }

@@ -1,0 +1,171 @@
+//! Acceptance gate of the sharded multi-rack engine: sweeps run with 1 shard
+//! and with N shards must export **byte-identical** CSV/JSON — the same
+//! property the scenario runner guarantees for 1-vs-N threads, lifted to the
+//! engine's own parallel decomposition. Every float, percentile, counter and
+//! label participates via the textual comparison.
+
+use rackfabric::prelude::TopologySpec;
+use rackfabric::shard::{run_sharded, ShardedConfig};
+use rackfabric_scenario::prelude::*;
+use rackfabric_sim::prelude::*;
+
+/// A small controller × load sweep on the sharded engine with `shards` rack
+/// groups per job.
+fn sharded_matrix(shards: usize) -> Matrix {
+    let base = ScenarioSpec::new(
+        "shard-determinism",
+        TopologySpec::grid(3, 3, 2),
+        WorkloadSpec::shuffle(Bytes::from_kib(2)),
+    )
+    .horizon(SimTime::from_millis(20))
+    .shards(shards);
+    Matrix::new(base)
+        .axis(
+            "controller",
+            vec![
+                AxisValue::Controller(ControllerSpec::Baseline),
+                AxisValue::Controller(ControllerSpec::adaptive_default()),
+            ],
+        )
+        .axis("load", vec![AxisValue::Load(0.5), AxisValue::Load(1.0)])
+        .replicates(2)
+        .master_seed(7781)
+}
+
+#[test]
+fn one_shard_and_n_shards_export_identical_bytes() {
+    let one = Runner::single_threaded().run(&sharded_matrix(1));
+    assert_eq!(one.failed_jobs(), 0);
+    for shards in [2, 3, 9] {
+        let many = Runner::single_threaded().run(&sharded_matrix(shards));
+        assert_eq!(
+            one.to_csv(),
+            many.to_csv(),
+            "{shards}-shard sweep diverged from the 1-shard reference (CSV)"
+        );
+        assert_eq!(
+            one.to_json(),
+            many.to_json(),
+            "{shards}-shard sweep diverged from the 1-shard reference (JSON)"
+        );
+        // Engine event counts are part of the contract: the window planner
+        // derives from shard-count-independent quantities.
+        for (a, b) in one.jobs.iter().zip(&many.jobs) {
+            match (&a.outcome, &b.outcome) {
+                (JobOutcome::Completed(x), JobOutcome::Completed(y)) => {
+                    assert_eq!(
+                        x.events_processed, y.events_processed,
+                        "job {} processed different event counts at {shards} shards",
+                        a.job.index
+                    );
+                    assert_eq!(x.summary, y.summary, "job {} diverged", a.job.index);
+                }
+                _ => panic!("job {} did not complete in both runs", a.job.index),
+            }
+        }
+    }
+}
+
+#[test]
+fn shards_axis_cross_checks_within_one_matrix() {
+    // The shards axis expands 1-shard and N-shard cells side by side from
+    // the same base; their per-replicate seeds differ (each cell draws its
+    // own), so equality is checked via the dedicated 1-vs-N sweeps above.
+    // Here the axis itself must expand, label and run cleanly.
+    let base = ScenarioSpec::new(
+        "shards-axis",
+        TopologySpec::grid(2, 2, 2),
+        WorkloadSpec::shuffle(Bytes::from_kib(1)),
+    )
+    .horizon(SimTime::from_millis(10));
+    let matrix = Matrix::new(base).axis(
+        "shards",
+        vec![
+            AxisValue::Shards(1),
+            AxisValue::Shards(2),
+            AxisValue::Shards(4),
+        ],
+    );
+    let result = Runner::single_threaded().run(&matrix);
+    assert_eq!(result.failed_jobs(), 0);
+    assert_eq!(result.cells.len(), 3);
+    let labels: Vec<&str> = result
+        .cells
+        .iter()
+        .map(|c| c.labels[0].1.as_str())
+        .collect();
+    assert_eq!(labels, vec!["1", "2", "4"]);
+    for cell in &result.cells {
+        assert_eq!(cell.completed_runs, 1, "cell {:?}", cell.labels);
+        assert!(cell.delivered_bytes > 0);
+    }
+}
+
+#[test]
+fn worker_thread_count_does_not_change_sharded_results() {
+    let run = |workers: usize| {
+        let flows = ScenarioSpec::new(
+            "workers",
+            TopologySpec::grid(3, 3, 2),
+            WorkloadSpec::shuffle(Bytes::from_kib(2)),
+        )
+        .seed(42)
+        .build_flows();
+        let spec = ScenarioSpec::new(
+            "workers",
+            TopologySpec::grid(3, 3, 2),
+            WorkloadSpec::shuffle(Bytes::from_kib(2)),
+        )
+        .seed(42)
+        .horizon(SimTime::from_millis(20));
+        let mut config = ShardedConfig::new(spec.to_fabric_config(), 3);
+        config.workers = workers;
+        run_sharded(config, flows)
+    };
+    let serial = run(1);
+    let threaded = run(3);
+    assert!(serial.all_flows_complete);
+    assert_eq!(serial.events_processed, threaded.events_processed);
+    assert_eq!(serial.windows, threaded.windows);
+    assert_eq!(serial.metrics.summary(), threaded.metrics.summary());
+}
+
+/// A reconfiguration fence spanning shards: the grid→torus escalation runs
+/// at a sync point, fences every link in **every** shard, and the upgraded
+/// fabric must behave identically for 1 and 4 shards.
+#[test]
+fn topology_upgrade_is_shard_count_independent() {
+    let run = |shards: usize| {
+        let spec = ScenarioSpec::new(
+            "upgrade",
+            TopologySpec::grid(4, 4, 2),
+            WorkloadSpec::shuffle(Bytes::from_kib(48)),
+        )
+        .upgrade(TopologySpec::torus(4, 4, 1))
+        .seed(4)
+        .horizon(SimTime::from_millis(120));
+        let flows = spec.build_flows();
+        let mut fabric_config = spec.to_fabric_config();
+        fabric_config.crc.epoch = SimDuration::from_micros(20);
+        run_sharded(ShardedConfig::new(fabric_config, shards), flows)
+    };
+    let one = run(1);
+    let four = run(4);
+    assert!(one.all_flows_complete, "1-shard upgrade run must finish");
+    assert_eq!(
+        one.metrics.topology_reconfigurations, 1,
+        "sustained shuffle pressure should trigger exactly one upgrade"
+    );
+    assert_eq!(four.shards, 4);
+    assert_eq!(one.metrics.summary(), four.metrics.summary());
+    assert_eq!(one.events_processed, four.events_processed);
+    assert_eq!(one.syncs, four.syncs);
+}
+
+#[test]
+fn rerunning_the_same_sharded_matrix_is_reproducible() {
+    let first = Runner::single_threaded().run(&sharded_matrix(3));
+    let second = Runner::single_threaded().run(&sharded_matrix(3));
+    assert_eq!(first.to_csv(), second.to_csv());
+    assert_eq!(first.to_json(), second.to_json());
+}
