@@ -1,0 +1,243 @@
+//! `sweep` — the campaign CLI driving `rackfabric-sweep` end to end:
+//! resume (content-addressed store) → budget (CI-convergence replication) →
+//! report (CSV/JSON/SVG/markdown).
+//!
+//! ```text
+//! sweep --store DIR --out DIR [options]
+//!
+//!   --store DIR         result store directory (default: sweep-store)
+//!   --out DIR           report output directory (default: sweep-out)
+//!   --tiny              CI-sized campaign (small racks, short horizon)
+//!   --budget            budgeted replication instead of fixed seeds
+//!   --ci-target F       target p99 CI relative half-width (default 0.25)
+//!   --min-replicates N  replication floor per cell (default 3)
+//!   --max-replicates N  replication cap per cell (default 12)
+//!   --max-jobs N        campaign-wide job cap (budgeted mode)
+//!   --max-new-jobs N    stop after N fresh executions (interruption knob)
+//!   --threads N         runner threads (default 0 = one per core)
+//!   --expect-cached     fail if any job executes (the CI resume gate)
+//! ```
+//!
+//! Running the same campaign twice against one store executes zero jobs the
+//! second time and writes byte-identical reports — `--expect-cached` plus a
+//! directory diff is the resume-determinism gate in CI.
+
+use rackfabric::prelude::TopologySpec;
+use rackfabric_scenario::prelude::*;
+use rackfabric_sim::prelude::*;
+use rackfabric_sweep::prelude::*;
+
+/// The demo campaign: racks × load × controller heavy shuffle, the same
+/// space `examples/scenario_sweep.rs` explores, now resumable.
+fn campaign_matrix(tiny: bool) -> Matrix {
+    let (racks, partition, horizon) = if tiny {
+        (
+            vec![
+                AxisValue::Topology(TopologySpec::grid(2, 2, 2)),
+                AxisValue::Topology(TopologySpec::grid(3, 3, 2)),
+            ],
+            Bytes::from_kib(2),
+            SimTime::from_millis(10),
+        )
+    } else {
+        (
+            vec![
+                AxisValue::Topology(TopologySpec::grid(3, 3, 2)),
+                AxisValue::Topology(TopologySpec::grid(4, 4, 2)),
+                AxisValue::Topology(TopologySpec::grid(6, 6, 2)),
+            ],
+            Bytes::from_kib(16),
+            SimTime::from_millis(40),
+        )
+    };
+    let base = ScenarioSpec::new(
+        "sweep-campaign",
+        TopologySpec::grid(3, 3, 2),
+        WorkloadSpec::Shuffle {
+            partition,
+            load: 1.0,
+        },
+    )
+    .horizon(horizon);
+    Matrix::new(base)
+        .axis("racks", racks)
+        .axis("load", vec![AxisValue::Load(0.5), AxisValue::Load(1.0)])
+        .axis(
+            "controller",
+            vec![
+                AxisValue::Controller(ControllerSpec::Baseline),
+                AxisValue::Controller(ControllerSpec::adaptive_default()),
+            ],
+        )
+        .replicates(if tiny { 2 } else { 3 })
+        .master_seed(11)
+}
+
+struct Args {
+    store: String,
+    out: String,
+    tiny: bool,
+    budget: bool,
+    ci_target: f64,
+    min_replicates: usize,
+    max_replicates: usize,
+    max_jobs: Option<u64>,
+    max_new_jobs: Option<usize>,
+    threads: usize,
+    expect_cached: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        store: "sweep-store".into(),
+        out: "sweep-out".into(),
+        tiny: false,
+        budget: false,
+        ci_target: 0.25,
+        min_replicates: 3,
+        max_replicates: 12,
+        max_jobs: None,
+        max_new_jobs: None,
+        threads: 0,
+        expect_cached: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{} requires a value", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--store" => args.store = value(&mut i)?,
+            "--out" => args.out = value(&mut i)?,
+            "--tiny" => args.tiny = true,
+            "--budget" => args.budget = true,
+            "--ci-target" => {
+                args.ci_target = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--ci-target: {e}"))?
+            }
+            "--min-replicates" => {
+                args.min_replicates = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--min-replicates: {e}"))?
+            }
+            "--max-replicates" => {
+                args.max_replicates = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--max-replicates: {e}"))?
+            }
+            "--max-jobs" => {
+                args.max_jobs = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--max-jobs: {e}"))?,
+                )
+            }
+            "--max-new-jobs" => {
+                args.max_new_jobs = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--max-new-jobs: {e}"))?,
+                )
+            }
+            "--threads" => {
+                args.threads = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--expect-cached" => args.expect_cached = true,
+            other => return Err(format!("unknown argument: {other}")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("sweep: {message}");
+            std::process::exit(2);
+        }
+    };
+
+    let store = match ResultStore::open(&args.store) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("sweep: cannot open store {}: {e}", args.store);
+            std::process::exit(1);
+        }
+    };
+    let runner = Runner::new(args.threads);
+    let name = if args.tiny {
+        "sweep-campaign (tiny)"
+    } else {
+        "sweep-campaign"
+    };
+
+    let mut sweep = Sweep::new(campaign_matrix(args.tiny));
+    if args.budget {
+        sweep = sweep.budget(BudgetPolicy {
+            target_rel_halfwidth: args.ci_target,
+            min_replicates: args.min_replicates,
+            max_replicates: args.max_replicates,
+            max_total_jobs: args.max_jobs,
+            ..BudgetPolicy::default()
+        });
+    }
+    if let Some(cap) = args.max_new_jobs {
+        sweep = sweep.max_new_jobs(cap);
+    }
+
+    eprintln!(
+        "sweep: campaign `{name}` against store {} ({} record(s) warm)",
+        args.store,
+        store.len()
+    );
+    let outcome = match sweep.run(&store, &runner) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("sweep: FAIL — campaign aborted: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "sweep: {} job(s) — {} executed, {} cache hit(s), {} skipped{}",
+        outcome.total_jobs(),
+        outcome.executed,
+        outcome.cached,
+        outcome.skipped,
+        if outcome.interrupted {
+            " [interrupted]"
+        } else {
+            ""
+        }
+    );
+    for budget in &outcome.cell_budgets {
+        eprintln!(
+            "  cell {}: {} replicate(s), stop={}",
+            budget.cell,
+            budget.replicates,
+            budget.stop.label()
+        );
+    }
+
+    if let Err(e) = write_report(std::path::Path::new(&args.out), name, &outcome) {
+        eprintln!("sweep: FAIL — cannot write report to {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    eprintln!("sweep: wrote report to {}", args.out);
+
+    if args.expect_cached && outcome.executed > 0 {
+        eprintln!(
+            "sweep: FAIL — expected a fully warm store but {} job(s) executed",
+            outcome.executed
+        );
+        std::process::exit(1);
+    }
+}

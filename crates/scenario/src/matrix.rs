@@ -11,7 +11,7 @@
 use crate::spec::{ControllerSpec, FecSetting, ScenarioSpec, WorkloadSpec};
 use rackfabric::policy::CrcPolicy;
 use rackfabric_sim::rng::DetRng;
-use rackfabric_sim::time::SimTime;
+use rackfabric_sim::time::{SimDuration, SimTime};
 use rackfabric_sim::units::{BitRate, Bytes};
 use rackfabric_topo::routing::RoutingAlgorithm;
 use rackfabric_topo::spec::TopologySpec;
@@ -42,6 +42,9 @@ pub enum AxisValue {
     LaneRate(BitRate),
     /// Set the packetisation size.
     Mtu(Bytes),
+    /// Set the packet-train rate window (how many bytes each link drain
+    /// event batches; the train-batching knob of the hot path).
+    TrainWindow(SimDuration),
     /// Set the simulation horizon.
     Horizon(SimTime),
     /// Select the engine: `0` = monolithic, `n >= 1` = sharded multi-rack
@@ -78,6 +81,7 @@ impl AxisValue {
             }
             AxisValue::LaneRate(rate) => spec.lane_rate = *rate,
             AxisValue::Mtu(m) => spec.mtu = *m,
+            AxisValue::TrainWindow(w) => spec.train_window = *w,
             AxisValue::Horizon(h) => spec.horizon = *h,
             AxisValue::Shards(n) => spec.shards = *n,
         }
@@ -99,6 +103,7 @@ impl AxisValue {
             AxisValue::Routing(r) => format!("{r:?}").to_lowercase(),
             AxisValue::LaneRate(rate) => format!("{}gbps", rate.as_gbps_f64()),
             AxisValue::Mtu(m) => format!("{}B", m.as_u64()),
+            AxisValue::TrainWindow(w) => format!("{}ns", w.as_nanos_f64()),
             AxisValue::Horizon(h) => format!("{}us", h.as_micros_f64()),
             AxisValue::Shards(0) => "monolithic".into(),
             AxisValue::Shards(n) => format!("{n}"),
@@ -319,6 +324,38 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn train_window_and_mtu_axes_mutate_the_spec() {
+        let m = Matrix::new(base())
+            .axis(
+                "train_window",
+                vec![
+                    AxisValue::TrainWindow(SimDuration::from_nanos(250)),
+                    AxisValue::TrainWindow(SimDuration::from_micros(2)),
+                ],
+            )
+            .axis(
+                "mtu",
+                vec![
+                    AxisValue::Mtu(Bytes::new(1500)),
+                    AxisValue::Mtu(Bytes::new(9000)),
+                ],
+            );
+        let jobs = m.expand();
+        assert_eq!(jobs.len(), 4);
+        assert_eq!(jobs[0].spec.train_window, SimDuration::from_nanos(250));
+        assert_eq!(jobs[0].spec.mtu.as_u64(), 1500);
+        assert_eq!(jobs[3].spec.train_window, SimDuration::from_micros(2));
+        assert_eq!(jobs[3].spec.mtu.as_u64(), 9000);
+        assert_eq!(jobs[0].labels[0].1, "250ns");
+        assert_eq!(jobs[3].labels[1].1, "9000B");
+        // The knob reaches the engine configuration.
+        assert_eq!(
+            jobs[0].spec.to_fabric_config().train_window,
+            SimDuration::from_nanos(250)
+        );
     }
 
     #[test]

@@ -237,6 +237,15 @@ impl Runner {
         }
     }
 
+    /// Executes an explicit job list (not necessarily a full matrix
+    /// expansion), returning outcomes in list order. This is the incremental
+    /// dispatch hook `rackfabric-sweep` uses to run only the jobs missing
+    /// from its result store; results are a pure function of each job's
+    /// spec, independent of thread count and of which other jobs ride along.
+    pub fn run_jobs(&self, jobs: &[Job]) -> Vec<JobOutcome> {
+        self.execute(jobs)
+    }
+
     /// Runs the job list, returning outcomes in job order.
     fn execute(&self, jobs: &[Job]) -> Vec<JobOutcome> {
         let workers = self.threads.min(jobs.len()).max(1);

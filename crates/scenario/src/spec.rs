@@ -343,6 +343,11 @@ pub struct ScenarioSpec {
     pub lane_rate: BitRate,
     /// Packetisation size.
     pub mtu: Bytes,
+    /// Rate window sizing packet trains: each drain event transmits up to
+    /// `capacity × train_window` bytes of MTU frames back-to-back. Larger
+    /// windows collapse more events per train at the cost of coarser
+    /// interleaving.
+    pub train_window: SimDuration,
     /// Master seed (replaced per job by the matrix expansion).
     pub seed: u64,
     /// Simulation horizon.
@@ -381,6 +386,7 @@ impl ScenarioSpec {
             controller: ControllerSpec::adaptive_default(),
             lane_rate: BitRate::from_gbps(25),
             mtu: Bytes::new(1500),
+            train_window: SimDuration::from_micros(1),
             seed: 1,
             horizon: SimTime::from_millis(50),
             event_budget: u64::MAX,
@@ -418,6 +424,18 @@ impl ScenarioSpec {
     /// Sets the physical-layer policy, returning the modified spec.
     pub fn phy(mut self, phy: PhyPolicy) -> Self {
         self.phy = phy;
+        self
+    }
+
+    /// Sets the packet-train rate window, returning the modified spec.
+    pub fn train_window(mut self, window: SimDuration) -> Self {
+        self.train_window = window;
+        self
+    }
+
+    /// Sets the packetisation size, returning the modified spec.
+    pub fn mtu(mut self, mtu: Bytes) -> Self {
+        self.mtu = mtu;
         self
     }
 
@@ -463,6 +481,7 @@ impl ScenarioSpec {
         config.upgrade_spec = self.upgrade.clone();
         config.lane_rate = self.lane_rate;
         config.mtu = self.mtu;
+        config.train_window = self.train_window;
         config.stop_when_done = self.stop_when_done;
         config.sim = SimConfig::with_seed(self.seed)
             .horizon(self.horizon)

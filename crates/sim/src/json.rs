@@ -141,6 +141,57 @@ pub fn number(value: f64) -> String {
     }
 }
 
+/// Renders a value as **canonical JSON**: compact (no whitespace), object
+/// keys sorted lexicographically by their UTF-8 bytes, numbers kept as their
+/// source text. Two structurally equal documents always canonicalise to the
+/// same byte string, which is what the content-addressed result store in
+/// `rackfabric-sweep` hashes to key simulation results.
+pub fn canonical(value: &JsonValue) -> String {
+    let mut out = String::new();
+    write_canonical(value, &mut out);
+    out
+}
+
+fn write_canonical(value: &JsonValue, out: &mut String) {
+    match value {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(true) => out.push_str("true"),
+        JsonValue::Bool(false) => out.push_str("false"),
+        JsonValue::Number(raw) => out.push_str(raw),
+        JsonValue::String(s) => {
+            out.push('"');
+            out.push_str(&escape(s));
+            out.push('"');
+        }
+        JsonValue::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_canonical(item, out);
+            }
+            out.push(']');
+        }
+        JsonValue::Object(fields) => {
+            let mut order: Vec<usize> = (0..fields.len()).collect();
+            order.sort_by(|&a, &b| fields[a].0.as_bytes().cmp(fields[b].0.as_bytes()));
+            out.push('{');
+            for (i, &idx) in order.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let (key, field) = &fields[idx];
+                out.push('"');
+                out.push_str(&escape(key));
+                out.push_str("\":");
+                write_canonical(field, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
 /// Parses a complete JSON document.
 pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
     let mut p = Parser {
@@ -378,6 +429,19 @@ mod tests {
         assert!(parse("[1, 2").is_err());
         assert!(parse("{} trailing").is_err());
         assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn canonical_sorts_keys_and_strips_whitespace() {
+        let a = parse(r#"{"b": 1, "a": {"y": [1, 2], "x": null}}"#).unwrap();
+        let b = parse(r#"{ "a": { "x": null, "y": [1,2] }, "b": 1 }"#).unwrap();
+        assert_eq!(canonical(&a), canonical(&b));
+        assert_eq!(canonical(&a), r#"{"a":{"x":null,"y":[1,2]},"b":1}"#);
+        // Canonical text parses back to an equal-up-to-ordering document.
+        assert_eq!(
+            parse(&canonical(&a)).unwrap().get("b").unwrap().as_u64(),
+            Some(1)
+        );
     }
 
     #[test]

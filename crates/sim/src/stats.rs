@@ -196,6 +196,63 @@ impl Histogram {
         }
     }
 
+    /// The non-empty buckets as `(representative value, count)` pairs in
+    /// ascending value order. Together with [`Histogram::sample_sum`] this is
+    /// a complete, exact serialisation of the histogram (used by the
+    /// `rackfabric-sweep` result store and for CDF plotting); feed the pairs
+    /// back through [`Histogram::from_sparse`] to reconstruct it.
+    pub fn sparse_counts(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(idx, &c)| (Self::bucket_value(idx), c))
+            .collect()
+    }
+
+    /// Exact integer sum of all recorded samples.
+    pub fn sample_sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, if any were recorded. Samples are integers,
+    /// so the observed f64 minimum converts back exactly.
+    pub fn min_sample(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min as u64)
+    }
+
+    /// Largest recorded sample, if any were recorded.
+    pub fn max_sample(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max as u64)
+    }
+
+    /// Reconstructs a histogram from its exact serialised parts: the sparse
+    /// `(representative value, count)` pairs of [`Histogram::sparse_counts`],
+    /// the integer [`Histogram::sample_sum`], and the recorded min/max
+    /// samples. Round-trips bit-identically: every representative value maps
+    /// back to the bucket it came from.
+    pub fn from_sparse(
+        sparse: &[(u64, u64)],
+        sum: u128,
+        min: Option<u64>,
+        max: Option<u64>,
+    ) -> Histogram {
+        let mut h = Histogram::new();
+        for &(value, count) in sparse {
+            let idx = Self::bucket_index(value);
+            h.counts[idx] += count;
+            h.total += count;
+        }
+        h.sum = sum;
+        if let Some(min) = min {
+            h.min = min as f64;
+        }
+        if let Some(max) = max {
+            h.max = max as f64;
+        }
+        h
+    }
+
     /// Merges another histogram into this one. Merging is exact: counts and
     /// the integer sample sum combine associatively, so merging per-shard
     /// histograms yields bit-identical summaries regardless of merge order.
@@ -491,6 +548,29 @@ mod tests {
             assert!(v >= last, "bucket values must be monotone (index {i})");
             last = v;
         }
+    }
+
+    #[test]
+    fn histogram_sparse_round_trip_is_exact() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 31, 32, 1000, 123_456_789, u64::MAX / 2] {
+            h.record(v);
+            h.record(v);
+        }
+        let back = Histogram::from_sparse(
+            &h.sparse_counts(),
+            h.sample_sum(),
+            h.min_sample(),
+            h.max_sample(),
+        );
+        assert_eq!(back.count(), h.count());
+        assert_eq!(back.sample_sum(), h.sample_sum());
+        assert_eq!(back.summary(), h.summary());
+        assert_eq!(back.sparse_counts(), h.sparse_counts());
+
+        let empty = Histogram::from_sparse(&[], 0, None, None);
+        assert_eq!(empty.summary(), Summary::empty());
+        assert_eq!(empty.sparse_counts(), Vec::new());
     }
 
     #[test]

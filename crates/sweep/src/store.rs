@@ -1,0 +1,351 @@
+//! The content-addressed on-disk result store.
+//!
+//! One file per executed job, named by the job's [`JobKey`] and sharded into
+//! 256 two-hex-character directories (git-object style):
+//!
+//! ```text
+//! <store>/objects/<hh>/<30 hex chars>.json
+//! ```
+//!
+//! Each file records the canonical spec JSON (the hash preimage, kept for
+//! debugging and audits) and the job's outcome. Everything stored is
+//! deterministic simulation output — wall-clock timings are explicitly *not*
+//! persisted, so a cache hit reproduces the exact bytes a fresh run would
+//! export. Failed jobs are cached too (panics are deterministic), which is
+//! what makes "a warm re-run executes zero jobs" hold unconditionally.
+//!
+//! Writes go through a temp file + rename, so an interrupted sweep leaves
+//! either a complete record or none — never a torn file. Unparseable files
+//! are treated as absent and overwritten by the next run.
+
+use crate::key::JobKey;
+use rackfabric::metrics::RunSummary;
+use rackfabric_scenario::runner::{JobOutcome, JobResult};
+use rackfabric_sim::json::{self, JsonValue};
+use rackfabric_sim::stats::{Histogram, Summary};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Version stamp written into every record; bump when the schema changes so
+/// stale stores re-execute instead of misparsing.
+const FORMAT: u64 = 1;
+
+/// A handle to one on-disk store directory.
+#[derive(Debug, Clone)]
+pub struct ResultStore {
+    root: PathBuf,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) the store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<ResultStore> {
+        let root = dir.into();
+        std::fs::create_dir_all(root.join("objects"))?;
+        Ok(ResultStore { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn object_path(&self, key: &JobKey) -> PathBuf {
+        let hex = key.hex();
+        self.root
+            .join("objects")
+            .join(&hex[..2])
+            .join(format!("{}.json", &hex[2..]))
+    }
+
+    /// Looks up a stored outcome. Returns `None` on a miss or an unreadable/
+    /// corrupt record (which the caller then recomputes and overwrites).
+    pub fn get(&self, key: &JobKey) -> Option<JobOutcome> {
+        let text = std::fs::read_to_string(self.object_path(key)).ok()?;
+        let doc = json::parse(&text).ok()?;
+        if doc.get("format")?.as_u64()? != FORMAT {
+            return None;
+        }
+        decode_outcome(doc.get("outcome")?)
+    }
+
+    /// Persists a job outcome under its key, atomically.
+    pub fn put(&self, key: &JobKey, spec_json: &str, outcome: &JobOutcome) -> io::Result<()> {
+        let path = self.object_path(key);
+        std::fs::create_dir_all(path.parent().expect("object paths have parents"))?;
+        let mut out = String::from("{");
+        out.push_str(&format!("\"format\": {FORMAT}"));
+        out.push_str(&format!(", \"key\": \"{}\"", key.hex()));
+        out.push_str(&format!(", \"spec\": {spec_json}"));
+        out.push_str(", \"outcome\": ");
+        encode_outcome(outcome, &mut out);
+        out.push_str("}\n");
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &out)?;
+        std::fs::rename(&tmp, &path)
+    }
+
+    /// Number of records in the store (walks the object tree).
+    pub fn len(&self) -> usize {
+        let Ok(shards) = std::fs::read_dir(self.root.join("objects")) else {
+            return 0;
+        };
+        shards
+            .flatten()
+            .filter_map(|shard| std::fs::read_dir(shard.path()).ok())
+            .flat_map(|entries| entries.flatten())
+            .filter(|e| e.path().extension().is_some_and(|ext| ext == "json"))
+            .count()
+    }
+
+    /// True when the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn encode_outcome(outcome: &JobOutcome, out: &mut String) {
+    match outcome {
+        JobOutcome::Failed(message) => {
+            out.push_str(&format!("{{\"failed\": \"{}\"}}", json::escape(message)));
+        }
+        JobOutcome::Completed(result) => {
+            out.push('{');
+            out.push_str(&format!(
+                "\"all_flows_complete\": {}, \"events_processed\": {}",
+                result.all_flows_complete, result.events_processed
+            ));
+            out.push_str(", \"packet_latency\": ");
+            encode_histogram(&result.packet_latency, out);
+            out.push_str(", \"queueing_latency\": ");
+            encode_histogram(&result.queueing_latency, out);
+            out.push_str(", \"summary\": ");
+            encode_summary(&result.summary, out);
+            out.push('}');
+        }
+    }
+}
+
+fn decode_outcome(doc: &JsonValue) -> Option<JobOutcome> {
+    if let Some(message) = doc.get("failed") {
+        return Some(JobOutcome::Failed(message.as_str()?.to_string()));
+    }
+    let result = JobResult {
+        summary: decode_summary(doc.get("summary")?)?,
+        packet_latency: decode_histogram(doc.get("packet_latency")?)?,
+        queueing_latency: decode_histogram(doc.get("queueing_latency")?)?,
+        all_flows_complete: doc.get("all_flows_complete")?.as_bool()?,
+        events_processed: doc.get("events_processed")?.as_u64()?,
+        // Wall-clock is never persisted: it is the one non-deterministic
+        // field, and cache hits cost no engine time anyway.
+        wall_nanos: 0,
+    };
+    Some(JobOutcome::Completed(Box::new(result)))
+}
+
+fn encode_histogram(h: &Histogram, out: &mut String) {
+    out.push_str("{\"buckets\": [");
+    for (i, (value, count)) in h.sparse_counts().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("[{value},{count}]"));
+    }
+    // u128 sums exceed what a u64 field can carry; keep the decimal text.
+    out.push_str(&format!("], \"sum\": \"{}\"", h.sample_sum()));
+    match (h.min_sample(), h.max_sample()) {
+        (Some(min), Some(max)) => {
+            out.push_str(&format!(", \"min\": {min}, \"max\": {max}}}"));
+        }
+        _ => out.push_str(", \"min\": null, \"max\": null}"),
+    }
+}
+
+fn decode_histogram(doc: &JsonValue) -> Option<Histogram> {
+    let buckets: Vec<(u64, u64)> = doc
+        .get("buckets")?
+        .as_array()?
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_array()?;
+            Some((pair.first()?.as_u64()?, pair.get(1)?.as_u64()?))
+        })
+        .collect::<Option<_>>()?;
+    let sum: u128 = match doc.get("sum")? {
+        JsonValue::String(s) => s.parse().ok()?,
+        _ => return None,
+    };
+    let min = doc.get("min")?.as_u64();
+    let max = doc.get("max")?.as_u64();
+    Some(Histogram::from_sparse(&buckets, sum, min, max))
+}
+
+fn encode_summary(s: &RunSummary, out: &mut String) {
+    out.push('{');
+    out.push_str(&format!(
+        "\"delivered_packets\": {}, \"dropped_packets\": {}, \"delivered_bytes\": {}",
+        s.delivered_packets, s.dropped_packets, s.delivered_bytes
+    ));
+    out.push_str(", \"packet_latency\": ");
+    encode_stat_summary(&s.packet_latency, out);
+    out.push_str(", \"queueing_latency\": ");
+    encode_stat_summary(&s.queueing_latency, out);
+    out.push_str(&format!(
+        ", \"completed_flows\": {}, \"flow_completion_mean_us\": {}, \
+         \"flow_completion_max_us\": {}",
+        s.completed_flows,
+        json::number(s.flow_completion_mean_us),
+        json::number(s.flow_completion_max_us)
+    ));
+    match s.job_completion_us {
+        Some(us) => out.push_str(&format!(", \"job_completion_us\": {}", json::number(us))),
+        None => out.push_str(", \"job_completion_us\": null"),
+    }
+    out.push_str(&format!(
+        ", \"mean_power_w\": {}, \"max_power_w\": {}, \"plp_commands\": {}, \
+         \"topology_reconfigurations\": {}, \"switching_fraction\": {}, \
+         \"route_cache_hits\": {}, \"route_cache_misses\": {}, \"route_cache_hit_rate\": {}}}",
+        json::number(s.mean_power_w),
+        json::number(s.max_power_w),
+        s.plp_commands,
+        s.topology_reconfigurations,
+        json::number(s.switching_fraction),
+        s.route_cache_hits,
+        s.route_cache_misses,
+        json::number(s.route_cache_hit_rate)
+    ));
+}
+
+fn decode_summary(doc: &JsonValue) -> Option<RunSummary> {
+    Some(RunSummary {
+        delivered_packets: doc.get("delivered_packets")?.as_u64()?,
+        dropped_packets: doc.get("dropped_packets")?.as_u64()?,
+        delivered_bytes: doc.get("delivered_bytes")?.as_u64()?,
+        packet_latency: decode_stat_summary(doc.get("packet_latency")?)?,
+        queueing_latency: decode_stat_summary(doc.get("queueing_latency")?)?,
+        completed_flows: doc.get("completed_flows")?.as_u64()? as usize,
+        flow_completion_mean_us: doc.get("flow_completion_mean_us")?.as_f64()?,
+        flow_completion_max_us: doc.get("flow_completion_max_us")?.as_f64()?,
+        job_completion_us: match doc.get("job_completion_us")? {
+            JsonValue::Null => None,
+            v => Some(v.as_f64()?),
+        },
+        mean_power_w: doc.get("mean_power_w")?.as_f64()?,
+        max_power_w: doc.get("max_power_w")?.as_f64()?,
+        plp_commands: doc.get("plp_commands")?.as_u64()? as usize,
+        topology_reconfigurations: doc.get("topology_reconfigurations")?.as_u64()? as u32,
+        switching_fraction: doc.get("switching_fraction")?.as_f64()?,
+        route_cache_hits: doc.get("route_cache_hits")?.as_u64()?,
+        route_cache_misses: doc.get("route_cache_misses")?.as_u64()?,
+        route_cache_hit_rate: doc.get("route_cache_hit_rate")?.as_f64()?,
+    })
+}
+
+fn encode_stat_summary(s: &Summary, out: &mut String) {
+    out.push_str(&format!(
+        "{{\"count\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \"p50\": {}, \
+         \"p90\": {}, \"p99\": {}, \"p999\": {}}}",
+        s.count,
+        json::number(s.min),
+        json::number(s.max),
+        json::number(s.mean),
+        json::number(s.p50),
+        json::number(s.p90),
+        json::number(s.p99),
+        json::number(s.p999)
+    ));
+}
+
+fn decode_stat_summary(doc: &JsonValue) -> Option<Summary> {
+    Some(Summary {
+        count: doc.get("count")?.as_u64()?,
+        min: doc.get("min")?.as_f64()?,
+        max: doc.get("max")?.as_f64()?,
+        mean: doc.get("mean")?.as_f64()?,
+        p50: doc.get("p50")?.as_f64()?,
+        p90: doc.get("p90")?.as_f64()?,
+        p99: doc.get("p99")?.as_f64()?,
+        p999: doc.get("p999")?.as_f64()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::job_key;
+    use rackfabric_scenario::prelude::*;
+    use rackfabric_scenario::runner::run_scenario;
+    use rackfabric_sim::time::SimTime;
+    use rackfabric_sim::units::Bytes;
+    use rackfabric_topo::spec::TopologySpec;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "rackfabric-sweep-store-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trips_a_real_job_result_exactly() {
+        let spec = ScenarioSpec::new(
+            "store-unit",
+            TopologySpec::grid(2, 2, 2),
+            WorkloadSpec::shuffle(Bytes::from_kib(2)),
+        )
+        .horizon(SimTime::from_millis(20))
+        .seed(11);
+        let result = run_scenario(&spec);
+        let key = job_key(&spec);
+
+        let dir = tmp_dir("roundtrip");
+        let store = ResultStore::open(&dir).unwrap();
+        assert!(store.get(&key).is_none());
+        assert!(store.is_empty());
+        let outcome = JobOutcome::Completed(Box::new(result.clone()));
+        store
+            .put(&key, &crate::key::canonical_spec_json(&spec), &outcome)
+            .unwrap();
+        assert_eq!(store.len(), 1);
+
+        let JobOutcome::Completed(back) = store.get(&key).unwrap() else {
+            panic!("expected a completed outcome");
+        };
+        assert_eq!(back.summary, result.summary);
+        assert_eq!(back.all_flows_complete, result.all_flows_complete);
+        assert_eq!(back.events_processed, result.events_processed);
+        assert_eq!(back.wall_nanos, 0, "wall-clock must not be persisted");
+        assert_eq!(
+            back.packet_latency.sparse_counts(),
+            result.packet_latency.sparse_counts()
+        );
+        assert_eq!(
+            back.packet_latency.summary(),
+            result.packet_latency.summary()
+        );
+        assert_eq!(
+            back.queueing_latency.summary(),
+            result.queueing_latency.summary()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn caches_failures_and_survives_corruption() {
+        let dir = tmp_dir("failure");
+        let store = ResultStore::open(&dir).unwrap();
+        let key = crate::key::JobKey(7);
+        let failed = JobOutcome::Failed("boom: no compute sleds".into());
+        store.put(&key, "{}", &failed).unwrap();
+        match store.get(&key).unwrap() {
+            JobOutcome::Failed(msg) => assert_eq!(msg, "boom: no compute sleds"),
+            _ => panic!("expected a failed outcome"),
+        }
+        // Corrupt the record: the store treats it as a miss.
+        let path = store.object_path(&key);
+        std::fs::write(&path, "{ not json").unwrap();
+        assert!(store.get(&key).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -23,8 +23,16 @@
 //! cargo run --release --example perf_smoke                 # full sweep
 //! cargo run --release --example perf_smoke -- --tiny       # CI-sized
 //! cargo run --release --example perf_smoke -- --shards 4   # N-shard arm
+//! cargo run --release --example perf_smoke -- --workers 8  # worker-scaling cap
 //! cargo run --release --example perf_smoke -- --export-cells out.json
 //! ```
+//!
+//! `--workers N` caps the **window-parallel worker sweep**: the heaviest
+//! sharded cell re-runs at worker counts 1, 2, 4, … up to
+//! `min(N, shards)`, and the per-count events/sec plus speedup-vs-1-worker
+//! land in `BENCH_hotpath.json` (`worker_sweep`). Worker count never
+//! affects simulation results — enforced here by comparing summaries
+//! across counts.
 //!
 //! `--export-cells` writes the sharded sweep's byte-stable cells JSON (no
 //! wall-clock fields) to a file; CI runs the example twice with different
@@ -115,6 +123,65 @@ fn sharded_matrix(tiny: bool, shards: usize) -> Matrix {
         .master_seed(7)
 }
 
+/// The heaviest sharded cell — the first-topology adaptive cell of the
+/// sharded sweep — used by the worker-scaling sweep. Derived from
+/// [`sharded_matrix`] so retuning the sweep's cells retunes this too.
+fn worker_sweep_spec(tiny: bool, shards: usize) -> ScenarioSpec {
+    sharded_matrix(tiny, shards)
+        .expand()
+        .into_iter()
+        .find(|job| {
+            job.labels
+                .iter()
+                .any(|(axis, value)| axis == "controller" && value != "baseline")
+        })
+        .expect("the sharded matrix always has an adaptive cell")
+        .spec
+}
+
+/// One worker-count measurement of the worker-scaling sweep.
+struct WorkerPoint {
+    workers: usize,
+    events: u64,
+    wall_nanos: u64,
+    summary_fingerprint: String,
+}
+
+/// Runs the worker-scaling sweep: the same sharded cell at worker counts
+/// 1, 2, 4, … up to `min(cap, shards)`. Results must be identical across
+/// counts (worker count is a pure execution knob); the wall clock is the
+/// only thing allowed to move.
+fn worker_sweep(tiny: bool, shards: usize, cap: usize) -> Vec<WorkerPoint> {
+    let mut counts = vec![1usize];
+    while let Some(&last) = counts.last() {
+        let next = last * 2;
+        if next > cap.min(shards.max(1)) {
+            break;
+        }
+        counts.push(next);
+    }
+    let spec = worker_sweep_spec(tiny, shards.max(1));
+    counts
+        .into_iter()
+        .map(|workers| {
+            let flows = spec.build_flows();
+            let mut config =
+                rackfabric::shard::ShardedConfig::new(spec.to_fabric_config(), spec.shards);
+            config.workers = workers;
+            let fabric = rackfabric::shard::ShardedFabric::new(config, flows);
+            let start = std::time::Instant::now();
+            let run = fabric.run();
+            let wall_nanos = start.elapsed().as_nanos() as u64;
+            WorkerPoint {
+                workers,
+                events: run.events_processed,
+                wall_nanos,
+                summary_fingerprint: format!("{:?}", run.metrics.summary()),
+            }
+        })
+        .collect()
+}
+
 /// The previously recorded bench file, if any (used to preserve the pre-PR
 /// baseline and the run history across runs).
 fn previous_bench(path: &str) -> Option<json::JsonValue> {
@@ -143,6 +210,18 @@ fn main() {
             Some(n) => n.max(1),
             None => {
                 eprintln!("perf_smoke: FAIL — --shards requires an integer argument");
+                std::process::exit(1);
+            }
+        },
+    };
+    // Same hard-error rule as --shards: a silently ignored cap would quietly
+    // shrink the worker sweep.
+    let workers_cap = match args.iter().position(|a| a == "--workers") {
+        None => 4,
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) => n.max(1),
+            None => {
+                eprintln!("perf_smoke: FAIL — --workers requires an integer argument");
                 std::process::exit(1);
             }
         },
@@ -231,6 +310,33 @@ fn main() {
         }
     }
 
+    // 4. Window-parallel worker scaling: the same sharded cell at growing
+    //    worker counts. Records speedup-vs-1-worker; results must not move.
+    eprintln!("perf_smoke: running worker-scaling sweep (cap {workers_cap})...");
+    let worker_points = worker_sweep(tiny, shards, workers_cap);
+    let workers_ok = worker_points.windows(2).all(|w| {
+        w[0].events == w[1].events && w[0].summary_fingerprint == w[1].summary_fingerprint
+    });
+    if !workers_ok {
+        eprintln!("perf_smoke: FAIL — worker counts changed simulation results");
+    }
+    let one_worker_nanos = worker_points.first().map(|p| p.wall_nanos).unwrap_or(0);
+    for point in &worker_points {
+        let events_per_sec = if point.wall_nanos == 0 {
+            0.0
+        } else {
+            point.events as f64 * 1e9 / point.wall_nanos as f64
+        };
+        eprintln!(
+            "  {} worker(s): {:>9} events in {:>8.1} ms = {:>9.0} events/sec ({:.2}x vs 1 worker)",
+            point.workers,
+            point.events,
+            point.wall_nanos as f64 / 1e6,
+            events_per_sec,
+            one_worker_nanos as f64 / point.wall_nanos.max(1) as f64,
+        );
+    }
+
     if let Some(path) = &export_cells {
         // Byte-stable cells export (no wall-clock fields): CI diffs the
         // files produced by two runs with different --shards values.
@@ -270,8 +376,34 @@ fn main() {
     out.push_str(&format!(
         "  \"determinism\": {{\"heap_vs_calendar_identical\": {heap_ok}, \
          \"serial_vs_parallel_identical\": {threads_ok}, \
-         \"shard_counts_identical\": {shards_ok}}},\n"
+         \"shard_counts_identical\": {shards_ok}, \
+         \"worker_counts_identical\": {workers_ok}}},\n"
     ));
+    // Window-parallel scaling of the sharded engine (ROADMAP follow-up):
+    // events/sec per worker count on the heaviest sharded cell, anchored to
+    // the 1-worker wall clock of the same run.
+    out.push_str("  \"worker_sweep\": [\n");
+    let worker_rows: Vec<String> = worker_points
+        .iter()
+        .map(|point| {
+            let events_per_sec = if point.wall_nanos == 0 {
+                0.0
+            } else {
+                point.events as f64 * 1e9 / point.wall_nanos as f64
+            };
+            format!(
+                "    {{\"workers\": {}, \"shards\": {shards}, \"events\": {}, \"wall_ms\": {}, \
+                 \"events_per_sec\": {}, \"speedup_vs_1_worker\": {}}}",
+                point.workers,
+                point.events,
+                json::number(point.wall_nanos as f64 / 1e6),
+                json::number(events_per_sec),
+                json::number(one_worker_nanos as f64 / point.wall_nanos.max(1) as f64),
+            )
+        })
+        .collect();
+    out.push_str(&worker_rows.join(",\n"));
+    out.push_str("\n  ],\n");
     out.push_str("  \"cells\": [\n");
     let mut cell_rows: Vec<String> = Vec::new();
     let mut history_cells: Vec<String> = Vec::new();
@@ -405,7 +537,7 @@ fn main() {
     }
     eprintln!("perf_smoke: wrote {bench_path}");
 
-    if !(heap_ok && threads_ok && repeat_ok && shards_ok) {
+    if !(heap_ok && threads_ok && repeat_ok && shards_ok && workers_ok) {
         std::process::exit(1);
     }
 }

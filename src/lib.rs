@@ -8,7 +8,9 @@
 pub use rackfabric;
 pub use rackfabric_netfpga as netfpga;
 pub use rackfabric_phy as phy;
+pub use rackfabric_scenario as scenario;
 pub use rackfabric_sim as sim;
+pub use rackfabric_sweep as sweep;
 pub use rackfabric_switch as switch;
 pub use rackfabric_topo as topo;
 pub use rackfabric_workload as workload;
