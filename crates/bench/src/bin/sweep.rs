@@ -16,13 +16,27 @@
 //!   --max-new-jobs N    stop after N fresh executions (interruption knob)
 //!   --threads N         runner threads (default 0 = one per core)
 //!   --expect-cached     fail if any job executes (the CI resume gate)
+//!   --gc                after the run, GC store records the campaign no
+//!                       longer references (orphans left by campaign edits)
+//!
+//! figure mode (the paper-figure campaigns e1..e9):
+//!
+//!   --figures           run every paper-figure campaign through the store,
+//!                       write the gallery (CSV exports + per-figure SVG
+//!                       reports) to --out, and diff each export against
+//!                       golden/<scale>/ byte for byte (exit 1 on drift)
+//!   --update-golden     regenerate the goldens instead of checking them
+//!   --golden DIR        golden root directory (default: golden)
 //! ```
 //!
 //! Running the same campaign twice against one store executes zero jobs the
 //! second time and writes byte-identical reports — `--expect-cached` plus a
-//! directory diff is the resume-determinism gate in CI.
+//! directory diff is the resume-determinism gate in CI. The `paper-figures`
+//! CI job applies the same gate to `--figures` and additionally pins every
+//! export against the checked-in `golden/` files.
 
 use rackfabric::prelude::TopologySpec;
+use rackfabric_bench::figures::{self, Scale};
 use rackfabric_scenario::prelude::*;
 use rackfabric_sim::prelude::*;
 use rackfabric_sweep::prelude::*;
@@ -85,6 +99,10 @@ struct Args {
     max_new_jobs: Option<usize>,
     threads: usize,
     expect_cached: bool,
+    figures: bool,
+    update_golden: bool,
+    golden: String,
+    gc: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -100,6 +118,10 @@ fn parse_args() -> Result<Args, String> {
         max_new_jobs: None,
         threads: 0,
         expect_cached: false,
+        figures: false,
+        update_golden: false,
+        golden: "golden".into(),
+        gc: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -150,6 +172,10 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--threads: {e}"))?
             }
             "--expect-cached" => args.expect_cached = true,
+            "--figures" => args.figures = true,
+            "--update-golden" => args.update_golden = true,
+            "--golden" => args.golden = value(&mut i)?,
+            "--gc" => args.gc = true,
             other => return Err(format!("unknown argument: {other}")),
         }
         i += 1;
@@ -174,6 +200,10 @@ fn main() {
         }
     };
     let runner = Runner::new(args.threads);
+    if args.figures {
+        run_figure_mode(&args, &store, &runner);
+        return;
+    }
     let name = if args.tiny {
         "sweep-campaign (tiny)"
     } else {
@@ -233,10 +263,119 @@ fn main() {
     }
     eprintln!("sweep: wrote report to {}", args.out);
 
+    if args.gc {
+        let live: Vec<JobKey> = outcome
+            .records
+            .iter()
+            .map(|r| job_key(&r.job.spec))
+            .collect();
+        match store.gc(live.iter()) {
+            Ok(stats) => eprintln!(
+                "sweep: gc kept {} record(s), removed {}",
+                stats.kept, stats.removed
+            ),
+            Err(e) => {
+                eprintln!("sweep: FAIL — gc: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     if args.expect_cached && outcome.executed > 0 {
         eprintln!(
             "sweep: FAIL — expected a fully warm store but {} job(s) executed",
             outcome.executed
+        );
+        std::process::exit(1);
+    }
+}
+
+/// `--figures`: drive every paper-figure campaign (e1..e9) through the
+/// store, write the report gallery, and pin (or regenerate) the goldens.
+fn run_figure_mode(args: &Args, store: &ResultStore, runner: &Runner) {
+    let scale = if args.tiny { Scale::Tiny } else { Scale::Paper };
+    eprintln!(
+        "sweep: paper figures at {:?} scale against store {} ({} record(s) warm)",
+        scale,
+        args.store,
+        store.len()
+    );
+    let runs = match figures::run_figures(scale, store, runner) {
+        Ok(runs) => runs,
+        Err(e) => {
+            eprintln!("sweep: FAIL — figure campaign aborted: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut executed = 0;
+    for run in &runs {
+        executed += run.executed;
+        eprintln!(
+            "  {}: {} executed, {} cached — {}",
+            run.export_file(),
+            run.executed,
+            run.cached,
+            run.title
+        );
+    }
+
+    let out = std::path::Path::new(&args.out);
+    if let Err(e) = figures::write_gallery(out, &runs) {
+        eprintln!("sweep: FAIL — cannot write gallery to {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    eprintln!("sweep: wrote figure gallery to {}", args.out);
+
+    let golden_root = std::path::Path::new(&args.golden);
+    if args.update_golden {
+        if let Err(e) = figures::update_goldens(golden_root, scale, &runs) {
+            eprintln!("sweep: FAIL — cannot write goldens: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "sweep: regenerated {} golden(s) under {}/{}",
+            runs.len(),
+            args.golden,
+            scale.golden_dir()
+        );
+    } else {
+        let failures = figures::check_goldens(golden_root, scale, &runs);
+        if !failures.is_empty() {
+            for failure in &failures {
+                eprintln!("sweep: golden drift:\n{failure}");
+            }
+            eprintln!(
+                "sweep: FAIL — {} figure export(s) drifted from golden/{} \
+                 (intentional change? re-run with --update-golden)",
+                failures.len(),
+                scale.golden_dir()
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "sweep: all {} figure export(s) match golden/{}",
+            runs.len(),
+            scale.golden_dir()
+        );
+    }
+
+    if args.gc {
+        let live = figures::live_keys(&runs);
+        match store.gc(live.iter()) {
+            Ok(stats) => eprintln!(
+                "sweep: gc kept {} record(s), removed {}",
+                stats.kept, stats.removed
+            ),
+            Err(e) => {
+                eprintln!("sweep: FAIL — gc: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if args.expect_cached && executed > 0 {
+        eprintln!(
+            "sweep: FAIL — expected a fully warm store but {executed} figure job(s) executed"
         );
         std::process::exit(1);
     }

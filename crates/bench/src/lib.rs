@@ -1,21 +1,34 @@
 //! Experiment harness regenerating every figure of the paper plus the
 //! derived experiments listed in `DESIGN.md`.
 //!
-//! Each `fig*`/`e*` function builds the workload, runs the fabric simulation
-//! (and the baseline where applicable), and returns a printable
-//! [`ExperimentResult`]. The `experiments` binary prints them; the Criterion
-//! benches under `benches/` time the same functions.
+//! Every simulation-backed experiment (e1–e4, e8, e9) is a declarative
+//! scenario [`Matrix`] defined in [`figures`]
+//! and executed through the **content-addressed result store** shared by all
+//! invocations: re-running an experiment (or timing it under the criterion
+//! facade) answers from the store instead of re-simulating, and the figure
+//! exports are pinned byte-for-byte against `golden/` by
+//! `tests/paper_figures.rs` and the CI `paper-figures` job. The analytic
+//! experiments (e5, e6) and the cycle-level cross-validation (e7) are pure
+//! functions and need no store.
+//!
+//! Each `fig*`/`e*` function returns a printable [`ExperimentResult`]; the
+//! `experiments` binary prints them, the Criterion benches under `benches/`
+//! time the same (store-backed) functions, and the `sweep --figures` CLI
+//! renders the full gallery.
+
+pub mod figures;
 
 use rackfabric::prelude::*;
 use rackfabric_netfpga::validate_against_des;
 use rackfabric_phy::adaptive_fec::AdaptiveFecController;
 use rackfabric_phy::fec::invert_ber_to_snr_db;
 use rackfabric_phy::FecMode;
+use rackfabric_scenario::prelude::*;
 use rackfabric_sim::prelude::*;
 use rackfabric_sim::stats::Series;
-use rackfabric_topo::NodeId;
-use rackfabric_workload::{ArrivalProcess, FlowSizeDistribution};
-use rackfabric_workload::{Flow, MapReduceShuffle, UniformWorkload, Workload, WorkloadFlowId};
+use rackfabric_sweep::prelude::*;
+use rackfabric_switch::model::SwitchKind;
+use std::path::{Path, PathBuf};
 
 /// A printable experiment result: a headline, one or more data series, and
 /// free-form notes.
@@ -47,37 +60,58 @@ impl ExperimentResult {
     }
 }
 
-fn fast_sim(seed: u64, horizon_ms: u64) -> SimConfig {
-    SimConfig::with_seed(seed).horizon(SimTime::from_millis(horizon_ms))
+/// The store directory every experiment run shares (and `cargo bench`'s
+/// criterion facade warms on its first sample): `RACKFABRIC_STORE_DIR` when
+/// set, otherwise `target/figure-store` inside this checkout — per-checkout
+/// (no cross-user collisions in a shared temp dir) and cleared by
+/// `cargo clean`.
+///
+/// Store keys hash the *simulation input*, not the code: an engine change
+/// that alters results for an unchanged spec leaves stale records behind.
+/// That is exactly the drift the golden gates catch (CI and
+/// `tests/paper_figures.rs` always start from cold stores); locally, delete
+/// the directory after engine work to force re-execution.
+pub fn shared_store_dir() -> PathBuf {
+    std::env::var_os("RACKFABRIC_STORE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/figure-store"))
 }
 
-/// **Figure 1** — latency due to media propagation vs. latency due to packet
-/// switching, as a path crosses 1..=21 cut-through switches spaced 2 m apart.
-///
-/// For each hop count a single 1500-byte packet is pushed through a line
-/// topology in the full DES model and its latency breakdown recorded.
+/// Resolves a matrix through the shared store: cache hits skip the engine,
+/// misses run on one worker per core and are persisted for the next caller.
+fn run_matrix(matrix: rackfabric_scenario::Matrix) -> SweepOutcome {
+    let store = ResultStore::open(shared_store_dir()).expect("open shared result store");
+    Sweep::new(matrix)
+        .run(&store, &Runner::new(0))
+        .expect("store I/O during sweep")
+}
+
+use figures::cell_label as label;
+
+/// **Figure 1 / e1** — latency due to media propagation vs. latency due to
+/// packet switching, as a path crosses 1..=21 cut-through switches spaced
+/// 2 m apart (with a store-and-forward arm for contrast).
 pub fn fig1_latency_vs_hops(max_hops: usize) -> ExperimentResult {
+    let outcome = run_matrix(figures::e1_matrix(max_hops));
     let mut media = Series::new("media_propagation_ns");
     let mut switching = Series::new("switching_logic_ns");
     let mut total = Series::new("end_to_end_ns");
-    // `switches` counts the cut-through switches traversed; the path has one
-    // more link than that (the paper assumes a switch every 2 m).
-    for switches in 1..=max_hops {
-        let spec = TopologySpec::line(switches + 2, 4);
-        let mut config = FabricConfig::baseline(spec);
-        config.sim = fast_sim(1, 10);
-        let flows = vec![Flow {
-            id: WorkloadFlowId(0),
-            src: NodeId(0),
-            dst: NodeId(switches as u32 + 1),
-            size: Bytes::new(1500),
-            start_at: SimTime::ZERO,
-        }];
-        let fabric = run_fabric(config, flows);
-        let b = &fabric.metrics.breakdown;
-        media.push(switches as f64, b.propagation.as_nanos_f64());
-        switching.push(switches as f64, b.switching.as_nanos_f64());
-        total.push(switches as f64, b.total().as_nanos_f64());
+    let mut store_fwd = Series::new("store_and_forward_end_to_end_ns");
+    for record in &outcome.records {
+        let JobOutcome::Completed(result) = &record.outcome else {
+            continue;
+        };
+        let spec = &record.job.spec;
+        let hops = spec.topology.nodes.saturating_sub(2) as f64;
+        let total_ns = result.summary.packet_latency.mean / 1e3;
+        match spec.switch.kind {
+            SwitchKind::CutThrough => {
+                media.push(hops, total_ns * result.summary.propagation_fraction);
+                switching.push(hops, total_ns * result.summary.switching_fraction);
+                total.push(hops, total_ns);
+            }
+            SwitchKind::StoreAndForward => store_fwd.push(hops, total_ns),
+        }
     }
     let last = max_hops as f64;
     let ratio = switching.points().last().map(|&(_, s)| s).unwrap_or(0.0)
@@ -89,7 +123,7 @@ pub fn fig1_latency_vs_hops(max_hops: usize) -> ExperimentResult {
     ExperimentResult {
         id: "fig1",
         title: "media propagation vs. cut-through switching latency (switch every 2 m)",
-        series: vec![media, switching, total],
+        series: vec![media, switching, total, store_fwd],
         rows: vec![
             ("hops swept".into(), format!("1..={max_hops}")),
             (
@@ -100,98 +134,73 @@ pub fn fig1_latency_vs_hops(max_hops: usize) -> ExperimentResult {
     }
 }
 
-/// **Figure 2** — the Closed Ring Control observes a congested 2-lane 4x4
-/// grid and reconfigures it into a 1-lane 4x4 torus within the same lane
-/// budget. The same shuffle is also run on the static grid for comparison.
+/// **Figure 2 / e2** — the Closed Ring Control observes a congested 2-lane
+/// 4x4 grid and reconfigures it into a 1-lane 4x4 torus within the same lane
+/// budget, across PLP timing tables (electrical-class vs 25x slower
+/// reconfiguration). The same shuffle runs on the static grid for
+/// comparison.
 pub fn fig2_reconfiguration(partition_kib: u64) -> ExperimentResult {
-    let flows = MapReduceShuffle::all_to_all(16, Bytes::from_kib(partition_kib))
-        .generate(&mut DetRng::new(42));
-
-    let mut adaptive_cfg = FabricConfig::adaptive(TopologySpec::grid(4, 4, 2));
-    adaptive_cfg.upgrade_spec = Some(TopologySpec::torus(4, 4, 1));
-    adaptive_cfg.crc.epoch = SimDuration::from_micros(20);
-    adaptive_cfg.sim = fast_sim(42, 500);
-    let adaptive = run_fabric(adaptive_cfg, flows.clone());
-
-    let mut baseline_cfg = FabricConfig::baseline(TopologySpec::grid(4, 4, 2));
-    baseline_cfg.sim = fast_sim(42, 500);
-    let baseline = run_fabric(baseline_cfg, flows);
-
-    let a = adaptive.metrics.summary();
-    let b = baseline.metrics.summary();
-    let reconfig_at = adaptive
-        .metrics
-        .reconfig_events
-        .iter()
-        .find(|(_, name)| name.starts_with("topology"))
-        .map(|(t, _)| *t);
-
+    let outcome = run_matrix(figures::e2_matrix(partition_kib, 500));
+    let mut adaptive = Series::new("adaptive_completion_us_vs_plp_split_us");
+    let mut baseline = Series::new("baseline_completion_us_vs_plp_split_us");
+    let mut rows = Vec::new();
+    let mut default_completions = (f64::NAN, f64::NAN); // (baseline, adaptive)
+    for cell in &outcome.cells {
+        let split_us = figures::cell_spec(&outcome, cell.cell)
+            .map_or(f64::NAN, |s| s.plp_timing.split.as_micros_f64());
+        let completion = cell.mean_job_completion_us.unwrap_or(f64::NAN);
+        let is_default = split_us == PlpTiming::default().split.as_micros_f64();
+        if label(cell, "controller") == "baseline" {
+            baseline.push(split_us, completion);
+            if is_default {
+                default_completions.0 = completion;
+            }
+        } else {
+            adaptive.push(split_us, completion);
+            if is_default {
+                default_completions.1 = completion;
+                rows.push((
+                    "topology reconfigurations".into(),
+                    format!("{}", cell.topology_reconfigurations),
+                ));
+                rows.push(("plp commands".into(), format!("{}", cell.plp_commands)));
+            }
+        }
+    }
+    rows.push((
+        "adaptive shuffle completion (us)".into(),
+        format!("{:.1}", default_completions.1),
+    ));
+    rows.push((
+        "static grid shuffle completion (us)".into(),
+        format!("{:.1}", default_completions.0),
+    ));
+    rows.push((
+        "speedup".into(),
+        format!("{:.2}x", default_completions.0 / default_completions.1),
+    ));
     ExperimentResult {
         id: "fig2",
         title: "CRC-driven grid(2-lane) -> torus(1-lane) reconfiguration under a 16-node shuffle",
-        series: vec![
-            adaptive.metrics.throughput_series.clone(),
-            adaptive.metrics.power_series.clone(),
-        ],
-        rows: vec![
-            (
-                "topology reconfigurations".into(),
-                format!("{}", a.topology_reconfigurations),
-            ),
-            (
-                "reconfiguration time (us into run)".into(),
-                reconfig_at.map_or("none".into(), |t| format!("{t:.1}")),
-            ),
-            (
-                "adaptive shuffle completion (us)".into(),
-                format!("{:.1}", a.job_completion_us.unwrap_or(f64::NAN)),
-            ),
-            (
-                "static grid shuffle completion (us)".into(),
-                format!("{:.1}", b.job_completion_us.unwrap_or(f64::NAN)),
-            ),
-            (
-                "speedup".into(),
-                format!(
-                    "{:.2}x",
-                    b.job_completion_us.unwrap_or(f64::NAN)
-                        / a.job_completion_us.unwrap_or(f64::NAN)
-                ),
-            ),
-            ("final topology".into(), adaptive.current_spec.name.clone()),
-        ],
+        series: vec![adaptive, baseline],
+        rows,
     }
 }
 
 /// **E3** — shuffle completion time vs. rack size, static grid baseline vs.
 /// adaptive fabric (which may escalate to a torus).
 pub fn e3_mapreduce_scaling(sides: &[usize], partition_kib: u64) -> ExperimentResult {
+    let outcome = run_matrix(figures::e3_matrix(sides, partition_kib, 2_000));
     let mut base_series = Series::new("baseline_grid_completion_us");
     let mut adaptive_series = Series::new("adaptive_completion_us");
-    for &k in sides {
-        let nodes = k * k;
-        let flows = MapReduceShuffle::all_to_all(nodes, Bytes::from_kib(partition_kib))
-            .generate(&mut DetRng::new(7));
-        let mut b = FabricConfig::baseline(TopologySpec::grid(k, k, 2));
-        b.sim = fast_sim(7, 2_000);
-        let base = run_fabric(b, flows.clone());
-        let mut a = FabricConfig::adaptive(TopologySpec::grid(k, k, 2));
-        a.upgrade_spec = Some(TopologySpec::torus(k, k, 1));
-        a.crc.epoch = SimDuration::from_micros(20);
-        a.sim = fast_sim(7, 2_000);
-        let adaptive = run_fabric(a, flows);
-        base_series.push(
-            nodes as f64,
-            base.metrics.summary().job_completion_us.unwrap_or(f64::NAN),
-        );
-        adaptive_series.push(
-            nodes as f64,
-            adaptive
-                .metrics
-                .summary()
-                .job_completion_us
-                .unwrap_or(f64::NAN),
-        );
+    for cell in &outcome.cells {
+        let nodes = figures::cell_spec(&outcome, cell.cell).map_or(0, |s| s.topology.nodes) as f64;
+        let completion = cell.mean_job_completion_us.unwrap_or(f64::NAN);
+        if label(cell, "controller") == "baseline" {
+            base_series.push(nodes, completion);
+        } else {
+            adaptive_series.push(nodes, completion);
+        }
     }
     ExperimentResult {
         id: "e3",
@@ -204,40 +213,15 @@ pub fn e3_mapreduce_scaling(sides: &[usize], partition_kib: u64) -> ExperimentRe
 /// **E4** — interconnect power vs offered load, power-cap policy against a
 /// latency-only policy that never sheds lanes.
 pub fn e4_power_vs_load(loads: &[f64]) -> ExperimentResult {
+    let outcome = run_matrix(figures::e4_matrix(loads, 2_000));
     let mut capped = Series::new("power_cap_policy_mean_w");
     let mut uncapped = Series::new("latency_policy_mean_w");
-    for &load in loads {
-        for adaptive_power in [true, false] {
-            let spec = TopologySpec::grid(4, 4, 4);
-            let mut cfg = FabricConfig::adaptive(spec);
-            cfg.crc.policy = if adaptive_power {
-                CrcPolicy::PowerCap {
-                    budget: rackfabric_sim::units::Power::from_kilowatts(2),
-                }
-            } else {
-                CrcPolicy::LatencyMinimize
-            };
-            cfg.crc.epoch = SimDuration::from_micros(50);
-            cfg.stop_when_done = false;
-            cfg.sim = fast_sim(11, 2);
-            // Offered load scales the number of uniform flows.
-            let flows = UniformWorkload {
-                nodes: 16,
-                flows: (load * 200.0) as usize,
-                sizes: FlowSizeDistribution::Fixed(Bytes::from_kib(16)),
-                arrivals: ArrivalProcess::Poisson {
-                    mean_interarrival: SimDuration::from_micros(2),
-                    start: SimTime::ZERO,
-                },
-            }
-            .generate(&mut DetRng::new(11));
-            let fabric = run_fabric(cfg, flows);
-            let mean_power = fabric.metrics.summary().mean_power_w;
-            if adaptive_power {
-                capped.push(load, mean_power);
-            } else {
-                uncapped.push(load, mean_power);
-            }
+    for cell in &outcome.cells {
+        let load: f64 = label(cell, "load").parse().unwrap_or(f64::NAN);
+        if label(cell, "policy") == "power_cap" {
+            capped.push(load, cell.mean_power_w);
+        } else {
+            uncapped.push(load, cell.mean_power_w);
         }
     }
     ExperimentResult {
@@ -341,47 +325,15 @@ pub fn e7_validation() -> ExperimentResult {
 }
 
 /// **E8** — the high-speed bypass primitive: end-to-end latency of an N-hop
-/// path as intermediate switches are replaced by PHY-level bypasses.
+/// path as intermediate switches are replaced by PHY-level bypasses (the
+/// [`AxisValue::BypassChain`](rackfabric_scenario::AxisValue) axis).
 pub fn e8_bypass(hops: usize) -> ExperimentResult {
-    use rackfabric_sim::Simulator;
+    let outcome = run_matrix(figures::e8_matrix(hops));
     let mut series = Series::new("end_to_end_latency_ns_vs_bypassed_nodes");
-    for bypassed in 0..hops.saturating_sub(1) + 1 {
-        let spec = TopologySpec::line(hops + 1, 4);
-        let mut config = FabricConfig::baseline(spec);
-        config.sim = fast_sim(3, 10);
-        let flows = vec![Flow {
-            id: WorkloadFlowId(0),
-            src: NodeId(0),
-            dst: NodeId(hops as u32),
-            size: Bytes::new(1500),
-            start_at: SimTime::ZERO,
-        }];
-        let mut fabric = AdaptiveFabric::new(config, flows);
-        // Install bypasses at the first `bypassed` intermediate nodes.
-        let executor = rackfabric_phy::PlpExecutor::default();
-        for node in 1..=bypassed.min(hops.saturating_sub(1)) {
-            let in_link = fabric
-                .topo
-                .links_between(NodeId(node as u32 - 1), NodeId(node as u32))[0];
-            let out_link = fabric
-                .topo
-                .links_between(NodeId(node as u32), NodeId(node as u32 + 1))[0];
-            executor
-                .execute(
-                    &mut fabric.phy,
-                    &PlpCommand::EnableBypass {
-                        at_node: node as u32,
-                        in_link,
-                        out_link,
-                    },
-                )
-                .expect("bypass installation");
-        }
-        let mut sim = Simulator::new(fabric, 3);
-        sim.run_until(SimTime::from_millis(10));
-        let fabric = sim.into_model();
-        let latency = fabric.metrics.packet_latency.summary().mean;
-        series.push(bypassed as f64, latency / 1000.0);
+    for cell in &outcome.cells {
+        let bypassed =
+            figures::cell_spec(&outcome, cell.cell).map_or(0, |s| s.phy.bypassed_nodes) as f64;
+        series.push(bypassed, cell.packet_latency.mean / 1e3);
     }
     let first = series.points().first().map(|&(_, y)| y).unwrap_or(0.0);
     let last = series.last_y().unwrap_or(0.0);
@@ -400,38 +352,16 @@ pub fn e8_bypass(hops: usize) -> ExperimentResult {
 }
 
 /// **E9** — the scenario-matrix engine: rack size × offered load × seeds,
-/// static baseline against the adaptive fabric, executed in parallel by
-/// `rackfabric-scenario` and reduced to per-cell aggregates. The experiment's
-/// CSV is the machine-readable companion of the printed series.
+/// static baseline against the adaptive fabric, resolved through the shared
+/// result store and reduced to per-cell aggregates. The experiment's CSV is
+/// the machine-readable companion of the printed series.
 pub fn e9_scenario_matrix(sides: &[usize], loads: &[f64], seeds: usize) -> ExperimentResult {
-    use rackfabric_scenario::prelude::*;
-
-    let base = ScenarioSpec::new(
-        "e9-scenario-matrix",
-        TopologySpec::grid(3, 3, 2),
-        WorkloadSpec::shuffle(Bytes::from_kib(8)),
-    )
-    .horizon(SimTime::from_millis(500));
-    let matrix = Matrix::new(base)
-        .axis(
-            "racks",
-            sides
-                .iter()
-                .map(|&k| AxisValue::Topology(TopologySpec::grid(k, k, 2)))
-                .collect(),
-        )
-        .axis("load", loads.iter().map(|&l| AxisValue::Load(l)).collect())
-        .axis(
-            "controller",
-            vec![
-                AxisValue::Controller(ControllerSpec::Baseline),
-                AxisValue::Controller(ControllerSpec::adaptive_default()),
-            ],
-        )
-        .replicates(seeds)
-        .master_seed(13);
-
-    let result = Runner::new(0).run(&matrix);
+    let outcome = run_matrix(figures::e9_matrix(
+        sides,
+        loads,
+        &[Bytes::from_kib(256)],
+        seeds,
+    ));
 
     // Series: p99 latency vs load at the largest rack, baseline vs adaptive.
     let biggest = sides
@@ -440,45 +370,45 @@ pub fn e9_scenario_matrix(sides: &[usize], loads: &[f64], seeds: usize) -> Exper
         .unwrap_or_default();
     let mut baseline_p99 = Series::new("baseline_p99_latency_ns");
     let mut adaptive_p99 = Series::new("adaptive_p99_latency_ns");
-    for cell in &result.cells {
-        let is_biggest = cell
-            .labels
-            .iter()
-            .any(|(k, v)| k == "racks" && *v == biggest);
-        if !is_biggest {
+    for cell in &outcome.cells {
+        if label(cell, "racks") != biggest {
             continue;
         }
-        let load: f64 = cell
-            .labels
-            .iter()
-            .find(|(k, _)| k == "load")
-            .and_then(|(_, v)| v.parse().ok())
-            .unwrap_or(f64::NAN);
+        let load: f64 = label(cell, "load").parse().unwrap_or(f64::NAN);
         let p99_ns = cell.packet_latency.p99 / 1e3;
-        match cell.labels.iter().find(|(k, _)| k == "controller") {
-            Some((_, v)) if v == "baseline" => baseline_p99.push(load, p99_ns),
-            Some(_) => adaptive_p99.push(load, p99_ns),
-            None => {}
+        match label(cell, "controller") {
+            "baseline" => baseline_p99.push(load, p99_ns),
+            _ => adaptive_p99.push(load, p99_ns),
         }
     }
 
+    let failed = outcome
+        .records
+        .iter()
+        .filter(|r| matches!(r.outcome, JobOutcome::Failed(_)))
+        .count();
     ExperimentResult {
         id: "e9",
         title: "scenario matrix: rack x load x controller sweep with per-cell tail latency",
         series: vec![baseline_p99, adaptive_p99],
         rows: vec![
-            ("cells".into(), format!("{}", result.cells.len())),
-            ("jobs".into(), format!("{}", result.jobs.len())),
-            ("failed jobs".into(), format!("{}", result.failed_jobs())),
+            ("cells".into(), format!("{}", outcome.cells.len())),
+            ("jobs".into(), format!("{}", outcome.records.len())),
+            ("failed jobs".into(), format!("{failed}")),
             (
                 "aggregate csv (one row per cell)".into(),
-                format!("\n{}", result.to_csv()),
+                format!(
+                    "\n{}",
+                    rackfabric_scenario::export::cells_to_csv(&outcome.cells)
+                ),
             ),
         ],
     }
 }
 
-/// Runs every experiment at the scale used for `EXPERIMENTS.md`.
+/// Runs every experiment at the scale used for `EXPERIMENTS.md`, resolving
+/// each simulation job through the shared result store: a warm store (e.g.
+/// the second criterion sample of `cargo bench`) re-executes **nothing**.
 pub fn run_all() -> Vec<ExperimentResult> {
     vec![
         fig1_latency_vs_hops(21),
@@ -511,6 +441,12 @@ mod tests {
         // Both grow with hop count.
         assert!(media.points()[3].1 > media.points()[0].1);
         assert!(switching.points()[3].1 > switching.points()[0].1);
+        // The store-and-forward arm pays full serialization per hop.
+        let store_fwd = &r.series[3];
+        assert_eq!(store_fwd.len(), 4);
+        for (ct, sf) in r.series[2].points().iter().zip(store_fwd.points()) {
+            assert!(sf.1 > ct.1, "store-and-forward {sf:?} must exceed {ct:?}");
+        }
     }
 
     #[test]
@@ -547,7 +483,7 @@ mod tests {
     #[test]
     fn e9_scenario_matrix_sweeps_and_aggregates() {
         let r = e9_scenario_matrix(&[2, 3], &[0.5], 2);
-        // 2 racks x 1 load x 2 controllers = 4 cells, x2 seeds = 8 jobs.
+        // 2 racks x 1 load x 2 controllers x 1 buffer = 4 cells, x2 seeds.
         assert!(r.rows.iter().any(|(k, v)| k == "cells" && v == "4"));
         assert!(r.rows.iter().any(|(k, v)| k == "jobs" && v == "8"));
         assert!(r.rows.iter().any(|(k, v)| k == "failed jobs" && v == "0"));

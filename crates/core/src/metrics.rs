@@ -101,6 +101,7 @@ impl FabricMetrics {
             plp_commands: self.reconfig_events.len(),
             topology_reconfigurations: self.topology_reconfigurations,
             switching_fraction: self.breakdown.switching_fraction(),
+            propagation_fraction: self.breakdown.propagation_fraction(),
             route_cache_hits: self.route_cache_hits,
             route_cache_misses: self.route_cache_misses,
             route_cache_hit_rate: RouteCacheStats {
@@ -151,6 +152,8 @@ pub struct RunSummary {
     pub topology_reconfigurations: u32,
     /// Fraction of delivered-packet latency spent in switching logic.
     pub switching_fraction: f64,
+    /// Fraction of delivered-packet latency spent in media propagation.
+    pub propagation_fraction: f64,
     /// Route-cache lookups served from the cache.
     pub route_cache_hits: u64,
     /// Route-cache lookups that recomputed a route.

@@ -10,9 +10,11 @@
 
 use crate::spec::{ControllerSpec, FecSetting, ScenarioSpec, WorkloadSpec};
 use rackfabric::policy::CrcPolicy;
+use rackfabric_phy::PlpTiming;
 use rackfabric_sim::rng::DetRng;
 use rackfabric_sim::time::{SimDuration, SimTime};
 use rackfabric_sim::units::{BitRate, Bytes};
+use rackfabric_switch::model::{SwitchKind, SwitchModel};
 use rackfabric_topo::routing::RoutingAlgorithm;
 use rackfabric_topo::spec::TopologySpec;
 
@@ -45,6 +47,21 @@ pub enum AxisValue {
     /// Set the packet-train rate window (how many bytes each link drain
     /// event batches; the train-batching knob of the hot path).
     TrainWindow(SimDuration),
+    /// Set the switch datapath model (forwarding discipline + pipeline
+    /// latency) used at every node.
+    SwitchModel(SwitchModel),
+    /// Set the per-port egress buffer (tail-drop depth; ECN marks above
+    /// half of it).
+    PortBuffer(Bytes),
+    /// Set the PLP reconfiguration-latency table (what every reconfiguration
+    /// command costs before traffic may resume).
+    PlpTiming(PlpTiming),
+    /// Install PHY bypasses at the first `n` intermediate nodes of the
+    /// node-id chain before the run (line topologies).
+    BypassChain(usize),
+    /// Apply several mutations as one axis value (for knobs that must move
+    /// together, e.g. a topology and its matching escalation target).
+    Multi(Vec<AxisValue>),
     /// Set the simulation horizon.
     Horizon(SimTime),
     /// Select the engine: `0` = monolithic, `n >= 1` = sharded multi-rack
@@ -82,6 +99,15 @@ impl AxisValue {
             AxisValue::LaneRate(rate) => spec.lane_rate = *rate,
             AxisValue::Mtu(m) => spec.mtu = *m,
             AxisValue::TrainWindow(w) => spec.train_window = *w,
+            AxisValue::SwitchModel(m) => spec.switch = *m,
+            AxisValue::PortBuffer(b) => spec.port_buffer = *b,
+            AxisValue::PlpTiming(t) => spec.plp_timing = *t,
+            AxisValue::BypassChain(n) => spec.phy.bypassed_nodes = *n,
+            AxisValue::Multi(values) => {
+                for value in values {
+                    value.apply(spec);
+                }
+            }
             AxisValue::Horizon(h) => spec.horizon = *h,
             AxisValue::Shards(n) => spec.shards = *n,
         }
@@ -104,6 +130,30 @@ impl AxisValue {
             AxisValue::LaneRate(rate) => format!("{}gbps", rate.as_gbps_f64()),
             AxisValue::Mtu(m) => format!("{}B", m.as_u64()),
             AxisValue::TrainWindow(w) => format!("{}ns", w.as_nanos_f64()),
+            AxisValue::SwitchModel(m) => {
+                let kind = match m.kind {
+                    SwitchKind::CutThrough => "cut-through",
+                    SwitchKind::StoreAndForward => "store-fwd",
+                };
+                format!("{kind}-{}ns", m.pipeline_latency.as_nanos_f64())
+            }
+            AxisValue::PortBuffer(b) => {
+                let bytes = b.as_u64();
+                if bytes % 1024 == 0 {
+                    format!("{}KiB", bytes / 1024)
+                } else {
+                    format!("{bytes}B")
+                }
+            }
+            // The split latency is the headline reconfiguration cost the
+            // paper sweeps; it stands in for the whole table.
+            AxisValue::PlpTiming(t) => format!("split-{}us", t.split.as_micros_f64()),
+            AxisValue::BypassChain(n) => format!("{n}"),
+            AxisValue::Multi(values) => values
+                .iter()
+                .map(|v| v.label())
+                .collect::<Vec<_>>()
+                .join("+"),
             AxisValue::Horizon(h) => format!("{}us", h.as_micros_f64()),
             AxisValue::Shards(0) => "monolithic".into(),
             AxisValue::Shards(n) => format!("{n}"),
@@ -356,6 +406,54 @@ mod tests {
             jobs[0].spec.to_fabric_config().train_window,
             SimDuration::from_nanos(250)
         );
+    }
+
+    #[test]
+    fn physical_layer_axes_mutate_the_spec_and_reach_the_engine() {
+        let m = Matrix::new(base())
+            .axis(
+                "switch",
+                vec![AxisValue::SwitchModel(SwitchModel::store_and_forward())],
+            )
+            .axis("buffer", vec![AxisValue::PortBuffer(Bytes::from_kib(64))])
+            .axis(
+                "plp",
+                vec![AxisValue::PlpTiming(PlpTiming::default().scaled(10.0))],
+            )
+            .axis("bypassed", vec![AxisValue::BypassChain(3)]);
+        let jobs = m.expand();
+        assert_eq!(jobs.len(), 1);
+        let spec = &jobs[0].spec;
+        assert_eq!(spec.switch.kind, SwitchKind::StoreAndForward);
+        assert_eq!(spec.port_buffer.as_u64(), 64 * 1024);
+        assert_eq!(spec.plp_timing.split, SimDuration::from_micros(200));
+        assert_eq!(spec.phy.bypassed_nodes, 3);
+        assert_eq!(jobs[0].labels[0].1, "store-fwd-400ns");
+        assert_eq!(jobs[0].labels[1].1, "64KiB");
+        assert_eq!(jobs[0].labels[2].1, "split-200us");
+        assert_eq!(jobs[0].labels[3].1, "3");
+        // The knobs reach the engine configuration.
+        let config = spec.to_fabric_config();
+        assert_eq!(config.switch.kind, SwitchKind::StoreAndForward);
+        assert_eq!(config.port_buffer.as_u64(), 64 * 1024);
+        assert_eq!(config.plp_timing.split, SimDuration::from_micros(200));
+    }
+
+    #[test]
+    fn multi_axis_applies_all_mutations_and_joins_labels() {
+        let value = AxisValue::Multi(vec![
+            AxisValue::Topology(TopologySpec::grid(4, 4, 2)),
+            AxisValue::Upgrade(Some(TopologySpec::torus(4, 4, 1))),
+        ]);
+        let mut spec = base();
+        value.apply(&mut spec);
+        assert_eq!(spec.topology.nodes, 16);
+        assert_eq!(
+            spec.upgrade.as_ref().map(|t| t.name.clone()),
+            Some(TopologySpec::torus(4, 4, 1).name)
+        );
+        let label = value.label();
+        assert!(label.contains('+'), "joined label: {label}");
     }
 
     #[test]

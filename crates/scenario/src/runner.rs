@@ -187,6 +187,24 @@ fn apply_phy_policy_to(spec: &ScenarioSpec, phy: &mut rackfabric_phy::PhyState) 
             );
         }
     }
+    // Bypass chains: short-circuit the switching logic at the first N
+    // intermediate nodes of the node-id chain (the unique path on a line
+    // topology). Nodes missing either chain link are skipped silently —
+    // the knob is a no-op on topologies without the chain.
+    for node in 1..=spec.phy.bypassed_nodes as u32 {
+        let in_link = phy.find_link_between(node - 1, node).map(|l| l.id);
+        let out_link = phy.find_link_between(node, node + 1).map(|l| l.id);
+        if let (Some(in_link), Some(out_link)) = (in_link, out_link) {
+            let _ = executor.execute(
+                phy,
+                &PlpCommand::EnableBypass {
+                    at_node: node,
+                    in_link,
+                    out_link,
+                },
+            );
+        }
+    }
 }
 
 /// A work-stealing pool of OS threads executing matrix jobs.

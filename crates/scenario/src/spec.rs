@@ -8,18 +8,19 @@
 
 use rackfabric::fabric::FabricConfig;
 use rackfabric::policy::CrcPolicy;
-use rackfabric_phy::{FecMode, PowerState};
+use rackfabric_phy::{FecMode, PlpTiming, PowerState};
 use rackfabric_sim::config::SimConfig;
 use rackfabric_sim::engine::SchedulerKind;
 use rackfabric_sim::rng::DetRng;
 use rackfabric_sim::time::{SimDuration, SimTime};
 use rackfabric_sim::units::{BitRate, Bytes};
+use rackfabric_switch::model::SwitchModel;
 use rackfabric_topo::routing::RoutingAlgorithm;
 use rackfabric_topo::spec::TopologySpec;
 use rackfabric_topo::NodeId;
 use rackfabric_workload::{
     ArrivalProcess, Flow, FlowSizeDistribution, HotspotWorkload, IncastWorkload, MapReduceShuffle,
-    PermutationWorkload, StorageWorkload, UniformWorkload, Workload,
+    PermutationWorkload, StorageWorkload, UniformWorkload, Workload, WorkloadFlowId,
 };
 use serde::{Deserialize, Serialize};
 
@@ -70,6 +71,16 @@ pub enum WorkloadSpec {
         /// Intensity multiplier.
         load: f64,
     },
+    /// A single flow from node 0 to the highest-numbered node; `load` scales
+    /// the flow size. The probe workload behind the per-hop latency figures
+    /// (fig. 1 and the bypass experiment): on a line topology it traverses
+    /// every switch exactly once.
+    SingleFlow {
+        /// Bytes carried at load 1.0.
+        size: Bytes,
+        /// Intensity multiplier.
+        load: f64,
+    },
     /// Disaggregated-storage I/O against the last quarter of the rack's
     /// sleds; `load` scales the operation count.
     Storage {
@@ -113,6 +124,11 @@ impl WorkloadSpec {
         }
     }
 
+    /// A single end-to-end probe flow at load 1.0.
+    pub fn single_flow(size: Bytes) -> Self {
+        WorkloadSpec::SingleFlow { size, load: 1.0 }
+    }
+
     /// Returns the spec with its intensity multiplier replaced — the hook the
     /// load axis uses.
     pub fn with_load(mut self, new_load: f64) -> Self {
@@ -122,6 +138,7 @@ impl WorkloadSpec {
             | WorkloadSpec::Permutation { load, .. }
             | WorkloadSpec::Uniform { load, .. }
             | WorkloadSpec::Hotspot { load, .. }
+            | WorkloadSpec::SingleFlow { load, .. }
             | WorkloadSpec::Storage { load, .. } => *load = new_load,
         }
         self
@@ -135,6 +152,7 @@ impl WorkloadSpec {
             | WorkloadSpec::Permutation { load, .. }
             | WorkloadSpec::Uniform { load, .. }
             | WorkloadSpec::Hotspot { load, .. }
+            | WorkloadSpec::SingleFlow { load, .. }
             | WorkloadSpec::Storage { load, .. } => *load,
         }
     }
@@ -147,6 +165,7 @@ impl WorkloadSpec {
             WorkloadSpec::Permutation { .. } => "permutation".into(),
             WorkloadSpec::Uniform { .. } => "uniform".into(),
             WorkloadSpec::Hotspot { .. } => "hotspot".into(),
+            WorkloadSpec::SingleFlow { .. } => "single-flow".into(),
             WorkloadSpec::Storage { .. } => "storage".into(),
         }
     }
@@ -201,6 +220,13 @@ impl WorkloadSpec {
                 arrivals: ArrivalProcess::AllAtOnce(SimTime::ZERO),
             }
             .generate(rng),
+            WorkloadSpec::SingleFlow { size, load } => vec![Flow {
+                id: WorkloadFlowId(0),
+                src: NodeId(0),
+                dst: NodeId(nodes.saturating_sub(1) as u32),
+                size: scaled(*size, *load),
+                start_at: SimTime::ZERO,
+            }],
             WorkloadSpec::Storage {
                 ops_per_node,
                 io_size,
@@ -263,6 +289,11 @@ pub struct PhyPolicy {
     pub active_lanes: Option<usize>,
     /// Initial power state of every link.
     pub power: PowerState,
+    /// Install PHY-level bypasses at the first `n` intermediate nodes of the
+    /// node-id chain `0 -> 1 -> 2 -> ...` before the run starts (PLP #2).
+    /// Meaningful on line topologies, where the chain is the unique path;
+    /// nodes without both chain links are skipped.
+    pub bypassed_nodes: usize,
 }
 
 impl Default for PhyPolicy {
@@ -271,6 +302,7 @@ impl Default for PhyPolicy {
             fec: FecSetting::Default,
             active_lanes: None,
             power: PowerState::Active,
+            bypassed_nodes: 0,
         }
     }
 }
@@ -284,6 +316,9 @@ impl PhyPolicy {
         }
         if self.power != PowerState::Active {
             parts.push(format!("power={:?}", self.power).to_lowercase());
+        }
+        if self.bypassed_nodes > 0 {
+            parts.push(format!("bypass={}", self.bypassed_nodes));
         }
         parts.join(",")
     }
@@ -341,6 +376,13 @@ pub struct ScenarioSpec {
     pub controller: ControllerSpec,
     /// Per-lane signalling rate.
     pub lane_rate: BitRate,
+    /// The switch datapath model used at every node (forwarding discipline
+    /// plus pipeline latency).
+    pub switch: SwitchModel,
+    /// Egress buffer per port (tail drop beyond it, ECN above half).
+    pub port_buffer: Bytes,
+    /// Reconfiguration-latency table charged per PLP command class.
+    pub plp_timing: PlpTiming,
     /// Packetisation size.
     pub mtu: Bytes,
     /// Rate window sizing packet trains: each drain event transmits up to
@@ -385,6 +427,9 @@ impl ScenarioSpec {
             phy: PhyPolicy::default(),
             controller: ControllerSpec::adaptive_default(),
             lane_rate: BitRate::from_gbps(25),
+            switch: SwitchModel::cut_through(),
+            port_buffer: Bytes::from_kib(256),
+            plp_timing: PlpTiming::default(),
             mtu: Bytes::new(1500),
             train_window: SimDuration::from_micros(1),
             seed: 1,
@@ -424,6 +469,33 @@ impl ScenarioSpec {
     /// Sets the physical-layer policy, returning the modified spec.
     pub fn phy(mut self, phy: PhyPolicy) -> Self {
         self.phy = phy;
+        self
+    }
+
+    /// Sets the switch datapath model, returning the modified spec.
+    pub fn switch_model(mut self, switch: SwitchModel) -> Self {
+        self.switch = switch;
+        self
+    }
+
+    /// Sets the per-port egress buffer, returning the modified spec.
+    pub fn port_buffer(mut self, buffer: Bytes) -> Self {
+        self.port_buffer = buffer;
+        self
+    }
+
+    /// Sets the PLP reconfiguration-latency table, returning the modified
+    /// spec.
+    pub fn plp_timing(mut self, timing: PlpTiming) -> Self {
+        self.plp_timing = timing;
+        self
+    }
+
+    /// Sets whether the run stops as soon as every flow completes, returning
+    /// the modified spec (`false` runs to the horizon — open-loop power and
+    /// utilisation studies).
+    pub fn stop_when_done(mut self, stop: bool) -> Self {
+        self.stop_when_done = stop;
         self
     }
 
@@ -480,6 +552,9 @@ impl ScenarioSpec {
         };
         config.upgrade_spec = self.upgrade.clone();
         config.lane_rate = self.lane_rate;
+        config.switch = self.switch;
+        config.port_buffer = self.port_buffer;
+        config.plp_timing = self.plp_timing;
         config.mtu = self.mtu;
         config.train_window = self.train_window;
         config.stop_when_done = self.stop_when_done;

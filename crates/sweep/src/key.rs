@@ -15,15 +15,17 @@
 //! * the campaign and topology display names — labels, not inputs.
 //!
 //! Everything that does shape results — topology edges, workload, PHY
-//! policy, controller, lane rate, MTU, train window, seed, horizon, event
-//! budget — is serialised field by field, with canonical key ordering via
-//! [`json::canonical`], so the hash is stable across axis orderings and
+//! policy (FEC, lanes, power, bypass chains), controller, lane rate, switch
+//! model, port buffers, PLP timing table, MTU, train window, seed, horizon,
+//! event budget — is serialised field by field, with canonical key ordering
+//! via [`json::canonical`], so the hash is stable across axis orderings and
 //! code-level field reorderings.
 
 use rackfabric::policy::CrcPolicy;
 use rackfabric_phy::{FecMode, PowerState};
 use rackfabric_scenario::spec::{ControllerSpec, FecSetting, ScenarioSpec, WorkloadSpec};
 use rackfabric_sim::json::{self, JsonValue};
+use rackfabric_switch::model::SwitchKind;
 use rackfabric_topo::spec::TopologySpec;
 use std::fmt;
 
@@ -116,6 +118,7 @@ fn spec_value(spec: &ScenarioSpec) -> JsonValue {
         (
             "phy",
             obj(vec![
+                ("bypassed_nodes", uint(spec.phy.bypassed_nodes as u64)),
                 ("fec", string(&fec_name(&spec.phy.fec))),
                 (
                     "lanes",
@@ -127,7 +130,36 @@ fn spec_value(spec: &ScenarioSpec) -> JsonValue {
                 ("power", string(power_name(spec.phy.power))),
             ]),
         ),
+        (
+            "plp_timing",
+            obj(vec![
+                ("bundle_ps", uint(spec.plp_timing.bundle.as_picos())),
+                ("bypass_ps", uint(spec.plp_timing.bypass.as_picos())),
+                ("move_lanes_ps", uint(spec.plp_timing.move_lanes.as_picos())),
+                (
+                    "set_active_lanes_ps",
+                    uint(spec.plp_timing.set_active_lanes.as_picos()),
+                ),
+                ("set_fec_ps", uint(spec.plp_timing.set_fec.as_picos())),
+                ("set_power_ps", uint(spec.plp_timing.set_power.as_picos())),
+                ("split_ps", uint(spec.plp_timing.split.as_picos())),
+            ]),
+        ),
+        ("port_buffer_bytes", uint(spec.port_buffer.as_u64())),
         ("seed", uint(spec.seed)),
+        (
+            "switch",
+            obj(vec![
+                (
+                    "kind",
+                    string(match spec.switch.kind {
+                        SwitchKind::CutThrough => "cut_through",
+                        SwitchKind::StoreAndForward => "store_and_forward",
+                    }),
+                ),
+                ("pipeline_ps", uint(spec.switch.pipeline_latency.as_picos())),
+            ]),
+        ),
         ("stop_when_done", JsonValue::Bool(spec.stop_when_done)),
         ("topology", topology_value(&spec.topology)),
         ("train_window_ps", uint(spec.train_window.as_picos())),
@@ -239,6 +271,11 @@ fn workload_value(w: &WorkloadSpec) -> JsonValue {
             ("load", float(*load)),
             ("size_bytes", uint(size.as_u64())),
         ]),
+        WorkloadSpec::SingleFlow { size, load } => obj(vec![
+            ("kind", string("single_flow")),
+            ("load", float(*load)),
+            ("size_bytes", uint(size.as_u64())),
+        ]),
         WorkloadSpec::Uniform {
             flows_per_node,
             size,
@@ -316,6 +353,38 @@ mod tests {
         assert_ne!(k, job_key(&base().controller(ControllerSpec::Baseline)));
         // Monolithic vs sharded is a model change.
         assert_ne!(k, job_key(&base().shards(1)));
+    }
+
+    #[test]
+    fn physical_layer_knobs_change_the_key() {
+        use rackfabric_phy::PlpTiming;
+        use rackfabric_sim::units::Bytes;
+        use rackfabric_switch::model::SwitchModel;
+
+        let k = job_key(&base());
+        assert_ne!(
+            k,
+            job_key(&base().switch_model(SwitchModel::store_and_forward())),
+            "forwarding discipline shapes per-hop latency"
+        );
+        assert_ne!(
+            k,
+            job_key(&base().switch_model(SwitchModel::with_pipeline(SimDuration::from_nanos(250)))),
+            "pipeline latency shapes per-hop latency"
+        );
+        assert_ne!(
+            k,
+            job_key(&base().port_buffer(Bytes::from_kib(64))),
+            "buffer depth shapes drops and queueing"
+        );
+        assert_ne!(
+            k,
+            job_key(&base().plp_timing(PlpTiming::default().scaled(10.0))),
+            "reconfiguration cost shapes adaptive runs"
+        );
+        let mut bypassed = base();
+        bypassed.phy.bypassed_nodes = 2;
+        assert_ne!(k, job_key(&bypassed), "bypass chains shape the datapath");
     }
 
     #[test]

@@ -11,7 +11,8 @@
 //!   proven result-neutral knob (scheduler, shard count, names).
 //! * [`store`] — the on-disk [`ResultStore`]: one atomic JSON record per
 //!   executed job, keyed by hash, holding exact (wall-clock-free)
-//!   simulation output.
+//!   simulation output; [`ResultStore::gc`](store::ResultStore::gc)
+//!   compacts away records orphaned by campaign edits.
 //! * [`budget`] — [`BudgetPolicy`]: replicate each cell until the p99
 //!   confidence interval converges below a target, instead of a fixed seed
 //!   count.
@@ -70,10 +71,10 @@ pub mod prelude {
     pub use crate::emit::{render_files, write_report};
     pub use crate::key::{canonical_spec_json, job_key, JobKey};
     pub use crate::report::{cdf_plot, line_plot, PlotSeries};
-    pub use crate::store::ResultStore;
+    pub use crate::store::{GcStats, ResultStore};
 }
 
 pub use budget::{BudgetPolicy, CellBudget, StopReason};
 pub use campaign::{CellDistributions, Sweep, SweepOutcome};
 pub use key::{canonical_spec_json, job_key, JobKey};
-pub use store::ResultStore;
+pub use store::{GcStats, ResultStore};

@@ -28,7 +28,7 @@ use std::path::{Path, PathBuf};
 
 /// Version stamp written into every record; bump when the schema changes so
 /// stale stores re-execute instead of misparsing.
-const FORMAT: u64 = 1;
+const FORMAT: u64 = 2;
 
 /// A handle to one on-disk store directory.
 #[derive(Debug, Clone)]
@@ -79,7 +79,12 @@ impl ResultStore {
         out.push_str(", \"outcome\": ");
         encode_outcome(outcome, &mut out);
         out.push_str("}\n");
-        let tmp = path.with_extension("tmp");
+        // The tmp name carries the writer's identity: two processes (or
+        // threads) racing to persist the same key must not interleave one
+        // write/rename pair with another's half-written file.
+        static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = path.with_extension(format!("tmp.{}.{}", std::process::id(), seq));
         std::fs::write(&tmp, &out)?;
         std::fs::rename(&tmp, &path)
     }
@@ -101,6 +106,89 @@ impl ResultStore {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Garbage-collects the store: removes every record whose key is **not**
+    /// in `live`, plus stale temp files left by interrupted writers, and
+    /// prunes shard directories that end up empty. Campaign edits orphan the
+    /// records of replaced axis values; pass the keys of the campaigns that
+    /// should survive (e.g. every record a sweep just resolved) to reclaim
+    /// the rest.
+    ///
+    /// Safe next to concurrent writers: temp files younger than
+    /// [`GC_TEMP_GRACE`] are spared (a writer may be between its write and
+    /// rename), and a file that vanishes mid-pass (the writer's rename won
+    /// the race) is skipped rather than failing the collection.
+    pub fn gc<'a>(&self, live: impl IntoIterator<Item = &'a JobKey>) -> io::Result<GcStats> {
+        let live: std::collections::BTreeSet<u128> = live.into_iter().map(|k| k.0).collect();
+        let mut stats = GcStats::default();
+        let objects = self.root.join("objects");
+        let Ok(shards) = std::fs::read_dir(&objects) else {
+            return Ok(stats);
+        };
+        for shard in shards.flatten() {
+            let shard_path = shard.path();
+            let Some(prefix) = shard_path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let prefix = prefix.to_string();
+            let Ok(entries) = std::fs::read_dir(&shard_path) else {
+                continue;
+            };
+            for entry in entries.flatten() {
+                let path = entry.path();
+                let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                let key = name
+                    .strip_suffix(".json")
+                    .and_then(|stem| JobKey::from_hex(&format!("{prefix}{stem}")));
+                if key.is_some_and(|k| live.contains(&k.0)) {
+                    stats.kept += 1;
+                    continue;
+                }
+                if name.contains(".tmp.") && !is_older_than(&path, GC_TEMP_GRACE) {
+                    // A concurrent writer may be between write and rename;
+                    // leave young temp files for a later pass.
+                    continue;
+                }
+                // Orphaned record, stale temp file, or a file that is not a
+                // store object at all: reclaim it.
+                match std::fs::remove_file(&path) {
+                    Ok(()) => stats.removed += 1,
+                    // The writer's rename (or another gc) beat us to it.
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            // Prune the shard directory if the sweep above emptied it.
+            if std::fs::read_dir(&shard_path).is_ok_and(|mut d| d.next().is_none()) {
+                let _ = std::fs::remove_dir(&shard_path);
+            }
+        }
+        Ok(stats)
+    }
+}
+
+/// How old a temp file must be before [`ResultStore::gc`] reclaims it — a
+/// younger one may belong to a writer that is still between its write and
+/// its rename.
+pub const GC_TEMP_GRACE: std::time::Duration = std::time::Duration::from_secs(60);
+
+/// True when the file's mtime is at least `age` in the past (unknown mtimes
+/// count as young, so gc errs toward sparing the file).
+fn is_older_than(path: &Path, age: std::time::Duration) -> bool {
+    std::fs::metadata(path)
+        .and_then(|m| m.modified())
+        .ok()
+        .and_then(|modified| modified.elapsed().ok())
+        .is_some_and(|elapsed| elapsed >= age)
+}
+
+/// What one [`ResultStore::gc`] pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Records whose keys were in the live set.
+    pub kept: usize,
+    /// Files removed (orphaned records, temp leftovers, foreign files).
+    pub removed: usize,
 }
 
 fn encode_outcome(outcome: &JobOutcome, out: &mut String) {
@@ -203,12 +291,14 @@ fn encode_summary(s: &RunSummary, out: &mut String) {
     out.push_str(&format!(
         ", \"mean_power_w\": {}, \"max_power_w\": {}, \"plp_commands\": {}, \
          \"topology_reconfigurations\": {}, \"switching_fraction\": {}, \
-         \"route_cache_hits\": {}, \"route_cache_misses\": {}, \"route_cache_hit_rate\": {}}}",
+         \"propagation_fraction\": {}, \"route_cache_hits\": {}, \
+         \"route_cache_misses\": {}, \"route_cache_hit_rate\": {}}}",
         json::number(s.mean_power_w),
         json::number(s.max_power_w),
         s.plp_commands,
         s.topology_reconfigurations,
         json::number(s.switching_fraction),
+        json::number(s.propagation_fraction),
         s.route_cache_hits,
         s.route_cache_misses,
         json::number(s.route_cache_hit_rate)
@@ -234,6 +324,7 @@ fn decode_summary(doc: &JsonValue) -> Option<RunSummary> {
         plp_commands: doc.get("plp_commands")?.as_u64()? as usize,
         topology_reconfigurations: doc.get("topology_reconfigurations")?.as_u64()? as u32,
         switching_fraction: doc.get("switching_fraction")?.as_f64()?,
+        propagation_fraction: doc.get("propagation_fraction")?.as_f64()?,
         route_cache_hits: doc.get("route_cache_hits")?.as_u64()?,
         route_cache_misses: doc.get("route_cache_misses")?.as_u64()?,
         route_cache_hit_rate: doc.get("route_cache_hit_rate")?.as_f64()?,
@@ -328,6 +419,98 @@ mod tests {
             back.queueing_latency.summary(),
             result.queueing_latency.summary()
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_reclaims_orphans_left_by_a_campaign_edit() {
+        use crate::campaign::Sweep;
+        use rackfabric_scenario::matrix::{AxisValue, Matrix};
+        use rackfabric_scenario::runner::Runner;
+
+        let matrix = |loads: &[f64]| {
+            let base = ScenarioSpec::new(
+                "gc-unit",
+                TopologySpec::grid(2, 2, 2),
+                WorkloadSpec::shuffle(Bytes::from_kib(1)),
+            )
+            .horizon(SimTime::from_millis(20));
+            Matrix::new(base)
+                .axis("load", loads.iter().map(|&l| AxisValue::Load(l)).collect())
+                .replicates(2)
+                .master_seed(3)
+        };
+        let dir = tmp_dir("gc");
+        let store = ResultStore::open(&dir).unwrap();
+        let runner = Runner::single_threaded();
+        Sweep::new(matrix(&[0.5, 1.0]))
+            .run(&store, &runner)
+            .unwrap();
+        assert_eq!(store.len(), 4);
+
+        // Edit one axis value (0.5 -> 0.75): the replaced value's records
+        // become orphans, the shared load-1.0 cell stays live.
+        let edited = matrix(&[0.75, 1.0]);
+        let outcome = Sweep::new(edited.clone()).run(&store, &runner).unwrap();
+        assert_eq!(outcome.executed, 2, "only the edited cell re-executes");
+        assert_eq!(outcome.cached, 2);
+        assert_eq!(store.len(), 6, "the edit left two orphans behind");
+
+        let live: Vec<crate::key::JobKey> = edited
+            .expand()
+            .iter()
+            .map(|job| job_key(&job.spec))
+            .collect();
+        let stats = store.gc(live.iter()).unwrap();
+        assert_eq!(
+            stats,
+            GcStats {
+                kept: 4,
+                removed: 2
+            }
+        );
+        assert_eq!(store.len(), 4);
+        // The orphan count is now zero: a second pass removes nothing.
+        assert_eq!(store.gc(live.iter()).unwrap().removed, 0);
+        // The surviving campaign still answers fully from the store.
+        let warm = Sweep::new(edited).run(&store, &runner).unwrap();
+        assert_eq!(warm.executed, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_spares_young_temp_files_and_tolerates_races() {
+        let dir = tmp_dir("gc-tmp");
+        let store = ResultStore::open(&dir).unwrap();
+        let key = crate::key::JobKey(42);
+        store
+            .put(&key, "{}", &JobOutcome::Failed("x".into()))
+            .unwrap();
+        // A temp file that could belong to a writer currently between its
+        // write and rename: younger than the grace period, it must survive
+        // the pass (an interrupted sweep's leftovers are reclaimed by any
+        // pass after the grace period elapses).
+        let stray = store.object_path(&key).with_extension("tmp.9999.0");
+        std::fs::write(&stray, "half a record").unwrap();
+        let stats = store.gc([key].iter()).unwrap();
+        assert_eq!(
+            stats,
+            GcStats {
+                kept: 1,
+                removed: 0
+            }
+        );
+        assert!(store.get(&key).is_some());
+        assert!(stray.exists(), "in-flight temp files are spared");
+        // Temp files never count as records.
+        assert_eq!(store.len(), 1);
+        // A foreign (non-temp, non-record) file is reclaimed immediately,
+        // and a second pass over the now-missing file is not an error.
+        let foreign = stray.with_file_name("not-a-record.txt");
+        std::fs::write(&foreign, "junk").unwrap();
+        assert_eq!(store.gc([key].iter()).unwrap().removed, 1);
+        assert!(!foreign.exists());
+        assert_eq!(store.gc([key].iter()).unwrap().removed, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

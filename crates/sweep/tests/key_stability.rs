@@ -10,14 +10,17 @@
 //! * distinct whenever a result-shaping field differs.
 
 use proptest::prelude::*;
+use rackfabric_phy::PlpTiming;
 use rackfabric_scenario::prelude::*;
 use rackfabric_sim::prelude::*;
 use rackfabric_sweep::prelude::*;
+use rackfabric_switch::model::SwitchModel;
 use rackfabric_topo::spec::TopologySpec;
 use std::collections::BTreeSet;
 
 /// The sweep axes the properties permute, parameterised by a few drawn
-/// values so every case explores a different matrix.
+/// values so every case explores a different matrix. The port-buffer axis
+/// keeps the new physical-layer axes under the permutation property.
 fn axes(rack_a: usize, load_a: f64, load_b: f64) -> Vec<(String, Vec<AxisValue>)> {
     vec![
         (
@@ -36,6 +39,13 @@ fn axes(rack_a: usize, load_a: f64, load_b: f64) -> Vec<(String, Vec<AxisValue>)
             vec![
                 AxisValue::Controller(ControllerSpec::Baseline),
                 AxisValue::Controller(ControllerSpec::adaptive_default()),
+            ],
+        ),
+        (
+            "port_buffer".into(),
+            vec![
+                AxisValue::PortBuffer(Bytes::from_kib(64)),
+                AxisValue::PortBuffer(Bytes::from_kib(256)),
             ],
         ),
     ]
@@ -79,14 +89,14 @@ proptest! {
         load_a in 0.25f64..1.0,
         load_b in 1.0f64..2.0,
         seed in 1u64..1000,
-        rotation in 0usize..6,
+        rotation in 0usize..8,
     ) {
         let base_axes = axes(rack_a, load_a, load_b);
         let mut permuted = base_axes.clone();
         // Cycle through a deterministic permutation schedule: rotate and
-        // optionally swap, covering all 3! orders across cases.
-        permuted.rotate_left(rotation % 3);
-        if rotation >= 3 {
+        // optionally swap, covering a spread of the 4! orders across cases.
+        permuted.rotate_left(rotation % 4);
+        if rotation >= 4 {
             permuted.swap(0, 1);
         }
         let a = matrix_with_axes(base_axes, seed);
@@ -154,6 +164,62 @@ proptest! {
             job_key(&spec.clone().controller(ControllerSpec::Baseline))
         );
     }
+
+    /// The three new physical-layer axes must change the key — a value that
+    /// silently hashed to the same key would make the store return stale
+    /// results for a genuinely different simulation input.
+    #[test]
+    fn physical_layer_axes_are_not_silently_result_neutral(
+        rack in 2usize..5,
+        seed in 1u64..10_000,
+        buf_kib in 1u64..1024,
+        pipeline_extra_ns in 1u64..600,
+        plp_scale in 2u32..50,
+    ) {
+        let spec = ScenarioSpec::new(
+            "physical-axes",
+            TopologySpec::grid(rack, rack, 2),
+            WorkloadSpec::shuffle(Bytes::from_kib(2)),
+        )
+        .horizon(SimTime::from_millis(10))
+        .seed(seed);
+        let key = job_key(&spec);
+
+        // SwitchModel: discipline and pipeline latency are both keyed.
+        prop_assert_ne!(
+            key,
+            job_key(&spec.clone().switch_model(SwitchModel::store_and_forward()))
+        );
+        // 400 ns is the default pipeline; the offset keeps the drawn value
+        // distinct from it.
+        let pipeline = SimDuration::from_nanos(400 + pipeline_extra_ns);
+        prop_assert_ne!(
+            key,
+            job_key(&spec.clone().switch_model(SwitchModel::with_pipeline(pipeline)))
+        );
+
+        // PortBuffer: the odd byte count can never equal the 256 KiB default.
+        let buffer = Bytes::new(buf_kib * 1024 + 1);
+        let buffered = job_key(&spec.clone().port_buffer(buffer));
+        prop_assert_ne!(key, buffered);
+        // ... and two different buffer values key apart from each other.
+        prop_assert_ne!(
+            buffered,
+            job_key(&spec.clone().port_buffer(Bytes::new(buf_kib * 1024 + 2)))
+        );
+
+        // PlpTiming: a scaled table is a different reconfiguration-cost
+        // regime.
+        prop_assert_ne!(
+            key,
+            job_key(&spec.clone().plp_timing(PlpTiming::default().scaled(plp_scale as f64)))
+        );
+
+        // Bypass chains are simulation input too.
+        let mut bypassed = spec.clone();
+        bypassed.phy.bypassed_nodes = 1;
+        prop_assert_ne!(key, job_key(&bypassed));
+    }
 }
 
 /// Worker counts live on the runner, not the spec — by construction they
@@ -166,5 +232,5 @@ fn runner_thread_count_cannot_reach_the_key() {
     let serial: Vec<JobKey> = matrix.expand().iter().map(|j| job_key(&j.spec)).collect();
     let parallel: Vec<JobKey> = matrix.expand().iter().map(|j| job_key(&j.spec)).collect();
     assert_eq!(serial, parallel);
-    assert_eq!(serial.len(), 16);
+    assert_eq!(serial.len(), 32);
 }

@@ -116,6 +116,17 @@ impl LatencyBreakdown {
         }
     }
 
+    /// Fraction of the total spent propagating through the medium (0 when
+    /// total is 0) — the media share figure 1 compares switching against.
+    pub fn propagation_fraction(&self) -> f64 {
+        let total = self.total();
+        if total.is_zero() {
+            0.0
+        } else {
+            self.propagation.ratio(total)
+        }
+    }
+
     /// Merges another breakdown into this one (used to aggregate per-flow).
     pub fn accumulate(&mut self, other: &LatencyBreakdown) {
         self.serialization += other.serialization;

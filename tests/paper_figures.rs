@@ -1,0 +1,117 @@
+//! Golden-export regression suite for the paper-figure campaigns.
+//!
+//! Every figure of the paper (e1–e9) is a declarative campaign in
+//! `rackfabric_bench::figures` whose CSV export is byte-deterministic. This
+//! suite runs the full set at `--tiny` scale end to end and pins it three
+//! ways:
+//!
+//! * each export must match its checked-in `golden/tiny/*.csv` **byte for
+//!   byte** (an intentional result change regenerates goldens via
+//!   `cargo run -p rackfabric-bench --bin sweep -- --figures --tiny
+//!   --update-golden`),
+//! * a second run against the same store must execute **zero** jobs and
+//!   reproduce identical bytes (the resume gate),
+//! * a perturbed export must *fail* the comparison with a readable
+//!   per-column diff (the drift detector itself is tested).
+
+use rackfabric_bench::figures::{self, Scale};
+use rackfabric_scenario::runner::Runner;
+use rackfabric_sweep::prelude::*;
+use std::path::{Path, PathBuf};
+
+fn golden_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("golden")
+}
+
+fn tmp_store(tag: &str) -> (PathBuf, ResultStore) {
+    let dir = std::env::temp_dir().join(format!(
+        "rackfabric-paper-figures-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ResultStore::open(&dir).unwrap();
+    (dir, store)
+}
+
+#[test]
+fn tiny_figures_match_goldens_and_resume_to_zero_jobs() {
+    let (dir, store) = tmp_store("e2e");
+    let runner = Runner::new(0);
+
+    // Cold: every simulation-backed figure executes its campaign.
+    let cold = figures::run_figures(Scale::Tiny, &store, &runner).unwrap();
+    assert_eq!(cold.len(), 9, "e1..e9");
+    let cold_executed: usize = cold.iter().map(|f| f.executed).sum();
+    assert!(cold_executed > 0, "a cold store must execute jobs");
+
+    // Byte-for-byte against the checked-in goldens.
+    let failures = figures::check_goldens(&golden_root(), Scale::Tiny, &cold);
+    assert!(
+        failures.is_empty(),
+        "figure exports drifted from golden/tiny:\n{}",
+        failures.join("\n---\n")
+    );
+
+    // Warm: the same campaigns against the same store execute nothing and
+    // export identical bytes.
+    let warm = figures::run_figures(Scale::Tiny, &store, &runner).unwrap();
+    let warm_executed: usize = warm.iter().map(|f| f.executed).sum();
+    assert_eq!(warm_executed, 0, "a warm store must answer every job");
+    for (c, w) in cold.iter().zip(&warm) {
+        assert_eq!(
+            c.export,
+            w.export,
+            "{} must be byte-stable",
+            c.export_file()
+        );
+        assert_eq!(c.export_file(), w.export_file());
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn perturbed_histogram_bucket_fails_with_a_readable_per_column_diff() {
+    // The e9 export carries histogram-derived percentile columns; bump one
+    // p99 bucket value by a digit and the golden gate must fail, naming the
+    // line and the column.
+    let golden = std::fs::read_to_string(golden_root().join("tiny/e9_scenario_matrix.csv"))
+        .expect("checked-in golden/tiny/e9_scenario_matrix.csv");
+    let mut lines: Vec<String> = golden.lines().map(str::to_string).collect();
+    let header: Vec<&str> = lines[0].split(',').collect();
+    let p99_col = header
+        .iter()
+        .position(|&h| h == "latency_p99_ps")
+        .expect("cells CSV has a latency_p99_ps column");
+    let mut fields: Vec<String> = lines[1].split(',').map(str::to_string).collect();
+    fields[p99_col].push('1'); // one histogram bucket drifts
+    lines[1] = fields.join(",");
+    let perturbed = format!("{}\n", lines.join("\n"));
+
+    let err = figures::compare_export("e9_scenario_matrix.csv", &golden, &perturbed)
+        .expect_err("a perturbed export must fail the golden gate");
+    assert!(err.contains("line 2"), "diff must name the line: {err}");
+    assert!(
+        err.contains("column `latency_p99_ps`"),
+        "diff must name the column: {err}"
+    );
+    assert!(err.contains("golden="), "diff must show both values: {err}");
+
+    // The untouched export still passes.
+    figures::compare_export("e9_scenario_matrix.csv", &golden, &golden).unwrap();
+}
+
+#[test]
+fn figure_store_gc_reclaims_nothing_while_campaigns_are_live() {
+    // After a full figure run, every record in the store is referenced by
+    // some figure: gc against the live set must keep them all.
+    let (dir, store) = tmp_store("gc");
+    let runner = Runner::new(0);
+    let runs = figures::run_figures(Scale::Tiny, &store, &runner).unwrap();
+    let live = figures::live_keys(&runs);
+    assert_eq!(store.len(), live.len(), "one record per resolved job key");
+    let stats = store.gc(live.iter()).unwrap();
+    assert_eq!(stats.removed, 0);
+    assert_eq!(stats.kept, live.len());
+    let _ = std::fs::remove_dir_all(&dir);
+}
