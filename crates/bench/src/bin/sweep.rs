@@ -18,6 +18,11 @@
 //!   --expect-cached     fail if any job executes (the CI resume gate)
 //!   --gc                after the run, GC store records the campaign no
 //!                       longer references (orphans left by campaign edits)
+//!   --stats             print cumulative store traffic (cache hits/misses,
+//!                       puts, GC activity) and exit without running jobs
+//!   --trace DIR         write a Chrome-trace JSON of the campaign (job
+//!                       lifecycle, store lookups, execute/persist phases)
+//!                       into DIR; open it at https://ui.perfetto.dev
 //!
 //! figure mode (the paper-figure campaigns e1..e9):
 //!
@@ -37,9 +42,12 @@
 
 use rackfabric::prelude::TopologySpec;
 use rackfabric_bench::figures::{self, Scale};
+use rackfabric_obs::trace::TraceSink;
+use rackfabric_obs::Observer;
 use rackfabric_scenario::prelude::*;
 use rackfabric_sim::prelude::*;
 use rackfabric_sweep::prelude::*;
+use std::sync::Arc;
 
 /// The demo campaign: racks × load × controller heavy shuffle, the same
 /// space `examples/scenario_sweep.rs` explores, now resumable.
@@ -103,6 +111,8 @@ struct Args {
     update_golden: bool,
     golden: String,
     gc: bool,
+    stats: bool,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -122,6 +132,8 @@ fn parse_args() -> Result<Args, String> {
         update_golden: false,
         golden: "golden".into(),
         gc: false,
+        stats: false,
+        trace: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -176,6 +188,8 @@ fn parse_args() -> Result<Args, String> {
             "--update-golden" => args.update_golden = true,
             "--golden" => args.golden = value(&mut i)?,
             "--gc" => args.gc = true,
+            "--stats" => args.stats = true,
+            "--trace" => args.trace = Some(value(&mut i)?),
             other => return Err(format!("unknown argument: {other}")),
         }
         i += 1;
@@ -199,9 +213,19 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let runner = Runner::new(args.threads);
+    if args.stats {
+        print_store_stats(&args.store, &store);
+        return;
+    }
+
+    let observer = match &args.trace {
+        Some(_) => Observer::off().with_trace(Arc::new(TraceSink::new())),
+        None => Observer::off(),
+    };
+    let runner = Runner::new(args.threads).with_observer(observer.clone());
     if args.figures {
         run_figure_mode(&args, &store, &runner);
+        finish_observability(&args, &store, &observer);
         return;
     }
     let name = if args.tiny {
@@ -210,7 +234,7 @@ fn main() {
         "sweep-campaign"
     };
 
-    let mut sweep = Sweep::new(campaign_matrix(args.tiny));
+    let mut sweep = Sweep::new(campaign_matrix(args.tiny)).observed(observer.clone());
     if args.budget {
         sweep = sweep.budget(BudgetPolicy {
             target_rel_halfwidth: args.ci_target,
@@ -281,12 +305,57 @@ fn main() {
         }
     }
 
+    finish_observability(&args, &store, &observer);
+
     if args.expect_cached && outcome.executed > 0 {
         eprintln!(
             "sweep: FAIL — expected a fully warm store but {} job(s) executed",
             outcome.executed
         );
         std::process::exit(1);
+    }
+}
+
+/// `--stats`: report the cumulative store-traffic sidecar plus what this
+/// handle can see right now, then exit without dispatching a single job.
+fn print_store_stats(store_dir: &str, store: &ResultStore) {
+    let stats = store.read_stats();
+    println!("store {store_dir}: {} record(s)", store.len());
+    println!("  cache hits:    {}", stats.hits);
+    println!("  cache misses:  {}", stats.misses);
+    println!("  hit rate:      {:.1}%", stats.hit_rate() * 100.0);
+    println!("  records put:   {}", stats.puts);
+    println!("  gc kept:       {}", stats.gc_kept);
+    println!("  gc removed:    {}", stats.gc_removed);
+}
+
+/// End-of-run observability: persist the store-traffic counters into the
+/// `stats.json` sidecar (so a later `--stats` sees this run) and, under
+/// `--trace DIR`, write the campaign trace where report diffs can't see it.
+fn finish_observability(args: &Args, store: &ResultStore, observer: &Observer) {
+    if let Err(e) = store.flush_stats() {
+        eprintln!("sweep: warning — cannot persist store stats: {e}");
+    }
+    let (Some(dir), Some(sink)) = (&args.trace, observer.trace()) else {
+        return;
+    };
+    let path = std::path::Path::new(dir).join("sweep_trace.json");
+    let written = std::fs::create_dir_all(dir)
+        .and_then(|()| sink.write_file(&path))
+        .map(|()| sink.len());
+    match written {
+        Ok(events) => eprintln!(
+            "sweep: wrote trace ({events} event(s), {} dropped) to {}",
+            sink.dropped(),
+            path.display()
+        ),
+        Err(e) => {
+            eprintln!(
+                "sweep: FAIL — cannot write trace to {}: {e}",
+                path.display()
+            );
+            std::process::exit(1);
+        }
     }
 }
 

@@ -48,6 +48,8 @@ use crate::fabric::{FabricConfig, LinkHot};
 use crate::metrics::FabricMetrics;
 use crate::price::PriceBook;
 use crate::reconfigure;
+use rackfabric_obs::profile::{WindowProfile, WindowProfiler};
+use rackfabric_obs::{Observer, TimeDomain};
 use rackfabric_phy::{LinkId, PhyState, PlpExecutor};
 use rackfabric_sim::engine::RunOutcome;
 use rackfabric_sim::time::{SimDuration, SimTime};
@@ -81,6 +83,13 @@ pub struct ShardedConfig {
     /// Worker threads for window execution (0 = one per shard, capped at
     /// the machine's parallelism). Never affects results.
     pub workers: usize,
+    /// When true, a [`WindowProfiler`] is attached to the run and its
+    /// snapshot returned in [`ShardedRun::profile`]. Profiling reads
+    /// wall clocks but never influences the simulation.
+    pub profile: bool,
+    /// Trace/metrics observer threaded into the windowed engine (window
+    /// and drain spans, engine counters). Disabled by default.
+    pub observer: Observer,
 }
 
 impl ShardedConfig {
@@ -92,6 +101,8 @@ impl ShardedConfig {
             shards,
             ack_delay,
             workers: 0,
+            profile: false,
+            observer: Observer::off(),
         }
     }
 }
@@ -203,6 +214,9 @@ pub struct ShardFabric {
     own_flows: usize,
     completed_flows: usize,
     last_completion: SimTime,
+    /// Packet trains this shard handed to the mailbox (deterministic count;
+    /// surfaced through the observer's metrics registry).
+    trains_sent: u64,
 }
 
 impl ShardFabric {
@@ -301,6 +315,7 @@ impl ShardFabric {
         let node = train.route.route.nodes[train.hop];
         let to = self.owner_of(node);
         let key = event_key(CLASS_TRAIN, flow_idx, train.seq, train.hop);
+        self.trains_sent += 1;
         ctx.send(to, at, key, ShardEvent::Train(train));
     }
 
@@ -915,6 +930,11 @@ pub struct ShardedRun {
     pub shards: usize,
     /// True once every flow delivered all of its bytes.
     pub all_flows_complete: bool,
+    /// The window profile of the run, when [`ShardedConfig::profile`] was
+    /// set: per-shard events and drain time, per-worker barrier waits,
+    /// window-length and events-per-window histograms. Wall-clock numbers
+    /// inside belong to perf artifacts only — never to result exports.
+    pub profile: Option<WindowProfile>,
 }
 
 /// A sharded fabric ready to run: the shard models inside the windowed
@@ -923,6 +943,8 @@ pub struct ShardedFabric {
     sim: WindowedSim<ShardFabric>,
     coordinator: Coordinator,
     horizon: SimTime,
+    profiler: Option<Arc<WindowProfiler>>,
+    observer: Observer,
 }
 
 impl ShardedFabric {
@@ -934,6 +956,8 @@ impl ShardedFabric {
             shards,
             ack_delay,
             workers,
+            profile,
+            observer,
         } = config;
         assert!(shards >= 1, "a sharded fabric needs at least one shard");
         let horizon = fabric_config.sim.horizon;
@@ -991,13 +1015,19 @@ impl ShardedFabric {
                     own_flows,
                     completed_flows: 0,
                     last_completion: SimTime::ZERO,
+                    trains_sent: 0,
                 }
             })
             .collect();
 
+        let profiler = profile.then(|| Arc::new(WindowProfiler::new(shard_count)));
         let mut sim = WindowedSim::new(models)
             .with_event_budget(budget)
-            .with_workers(workers);
+            .with_workers(workers)
+            .with_observer(observer.clone());
+        if let Some(p) = &profiler {
+            sim = sim.with_profiler(p.clone());
+        }
         for (idx, flow) in flows.iter().enumerate() {
             let shard = shared.partition.owner(flow.src);
             sim.schedule(
@@ -1039,6 +1069,8 @@ impl ShardedFabric {
             sim,
             coordinator,
             horizon,
+            profiler,
+            observer,
         }
     }
 
@@ -1077,6 +1109,7 @@ impl ShardedFabric {
         let mut last_completion = SimTime::ZERO;
         let mut hits = 0u64;
         let mut misses = 0u64;
+        let mut trains = 0u64;
         for model in &models {
             metrics.packet_latency.merge(&model.metrics.packet_latency);
             metrics
@@ -1099,6 +1132,30 @@ impl ShardedFabric {
             let stats = model.route_cache.stats();
             hits += stats.hits;
             misses += stats.misses;
+            trains += model.trains_sent;
+        }
+        // Engine-level counters into the observer's registry: deterministic
+        // sim-domain counts, surfaced for telemetry only (exports never read
+        // the registry).
+        if let Some(registry) = self.observer.registry() {
+            registry
+                .counter("engine.events", TimeDomain::Sim)
+                .add(out.events);
+            registry
+                .counter("engine.windows", TimeDomain::Sim)
+                .add(out.windows);
+            registry
+                .counter("engine.syncs", TimeDomain::Sim)
+                .add(out.syncs);
+            registry
+                .counter("engine.mailbox_trains", TimeDomain::Sim)
+                .add(trains);
+            registry
+                .counter("engine.route_cache_hits", TimeDomain::Sim)
+                .add(hits);
+            registry
+                .counter("engine.route_cache_misses", TimeDomain::Sim)
+                .add(misses);
         }
         debug_assert_eq!(own_total, self.coordinator.total_flows);
         // Merge order must not leak into exports: completions sort by flow
@@ -1119,6 +1176,7 @@ impl ShardedFabric {
             syncs: out.syncs,
             shards,
             all_flows_complete: all_complete,
+            profile: self.profiler.as_ref().map(|p| p.snapshot()),
         }
     }
 }

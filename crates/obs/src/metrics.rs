@@ -1,0 +1,397 @@
+//! The metrics registry: named counters, gauges and log-bucket histograms,
+//! each tagged with the [`TimeDomain`] it measures.
+//!
+//! Handles are `Arc`-shared atomics, so shard workers update them without
+//! locks; the registry itself is only locked to register or snapshot.
+//! Snapshots render in name order, so two snapshots of equal state are
+//! byte-identical — but note that *values* in the `Wall` domain are
+//! inherently non-deterministic and must stay out of result exports.
+
+use crate::TimeDomain;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing `u64`.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds `delta`.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins signed gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of buckets in a [`LogHistogram`]: bucket `i` counts samples whose
+/// value has `i` significant bits (i.e. `v == 0` → bucket 0, else bucket
+/// `64 - v.leading_zeros()`).
+pub const LOG_BUCKETS: usize = 65;
+
+/// A lock-free power-of-two-bucket histogram for wall-clock nanoseconds,
+/// sim-time picoseconds, or plain counts. Exact in count and sum, bucketed
+/// (factor-of-two resolution) in quantiles — cheap enough for hot paths and
+/// mergeable across shards and workers.
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; LOG_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: [const { AtomicU64::new(0) }; LOG_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram::default()
+    }
+
+    /// The bucket index of `value` (its significant-bit count).
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// The inclusive upper bound of bucket `i` (`0` for the zero bucket).
+    pub fn bucket_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            ((1u128 << i) - 1) as u64
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / count as f64
+        }
+    }
+
+    /// Folds `other` into `self` (exact: bucket counts, totals and max all
+    /// add or max component-wise).
+    pub fn merge(&self, other: &LogHistogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            let v = theirs.load(Ordering::Relaxed);
+            if v > 0 {
+                mine.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// The upper bound of the bucket containing quantile `q` (`0.0..=1.0`);
+    /// 0 when empty. Bucketed resolution: the true quantile lies within a
+    /// factor of two below the returned bound.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_bound(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// The non-empty buckets as `(inclusive upper bound, count)` pairs.
+    pub fn sparse(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let count = b.load(Ordering::Relaxed);
+                (count > 0).then_some((Self::bucket_bound(i), count))
+            })
+            .collect()
+    }
+}
+
+/// One registered metric.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// A [`Counter`].
+    Counter(Arc<Counter>),
+    /// A [`Gauge`].
+    Gauge(Arc<Gauge>),
+    /// A [`LogHistogram`].
+    Histogram(Arc<LogHistogram>),
+}
+
+/// A registry of named metrics. Registration is idempotent: the first call
+/// for a name creates the metric, later calls return the same handle.
+/// Re-registering a name as a different kind or domain panics — the split
+/// between wall-clock and sim-time metrics is a contract, not a convention.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<&'static str, (TimeDomain, Metric)>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn register(
+        &self,
+        name: &'static str,
+        domain: TimeDomain,
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        let (have_domain, metric) = inner
+            .entry(name)
+            .or_insert_with(|| (domain, make()))
+            .clone();
+        assert_eq!(
+            have_domain,
+            domain,
+            "metric `{name}` registered in both the {} and {} time domains",
+            have_domain.label(),
+            domain.label()
+        );
+        metric
+    }
+
+    /// The counter `name` in `domain`, creating it on first use.
+    pub fn counter(&self, name: &'static str, domain: TimeDomain) -> Arc<Counter> {
+        match self.register(name, domain, || Metric::Counter(Arc::new(Counter::new()))) {
+            Metric::Counter(c) => c,
+            _ => panic!("metric `{name}` is not a counter"),
+        }
+    }
+
+    /// The gauge `name` in `domain`, creating it on first use.
+    pub fn gauge(&self, name: &'static str, domain: TimeDomain) -> Arc<Gauge> {
+        match self.register(name, domain, || Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g,
+            _ => panic!("metric `{name}` is not a gauge"),
+        }
+    }
+
+    /// The histogram `name` in `domain`, creating it on first use.
+    pub fn histogram(&self, name: &'static str, domain: TimeDomain) -> Arc<LogHistogram> {
+        match self.register(name, domain, || {
+            Metric::Histogram(Arc::new(LogHistogram::new()))
+        }) {
+            Metric::Histogram(h) => h,
+            _ => panic!("metric `{name}` is not a histogram"),
+        }
+    }
+
+    /// Renders every metric, in name order, as one JSON object keyed by
+    /// name. Counter → integer, gauge → integer, histogram → `{count, sum,
+    /// max, mean, p50, p99, buckets}`. Each entry carries its time domain.
+    pub fn render_json(&self) -> String {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut out = String::from("{");
+        for (i, (name, (domain, metric))) in inner.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "\"{name}\": {{\"domain\": \"{}\", ",
+                domain.label()
+            ));
+            match metric {
+                Metric::Counter(c) => out.push_str(&format!("\"count\": {}", c.get())),
+                Metric::Gauge(g) => out.push_str(&format!("\"value\": {}", g.get())),
+                Metric::Histogram(h) => {
+                    out.push_str(&format!(
+                        "\"count\": {}, \"sum\": {}, \"max\": {}, \"p50_bound\": {}, \
+                         \"p99_bound\": {}, \"buckets\": [",
+                        h.count(),
+                        h.sum(),
+                        h.max(),
+                        h.quantile_bound(0.50),
+                        h.quantile_bound(0.99),
+                    ));
+                    for (j, (bound, count)) in h.sparse().iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&format!("[{bound},{count}]"));
+                    }
+                    out.push(']');
+                }
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_histogram_buckets_and_bounds() {
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 1);
+        assert_eq!(LogHistogram::bucket_of(2), 2);
+        assert_eq!(LogHistogram::bucket_of(3), 2);
+        assert_eq!(LogHistogram::bucket_of(4), 3);
+        assert_eq!(LogHistogram::bucket_of(u64::MAX), 64);
+        assert_eq!(LogHistogram::bucket_bound(0), 0);
+        assert_eq!(LogHistogram::bucket_bound(2), 3);
+        assert_eq!(LogHistogram::bucket_bound(64), u64::MAX);
+        // Every value lands in a bucket whose bound is >= the value.
+        for v in [0u64, 1, 7, 8, 1000, 1 << 40, u64::MAX] {
+            assert!(LogHistogram::bucket_bound(LogHistogram::bucket_of(v)) >= v);
+        }
+    }
+
+    #[test]
+    fn log_histogram_merge_is_exact() {
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        for v in [1u64, 5, 100, 1 << 20] {
+            a.record(v);
+        }
+        for v in [0u64, 3, 100, u64::MAX] {
+            b.record(v);
+        }
+        let merged = LogHistogram::new();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged.count(), a.count() + b.count());
+        assert_eq!(merged.sum(), a.sum().wrapping_add(b.sum()));
+        assert_eq!(merged.max(), u64::MAX);
+        // Bucket-wise: merged sparse = element-wise sum of the inputs.
+        let mut expect: BTreeMap<u64, u64> = BTreeMap::new();
+        for (bound, count) in a.sparse().into_iter().chain(b.sparse()) {
+            *expect.entry(bound).or_default() += count;
+        }
+        assert_eq!(merged.sparse(), expect.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn quantile_bounds_are_monotone_and_cover() {
+        let h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile_bound(0.5);
+        let p99 = h.quantile_bound(0.99);
+        assert!(p50 <= p99);
+        assert!((250..=1000).contains(&p50), "within a factor of two");
+        assert!(p99 <= h.max());
+        assert_eq!(h.quantile_bound(1.0), h.max());
+        assert_eq!(LogHistogram::new().quantile_bound(0.5), 0);
+    }
+
+    #[test]
+    fn registry_is_idempotent_and_deterministic() {
+        let r = Registry::new();
+        r.counter("b.count", TimeDomain::Sim).add(2);
+        r.counter("b.count", TimeDomain::Sim).add(3);
+        r.gauge("a.gauge", TimeDomain::Wall).set(-7);
+        r.histogram("c.hist", TimeDomain::Wall).record(9);
+        assert_eq!(r.counter("b.count", TimeDomain::Sim).get(), 5);
+        let json = r.render_json();
+        // Name order, not insertion order.
+        let a = json.find("a.gauge").unwrap();
+        let b = json.find("b.count").unwrap();
+        let c = json.find("c.hist").unwrap();
+        assert!(a < b && b < c, "snapshot must render in name order");
+        assert_eq!(json, r.render_json());
+    }
+
+    #[test]
+    #[should_panic(expected = "time domains")]
+    fn cross_domain_reregistration_panics() {
+        let r = Registry::new();
+        r.counter("x", TimeDomain::Wall);
+        r.counter("x", TimeDomain::Sim);
+    }
+}

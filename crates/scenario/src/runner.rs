@@ -12,6 +12,7 @@ use crate::matrix::{Job, Matrix};
 use crate::spec::{FecSetting, ScenarioSpec};
 use rackfabric::fabric::AdaptiveFabric;
 use rackfabric::metrics::RunSummary;
+use rackfabric_obs::{Observer, TimeDomain};
 use rackfabric_phy::{PlpCommand, PlpExecutor};
 use rackfabric_sim::engine::SchedulerKind;
 use rackfabric_sim::queue::Scheduler;
@@ -207,10 +208,18 @@ fn apply_phy_policy_to(spec: &ScenarioSpec, phy: &mut rackfabric_phy::PhyState) 
     }
 }
 
+/// The trace lane of job worker `w` ([`Runner`] spans). Offset so job-level
+/// lanes never collide with the windowed engine's per-worker lanes.
+const JOB_LANE_BASE: u64 = 1000;
+
 /// A work-stealing pool of OS threads executing matrix jobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Runner {
     threads: usize,
+    /// Job-lifecycle tracing (one span per job on its worker's lane).
+    /// Observability only: never threaded into the simulations themselves,
+    /// so job results stay byte-identical with tracing on or off.
+    observer: Observer,
 }
 
 impl Runner {
@@ -224,12 +233,25 @@ impl Runner {
         } else {
             threads
         };
-        Runner { threads }
+        Runner {
+            threads,
+            observer: Observer::off(),
+        }
     }
 
     /// A runner that executes jobs on the calling thread only.
     pub fn single_threaded() -> Self {
-        Runner { threads: 1 }
+        Runner {
+            threads: 1,
+            observer: Observer::off(),
+        }
+    }
+
+    /// Attaches an observer: each executed job records a span on its worker
+    /// thread's lane, plus job/failure counters.
+    pub fn with_observer(mut self, observer: Observer) -> Self {
+        self.observer = observer;
+        self
     }
 
     /// The worker count this runner uses.
@@ -269,18 +291,35 @@ impl Runner {
         let workers = self.threads.min(jobs.len()).max(1);
         let cursor = AtomicUsize::new(0);
         let (sender, receiver) = mpsc::channel::<(usize, JobOutcome)>();
+        if let Some(sink) = self.observer.trace() {
+            for w in 0..workers {
+                sink.name_lane(JOB_LANE_BASE + w as u64, format!("job worker {w}"));
+            }
+        }
 
         std::thread::scope(|scope| {
-            for _ in 0..workers {
+            for w in 0..workers {
                 let sender = sender.clone();
                 let cursor = &cursor;
+                let observer = &self.observer;
                 scope.spawn(move || loop {
                     let index = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(job) = jobs.get(index) else { break };
+                    let mut span = observer.span(JOB_LANE_BASE + w as u64, "job", "runner");
+                    span.arg_u64("index", index as u64);
                     let outcome = match catch_unwind(AssertUnwindSafe(|| run_scenario(&job.spec))) {
-                        Ok(result) => JobOutcome::Completed(Box::new(result)),
-                        Err(panic) => JobOutcome::Failed(panic_message(panic)),
+                        Ok(result) => {
+                            span.arg_u64("events", result.events_processed);
+                            observer.count("runner.jobs_completed", TimeDomain::Sim, 1);
+                            JobOutcome::Completed(Box::new(result))
+                        }
+                        Err(panic) => {
+                            span.arg_str("failed", "panic");
+                            observer.count("runner.jobs_failed", TimeDomain::Sim, 1);
+                            JobOutcome::Failed(panic_message(panic))
+                        }
                     };
+                    drop(span);
                     if sender.send((index, outcome)).is_err() {
                         break;
                     }

@@ -58,8 +58,11 @@ use crate::engine::RunOutcome;
 use crate::event::EventId;
 use crate::queue::Scheduler;
 use crate::time::{SimDuration, SimTime};
+use rackfabric_obs::profile::WindowProfiler;
+use rackfabric_obs::Observer;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
 
 /// A cross-shard message: an event addressed to another shard at an absolute
 /// instant, with the content-derived tie-break key.
@@ -248,10 +251,48 @@ pub struct WindowedOutcome {
 enum Step {
     /// Run the sync hook at this instant.
     Sync(SimTime),
-    /// Drain all shards up to (exclusive) this pico-instant.
-    Window(u64),
+    /// Drain all shards over `[start_ps, end_ps)` (start = the earliest
+    /// pending event; carried so the profiler can record window lengths).
+    Window { start_ps: u64, end_ps: u64 },
     /// Nothing left to do.
     Done(RunOutcome),
+}
+
+/// Drains one shard cell, timing the drain and counting its events when a
+/// profiler is attached. Shared by the serial path, worker 0, and the
+/// spawned workers.
+fn drain_cell<M: ShardModel>(
+    cell: &Mutex<ShardCell<M>>,
+    end_ps: u64,
+    profiler: Option<&WindowProfiler>,
+) {
+    let mut guard = cell.lock().expect("shard lock poisoned");
+    match profiler {
+        Some(p) => {
+            let before = guard.events;
+            let start = Instant::now();
+            guard.drain(end_ps);
+            p.record_drain(
+                guard.shard,
+                start.elapsed().as_nanos() as u64,
+                guard.events - before,
+            );
+        }
+        None => guard.drain(end_ps),
+    }
+}
+
+/// Waits at the barrier, timing the wait per worker when a profiler is
+/// attached (the disabled path reads no clock).
+fn timed_wait(barrier: &SpinBarrier, worker: usize, profiler: Option<&WindowProfiler>) {
+    match profiler {
+        Some(p) => {
+            let start = Instant::now();
+            barrier.wait();
+            p.record_barrier_wait(worker, start.elapsed().as_nanos() as u64);
+        }
+        None => barrier.wait(),
+    }
 }
 
 /// A sense-reversing spinning barrier for the persistent window workers.
@@ -305,6 +346,11 @@ pub struct WindowedSim<M: ShardModel> {
     /// Worker threads used for window execution (0 = one per shard, capped
     /// at the machine's parallelism).
     workers: usize,
+    /// Shard/window profiler (barrier waits, drain times, window stats);
+    /// `None` (the default) records nothing and reads no clocks.
+    profiler: Option<Arc<WindowProfiler>>,
+    /// Trace/metrics hook for span recording; disabled by default.
+    observer: Observer,
 }
 
 impl<M: ShardModel> WindowedSim<M> {
@@ -333,6 +379,8 @@ impl<M: ShardModel> WindowedSim<M> {
             events: 0,
             event_budget: u64::MAX,
             workers: 0,
+            profiler: None,
+            observer: Observer::off(),
         }
     }
 
@@ -346,6 +394,29 @@ impl<M: ShardModel> WindowedSim<M> {
     /// machine's parallelism). Thread count never affects results.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Attaches a shard/window profiler. The profiler records wall-clock
+    /// barrier waits and drain times plus deterministic per-shard event and
+    /// mailbox counts; it never influences the run. Its slot count must
+    /// cover this sim's shards.
+    pub fn with_profiler(mut self, profiler: Arc<WindowProfiler>) -> Self {
+        assert!(
+            profiler.shard_count() >= self.cells.len(),
+            "profiler has {} shard slots but the sim has {} shards",
+            profiler.shard_count(),
+            self.cells.len()
+        );
+        self.profiler = Some(profiler);
+        self
+    }
+
+    /// Attaches an observer (trace sink / metrics registry). Window, drain,
+    /// and sync spans are recorded when the observer carries a trace sink;
+    /// the default [`Observer::off`] records nothing.
+    pub fn with_observer(mut self, observer: Observer) -> Self {
+        self.observer = observer;
         self
     }
 
@@ -424,6 +495,9 @@ impl<M: ShardModel> WindowedSim<M> {
                 env.at,
                 window_end_ps
             );
+            if let Some(p) = &self.profiler {
+                p.record_mailbox_in(env.to, 1);
+            }
             let mut dest = self.cells[env.to].lock().expect("shard lock poisoned");
             dest.queue.push(env.at, EventId(env.key), env.event);
         }
@@ -459,7 +533,10 @@ impl<M: ShardModel> WindowedSim<M> {
                         .saturating_add(lookahead)
                         .min(next_sync.as_picos())
                         .min(horizon.as_picos().saturating_add(1));
-                    Step::Window(end)
+                    Step::Window {
+                        start_ps: t.as_picos(),
+                        end_ps: end,
+                    }
                 }
             }
         }
@@ -477,6 +554,11 @@ impl<M: ShardModel> WindowedSim<M> {
             self.workers.min(self.cells.len())
         }
         .max(1);
+        if let Some(sink) = self.observer.trace() {
+            for w in 0..workers {
+                sink.name_lane(w as u64, format!("worker {w}"));
+            }
+        }
         let result = if workers == 1 {
             self.run_on(horizon, hook, None, 1)
         } else {
@@ -488,16 +570,21 @@ impl<M: ShardModel> WindowedSim<M> {
                 for worker in 1..workers {
                     let barrier = &barrier;
                     let edge = &edge;
+                    let profiler = self.profiler.clone();
+                    let observer = self.observer.clone();
                     scope.spawn(move || loop {
-                        barrier.wait();
+                        timed_wait(barrier, worker, profiler.as_deref());
                         let end = edge.load(Ordering::Acquire);
                         if end == EXIT {
                             break;
                         }
-                        for cell in cells.iter().skip(worker).step_by(workers) {
-                            cell.lock().expect("shard lock poisoned").drain(end);
+                        {
+                            let _span = observer.span(worker as u64, "drain", "windows");
+                            for cell in cells.iter().skip(worker).step_by(workers) {
+                                drain_cell(cell, end, profiler.as_deref());
+                            }
                         }
-                        barrier.wait();
+                        timed_wait(barrier, worker, profiler.as_deref());
                     });
                 }
                 this.run_on(horizon, hook, Some((&barrier, &edge)), workers)
@@ -540,6 +627,11 @@ impl<M: ShardModel> WindowedSim<M> {
                 syncs,
             }
         };
+        let mut prev_events = if self.profiler.is_some() || self.observer.is_enabled() {
+            total_events(self)
+        } else {
+            0
+        };
         loop {
             match self.plan_step(hook, horizon) {
                 Step::Done(outcome) => {
@@ -549,32 +641,47 @@ impl<M: ShardModel> WindowedSim<M> {
                     return finish(outcome, now, total_events(self), windows, syncs);
                 }
                 Step::Sync(at) => {
+                    let _span = self.observer.span(0, "sync", "windows");
                     let mut view = self.view();
                     hook.on_sync(at, &mut view);
                     drop(view);
                     now = at;
                     syncs += 1;
+                    if let Some(p) = &self.profiler {
+                        p.record_sync();
+                    }
                 }
-                Step::Window(end_ps) => {
+                Step::Window { start_ps, end_ps } => {
+                    let mut window_span = self.observer.span(0, "window", "windows");
                     match sync {
                         None => {
                             for cell in &self.cells {
-                                cell.lock().expect("shard lock poisoned").drain(end_ps);
+                                drain_cell(cell, end_ps, self.profiler.as_deref());
                             }
                         }
                         Some((barrier, edge)) => {
                             edge.store(end_ps, Ordering::Release);
-                            barrier.wait();
+                            timed_wait(barrier, 0, self.profiler.as_deref());
                             for cell in self.cells.iter().step_by(workers) {
-                                cell.lock().expect("shard lock poisoned").drain(end_ps);
+                                drain_cell(cell, end_ps, self.profiler.as_deref());
                             }
-                            barrier.wait();
+                            timed_wait(barrier, 0, self.profiler.as_deref());
                         }
                     }
                     self.exchange(end_ps);
                     now = SimTime::from_picos(end_ps.saturating_sub(1)).min(horizon);
                     windows += 1;
                     let events = total_events(self);
+                    if self.profiler.is_some() || self.observer.is_enabled() {
+                        let delta = events.saturating_sub(prev_events);
+                        prev_events = events;
+                        if let Some(p) = &self.profiler {
+                            p.record_window(end_ps.saturating_sub(start_ps), delta);
+                        }
+                        window_span.arg_u64("events", delta);
+                        window_span.arg_u64("end_ps", end_ps);
+                    }
+                    drop(window_span);
                     if events >= self.event_budget {
                         return finish(
                             RunOutcome::EventBudgetExhausted,
@@ -682,6 +789,49 @@ mod tests {
             .collect();
         trace.sort();
         trace
+    }
+
+    /// An instrumented run produces the identical trace, and the profiler
+    /// accounts every event, window, and cross-shard envelope.
+    #[test]
+    fn profiling_does_not_change_the_trace() {
+        let baseline = run_ring(3, 2);
+        let nodes = 5;
+        let latency = SimDuration::from_nanos(7);
+        let models: Vec<Ring> = (0..3)
+            .map(|shard| Ring {
+                shard,
+                shards: 3,
+                nodes,
+                latency,
+                hops_left: 200,
+                trace: Vec::new(),
+            })
+            .collect();
+        let profiler = Arc::new(WindowProfiler::new(3));
+        let mut sim = WindowedSim::new(models)
+            .with_workers(2)
+            .with_profiler(profiler.clone())
+            .with_observer(Observer::enabled());
+        sim.schedule(0, SimTime::ZERO, 0, Token { node: 0, hops: 0 });
+        let out = sim.run(SimTime::MAX, &mut NoSync { lookahead: latency });
+        assert_eq!(out.outcome, RunOutcome::Drained);
+        let mut trace: Vec<(u64, usize, u64)> = sim
+            .into_models()
+            .into_iter()
+            .flat_map(|m| m.trace)
+            .collect();
+        trace.sort();
+        assert_eq!(trace, baseline);
+        let profile = profiler.snapshot();
+        assert_eq!(profile.shard_events().iter().sum::<u64>(), out.events);
+        assert_eq!(profile.windows, out.windows);
+        // The ring crosses shards, so envelopes flowed through the mailbox.
+        assert!(profile.shards.iter().map(|s| s.mailbox_in).sum::<u64>() > 0);
+        // Two workers both waited at barriers.
+        assert!(profile.workers[0].barrier_waits > 0);
+        assert!(profile.workers[1].barrier_waits > 0);
+        assert_eq!(profile.events_per_window.sum, out.events);
     }
 
     #[test]

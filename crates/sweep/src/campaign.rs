@@ -25,6 +25,7 @@
 use crate::budget::{converged, rel_halfwidth, BudgetPolicy, CellBudget, StopReason};
 use crate::key::{canonical_spec_json, job_key};
 use crate::store::ResultStore;
+use rackfabric_obs::{Observer, TimeDomain};
 use rackfabric_scenario::aggregate::{aggregate_cells, CellSummary};
 use rackfabric_scenario::matrix::{Job, Matrix};
 use rackfabric_scenario::runner::{JobOutcome, JobRecord, Runner};
@@ -32,6 +33,10 @@ use rackfabric_scenario::spec::ScenarioSpec;
 use rackfabric_sim::rng::DetRng;
 use rackfabric_sim::stats::Histogram;
 use std::io;
+
+/// The trace lane the campaign orchestrator records on (resolve / execute /
+/// persist spans). Distinct from the runner's job-worker lanes.
+const SWEEP_LANE: u64 = 2000;
 
 /// A resumable sweep campaign over one scenario matrix.
 #[derive(Debug, Clone)]
@@ -45,6 +50,10 @@ pub struct Sweep {
     /// count). `None` runs to completion. This is the interruption /
     /// incremental-progress knob: a partial sweep resumes from the store.
     pub max_new_jobs: Option<usize>,
+    /// Campaign-level tracing/metrics (resolve waves, dispatch, persist,
+    /// cache hit/miss counters). Observability only: outcomes, store records
+    /// and exports are byte-identical with it on or off.
+    pub observer: Observer,
 }
 
 impl Sweep {
@@ -54,6 +63,7 @@ impl Sweep {
             matrix,
             budget: None,
             max_new_jobs: None,
+            observer: Observer::off(),
         }
     }
 
@@ -70,11 +80,20 @@ impl Sweep {
         self
     }
 
+    /// Attaches a campaign observer, returning the modified sweep.
+    pub fn observed(mut self, observer: Observer) -> Sweep {
+        self.observer = observer;
+        self
+    }
+
     /// Drives the campaign: store lookups, incremental dispatch, persist,
     /// aggregate. Deterministic in everything but wall-clock: thread count,
     /// prior store contents and interruption points never change the final
     /// (complete) exports.
     pub fn run(&self, store: &ResultStore, runner: &Runner) -> io::Result<SweepOutcome> {
+        if let Some(sink) = self.observer.trace() {
+            sink.name_lane(SWEEP_LANE, "sweep");
+        }
         let mut dispatcher = Dispatcher {
             store,
             runner,
@@ -83,6 +102,7 @@ impl Sweep {
             skipped: 0,
             max_new_jobs: self.max_new_jobs,
             interrupted: false,
+            observer: &self.observer,
         };
         let (records, cell_budgets) = match &self.budget {
             None => (self.run_fixed(&mut dispatcher)?, Vec::new()),
@@ -193,6 +213,8 @@ impl Sweep {
                     wave.push((c, self.replicate_job(rep, n)));
                 }
             }
+            self.observer
+                .count("sweep.replicates_grown", TimeDomain::Sim, wave.len() as u64);
         }
 
         // Flatten to (cell, replicate) order with dense job indices so the
@@ -323,6 +345,7 @@ struct Dispatcher<'a> {
     skipped: usize,
     max_new_jobs: Option<usize>,
     interrupted: bool,
+    observer: &'a Observer,
 }
 
 impl Dispatcher<'_> {
@@ -331,20 +354,32 @@ impl Dispatcher<'_> {
     /// are persisted before returning. `None` marks a job skipped by an
     /// interruption.
     fn resolve(&mut self, jobs: &[Job]) -> io::Result<Vec<Option<JobOutcome>>> {
+        let mut resolve_span = self.observer.span(SWEEP_LANE, "resolve", "sweep");
+        resolve_span.arg_u64("jobs", jobs.len() as u64);
         let mut outcomes: Vec<Option<JobOutcome>> = Vec::with_capacity(jobs.len());
         let mut pending: Vec<usize> = Vec::new();
-        for (i, job) in jobs.iter().enumerate() {
-            match self.store.get(&job_key(&job.spec)) {
-                Some(outcome) => {
-                    self.cached += 1;
-                    outcomes.push(Some(outcome));
-                }
-                None => {
-                    outcomes.push(None);
-                    pending.push(i);
+        {
+            let _lookup_span = self.observer.span(SWEEP_LANE, "store lookup", "sweep");
+            for (i, job) in jobs.iter().enumerate() {
+                match self.store.get(&job_key(&job.spec)) {
+                    Some(outcome) => {
+                        self.cached += 1;
+                        outcomes.push(Some(outcome));
+                    }
+                    None => {
+                        outcomes.push(None);
+                        pending.push(i);
+                    }
                 }
             }
         }
+        let warm = jobs.len() - pending.len();
+        self.observer
+            .count("sweep.cache_hits", TimeDomain::Sim, warm as u64);
+        self.observer
+            .count("sweep.cache_misses", TimeDomain::Sim, pending.len() as u64);
+        resolve_span.arg_u64("warm", warm as u64);
+        resolve_span.arg_u64("cold", pending.len() as u64);
         if let Some(cap) = self.max_new_jobs {
             let room = cap.saturating_sub(self.executed);
             if pending.len() > room {
@@ -357,7 +392,12 @@ impl Dispatcher<'_> {
             return Ok(outcomes);
         }
         let batch: Vec<Job> = pending.iter().map(|&i| jobs[i].clone()).collect();
-        let results = self.runner.run_jobs(&batch);
+        let results = {
+            let mut span = self.observer.span(SWEEP_LANE, "execute", "sweep");
+            span.arg_u64("jobs", batch.len() as u64);
+            self.runner.run_jobs(&batch)
+        };
+        let _persist_span = self.observer.span(SWEEP_LANE, "persist", "sweep");
         for (&i, outcome) in pending.iter().zip(results) {
             let spec = &jobs[i].spec;
             self.store

@@ -71,10 +71,10 @@ pub mod prelude {
     pub use crate::emit::{render_files, write_report};
     pub use crate::key::{canonical_spec_json, job_key, JobKey};
     pub use crate::report::{cdf_plot, line_plot, PlotSeries};
-    pub use crate::store::{GcStats, ResultStore};
+    pub use crate::store::{GcStats, ResultStore, StoreStats};
 }
 
 pub use budget::{BudgetPolicy, CellBudget, StopReason};
 pub use campaign::{CellDistributions, Sweep, SweepOutcome};
 pub use key::{canonical_spec_json, job_key, JobKey};
-pub use store::{GcStats, ResultStore};
+pub use store::{GcStats, ResultStore, StoreStats};

@@ -25,15 +25,58 @@ use rackfabric_sim::json::{self, JsonValue};
 use rackfabric_sim::stats::{Histogram, Summary};
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Version stamp written into every record; bump when the schema changes so
 /// stale stores re-execute instead of misparsing.
 const FORMAT: u64 = 2;
 
+/// In-memory traffic counters of one open store handle (shared by clones).
+/// Purely observational: nothing in the records themselves depends on them.
+#[derive(Debug, Default)]
+struct StoreCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    puts: AtomicU64,
+    gc_kept: AtomicU64,
+    gc_removed: AtomicU64,
+}
+
+/// A plain snapshot of store traffic counters — either the in-memory
+/// counters of this handle or the cumulative totals persisted in the
+/// store's `stats.json` sidecar.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Lookups answered from the store.
+    pub hits: u64,
+    /// Lookups that found no (readable) record.
+    pub misses: u64,
+    /// Records written.
+    pub puts: u64,
+    /// Records spared across gc passes.
+    pub gc_kept: u64,
+    /// Files reclaimed across gc passes.
+    pub gc_removed: u64,
+}
+
+impl StoreStats {
+    /// Hit rate over all lookups (0.0 when the store was never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// A handle to one on-disk store directory.
 #[derive(Debug, Clone)]
 pub struct ResultStore {
     root: PathBuf,
+    counters: Arc<StoreCounters>,
 }
 
 impl ResultStore {
@@ -41,7 +84,10 @@ impl ResultStore {
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<ResultStore> {
         let root = dir.into();
         std::fs::create_dir_all(root.join("objects"))?;
-        Ok(ResultStore { root })
+        Ok(ResultStore {
+            root,
+            counters: Arc::new(StoreCounters::default()),
+        })
     }
 
     /// The store's root directory.
@@ -60,6 +106,17 @@ impl ResultStore {
     /// Looks up a stored outcome. Returns `None` on a miss or an unreadable/
     /// corrupt record (which the caller then recomputes and overwrites).
     pub fn get(&self, key: &JobKey) -> Option<JobOutcome> {
+        let outcome = self.get_inner(key);
+        let counter = if outcome.is_some() {
+            &self.counters.hits
+        } else {
+            &self.counters.misses
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        outcome
+    }
+
+    fn get_inner(&self, key: &JobKey) -> Option<JobOutcome> {
         let text = std::fs::read_to_string(self.object_path(key)).ok()?;
         let doc = json::parse(&text).ok()?;
         if doc.get("format")?.as_u64()? != FORMAT {
@@ -86,7 +143,9 @@ impl ResultStore {
         let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let tmp = path.with_extension(format!("tmp.{}.{}", std::process::id(), seq));
         std::fs::write(&tmp, &out)?;
-        std::fs::rename(&tmp, &path)
+        std::fs::rename(&tmp, &path)?;
+        self.counters.puts.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Number of records in the store (walks the object tree).
@@ -163,7 +222,74 @@ impl ResultStore {
                 let _ = std::fs::remove_dir(&shard_path);
             }
         }
+        self.counters
+            .gc_kept
+            .fetch_add(stats.kept as u64, Ordering::Relaxed);
+        self.counters
+            .gc_removed
+            .fetch_add(stats.removed as u64, Ordering::Relaxed);
         Ok(stats)
+    }
+
+    /// A snapshot of this handle's in-memory traffic counters (shared with
+    /// its clones; independent of the persisted sidecar).
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            puts: self.counters.puts.load(Ordering::Relaxed),
+            gc_kept: self.counters.gc_kept.load(Ordering::Relaxed),
+            gc_removed: self.counters.gc_removed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Path of the persisted stats sidecar. Lives next to `objects/`, never
+    /// inside it, so report diffs and golden comparisons are unaffected.
+    pub fn stats_path(&self) -> PathBuf {
+        self.root.join("stats.json")
+    }
+
+    /// Reads the cumulative traffic stats persisted by previous
+    /// [`ResultStore::flush_stats`] calls (zeros when none exist).
+    pub fn read_stats(&self) -> StoreStats {
+        let Ok(text) = std::fs::read_to_string(self.stats_path()) else {
+            return StoreStats::default();
+        };
+        let Ok(doc) = json::parse(&text) else {
+            return StoreStats::default();
+        };
+        let field = |name: &str| doc.get(name).and_then(|v| v.as_u64()).unwrap_or(0);
+        StoreStats {
+            hits: field("hits"),
+            misses: field("misses"),
+            puts: field("puts"),
+            gc_kept: field("gc_kept"),
+            gc_removed: field("gc_removed"),
+        }
+    }
+
+    /// Drains this handle's in-memory counters into the persisted sidecar
+    /// (read-modify-write with an atomic rename) and returns the new
+    /// cumulative totals. Call once at the end of a run; draining makes a
+    /// second flush a no-op instead of double-counting.
+    pub fn flush_stats(&self) -> io::Result<StoreStats> {
+        let mut total = self.read_stats();
+        total.hits += self.counters.hits.swap(0, Ordering::Relaxed);
+        total.misses += self.counters.misses.swap(0, Ordering::Relaxed);
+        total.puts += self.counters.puts.swap(0, Ordering::Relaxed);
+        total.gc_kept += self.counters.gc_kept.swap(0, Ordering::Relaxed);
+        total.gc_removed += self.counters.gc_removed.swap(0, Ordering::Relaxed);
+        let out = format!(
+            "{{\"hits\": {}, \"misses\": {}, \"puts\": {}, \"gc_kept\": {}, \
+             \"gc_removed\": {}}}\n",
+            total.hits, total.misses, total.puts, total.gc_kept, total.gc_removed
+        );
+        let tmp = self
+            .stats_path()
+            .with_extension(format!("json.tmp.{}", std::process::id()));
+        std::fs::write(&tmp, &out)?;
+        std::fs::rename(&tmp, self.stats_path())?;
+        Ok(total)
     }
 }
 
@@ -511,6 +637,47 @@ mod tests {
         assert_eq!(store.gc([key].iter()).unwrap().removed, 1);
         assert!(!foreign.exists());
         assert_eq!(store.gc([key].iter()).unwrap().removed, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn counts_traffic_and_persists_cumulative_stats() {
+        let dir = tmp_dir("stats");
+        let store = ResultStore::open(&dir).unwrap();
+        let key = crate::key::JobKey(21);
+        assert!(store.get(&key).is_none());
+        store
+            .put(&key, "{}", &JobOutcome::Failed("x".into()))
+            .unwrap();
+        assert!(store.get(&key).is_some());
+        store.gc([key].iter()).unwrap();
+        assert_eq!(
+            store.stats(),
+            StoreStats {
+                hits: 1,
+                misses: 1,
+                puts: 1,
+                gc_kept: 1,
+                gc_removed: 0
+            }
+        );
+        assert!((store.stats().hit_rate() - 0.5).abs() < 1e-12);
+
+        // Flush drains the in-memory counters into the sidecar...
+        let total = store.flush_stats().unwrap();
+        assert_eq!(total.hits, 1);
+        assert_eq!(store.stats(), StoreStats::default());
+        // ...a second flush adds nothing...
+        assert_eq!(store.flush_stats().unwrap(), total);
+        // ...and a fresh handle accumulates on top of the persisted totals.
+        let reopened = ResultStore::open(&dir).unwrap();
+        assert!(reopened.get(&key).is_some());
+        let cumulative = reopened.flush_stats().unwrap();
+        assert_eq!(cumulative.hits, 2);
+        assert_eq!(cumulative.puts, 1);
+        assert_eq!(reopened.read_stats(), cumulative);
+        // The sidecar lives outside the object tree and is not a record.
+        assert_eq!(reopened.len(), 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -37,11 +37,21 @@
 //! `--export-cells` writes the sharded sweep's byte-stable cells JSON (no
 //! wall-clock fields) to a file; CI runs the example twice with different
 //! `--shards` values and diffs the two exports byte for byte.
+//!
+//! `--profile` adds a `shard_profile` breakdown of the heaviest worker-sweep
+//! run to `BENCH_hotpath.json` — per-shard event counts and drain time,
+//! per-worker barrier-wait totals, barrier-wait fraction, and shard event
+//! imbalance. `--trace FILE` writes a Chrome-trace JSON of the same run
+//! (open it at <https://ui.perfetto.dev>). Neither flag can move simulation
+//! results: instrumentation is wall-clock-only and the byte-compare gates
+//! above run with it enabled.
 
 use rackfabric::prelude::TopologySpec;
+use rackfabric_obs::prelude::{Observer, TraceSink, WindowProfile};
 use rackfabric_scenario::prelude::*;
 use rackfabric_sim::json;
 use rackfabric_sim::prelude::*;
+use std::sync::Arc;
 
 /// Pre-refactor engine throughput on this sweep's 8×8 heavy-shuffle cells
 /// (binary-heap scheduler, hash-map fabric state, one event per packet),
@@ -145,13 +155,22 @@ struct WorkerPoint {
     events: u64,
     wall_nanos: u64,
     summary_fingerprint: String,
+    profile: Option<WindowProfile>,
 }
 
 /// Runs the worker-scaling sweep: the same sharded cell at worker counts
 /// 1, 2, 4, … up to `min(cap, shards)`. Results must be identical across
 /// counts (worker count is a pure execution knob); the wall clock is the
-/// only thing allowed to move.
-fn worker_sweep(tiny: bool, shards: usize, cap: usize) -> Vec<WorkerPoint> {
+/// only thing allowed to move. Every point runs with the window profiler
+/// attached (per-shard events and barrier waits land in the bench file);
+/// `trace` additionally records a span trace of the heaviest (max-worker)
+/// point.
+fn worker_sweep(
+    tiny: bool,
+    shards: usize,
+    cap: usize,
+    trace: Option<&Arc<TraceSink>>,
+) -> Vec<WorkerPoint> {
     let mut counts = vec![1usize];
     while let Some(&last) = counts.last() {
         let next = last * 2;
@@ -160,6 +179,7 @@ fn worker_sweep(tiny: bool, shards: usize, cap: usize) -> Vec<WorkerPoint> {
         }
         counts.push(next);
     }
+    let max_workers = *counts.last().unwrap_or(&1);
     let spec = worker_sweep_spec(tiny, shards.max(1));
     counts
         .into_iter()
@@ -168,6 +188,12 @@ fn worker_sweep(tiny: bool, shards: usize, cap: usize) -> Vec<WorkerPoint> {
             let mut config =
                 rackfabric::shard::ShardedConfig::new(spec.to_fabric_config(), spec.shards);
             config.workers = workers;
+            config.profile = true;
+            if workers == max_workers {
+                if let Some(sink) = trace {
+                    config.observer = Observer::off().with_trace(sink.clone());
+                }
+            }
             let fabric = rackfabric::shard::ShardedFabric::new(config, flows);
             let start = std::time::Instant::now();
             let run = fabric.run();
@@ -177,6 +203,7 @@ fn worker_sweep(tiny: bool, shards: usize, cap: usize) -> Vec<WorkerPoint> {
                 events: run.events_processed,
                 wall_nanos,
                 summary_fingerprint: format!("{:?}", run.metrics.summary()),
+                profile: run.profile,
             }
         })
         .collect()
@@ -231,6 +258,17 @@ fn main() {
         .position(|a| a == "--export-cells")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let profile = args.iter().any(|a| a == "--profile");
+    let trace_path = match args.iter().position(|a| a == "--trace") {
+        None => None,
+        Some(i) => match args.get(i + 1) {
+            Some(path) => Some(path.clone()),
+            None => {
+                eprintln!("perf_smoke: FAIL — --trace requires a file argument");
+                std::process::exit(1);
+            }
+        },
+    };
     let mode = if tiny { "tiny" } else { "full" };
     eprintln!("perf_smoke: running {mode} heavy-shuffle sweep ({shards}-shard arm)...");
 
@@ -313,7 +351,8 @@ fn main() {
     // 4. Window-parallel worker scaling: the same sharded cell at growing
     //    worker counts. Records speedup-vs-1-worker; results must not move.
     eprintln!("perf_smoke: running worker-scaling sweep (cap {workers_cap})...");
-    let worker_points = worker_sweep(tiny, shards, workers_cap);
+    let trace_sink = trace_path.as_ref().map(|_| Arc::new(TraceSink::new()));
+    let worker_points = worker_sweep(tiny, shards, workers_cap, trace_sink.as_ref());
     let workers_ok = worker_points.windows(2).all(|w| {
         w[0].events == w[1].events && w[0].summary_fingerprint == w[1].summary_fingerprint
     });
@@ -327,13 +366,36 @@ fn main() {
         } else {
             point.events as f64 * 1e9 / point.wall_nanos as f64
         };
+        let barrier = point
+            .profile
+            .as_ref()
+            .map(|p| {
+                format!(
+                    ", barrier wait {:.1}%",
+                    p.barrier_wait_fraction(point.wall_nanos, point.workers) * 100.0
+                )
+            })
+            .unwrap_or_default();
         eprintln!(
-            "  {} worker(s): {:>9} events in {:>8.1} ms = {:>9.0} events/sec ({:.2}x vs 1 worker)",
+            "  {} worker(s): {:>9} events in {:>8.1} ms = {:>9.0} events/sec ({:.2}x vs 1 worker{})",
             point.workers,
             point.events,
             point.wall_nanos as f64 / 1e6,
             events_per_sec,
             one_worker_nanos as f64 / point.wall_nanos.max(1) as f64,
+            barrier,
+        );
+    }
+
+    if let (Some(path), Some(sink)) = (&trace_path, &trace_sink) {
+        if let Err(e) = sink.write_file(path) {
+            eprintln!("perf_smoke: FAIL — could not write trace {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "perf_smoke: wrote engine trace ({} event(s), {} dropped) to {path}",
+            sink.len(),
+            sink.dropped()
         );
     }
 
@@ -391,19 +453,64 @@ fn main() {
             } else {
                 point.events as f64 * 1e9 / point.wall_nanos as f64
             };
+            // Per-shard event counts are deterministic; the barrier-wait
+            // columns are wall-clock (this file is a perf artifact, never a
+            // golden export).
+            let profile_cols = point
+                .profile
+                .as_ref()
+                .map(|p| {
+                    let shard_events: Vec<String> =
+                        p.shard_events().iter().map(|e| e.to_string()).collect();
+                    let waits: Vec<String> = p
+                        .workers
+                        .iter()
+                        .take(point.workers)
+                        .map(|w| w.barrier_wait_nanos.to_string())
+                        .collect();
+                    format!(
+                        ", \"shard_events\": [{}], \"barrier_wait_ns\": [{}], \
+                         \"barrier_wait_fraction\": {}",
+                        shard_events.join(", "),
+                        waits.join(", "),
+                        json::number(p.barrier_wait_fraction(point.wall_nanos, point.workers)),
+                    )
+                })
+                .unwrap_or_default();
             format!(
                 "    {{\"workers\": {}, \"shards\": {shards}, \"events\": {}, \"wall_ms\": {}, \
-                 \"events_per_sec\": {}, \"speedup_vs_1_worker\": {}}}",
+                 \"events_per_sec\": {}, \"speedup_vs_1_worker\": {}{}}}",
                 point.workers,
                 point.events,
                 json::number(point.wall_nanos as f64 / 1e6),
                 json::number(events_per_sec),
                 json::number(one_worker_nanos as f64 / point.wall_nanos.max(1) as f64),
+                profile_cols,
             )
         })
         .collect();
     out.push_str(&worker_rows.join(",\n"));
     out.push_str("\n  ],\n");
+    // `--profile`: the full window-profiler breakdown of the heaviest
+    // (max-worker) point — per-shard drain time, per-worker barrier waits,
+    // window-length and events-per-window histogram bounds.
+    if profile {
+        if let Some(point) = worker_points.last() {
+            if let Some(p) = &point.profile {
+                out.push_str("  \"shard_profile\": ");
+                out.push_str(&p.render_json(point.wall_nanos, point.workers));
+                out.push_str(",\n");
+                eprintln!(
+                    "  profile [{} workers]: barrier wait {:.1}% of wall, \
+                     shard imbalance {:.2}x, {} windows",
+                    point.workers,
+                    p.barrier_wait_fraction(point.wall_nanos, point.workers) * 100.0,
+                    p.shard_event_imbalance(),
+                    p.windows,
+                );
+            }
+        }
+    }
     out.push_str("  \"cells\": [\n");
     let mut cell_rows: Vec<String> = Vec::new();
     let mut history_cells: Vec<String> = Vec::new();
