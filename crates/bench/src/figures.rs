@@ -1,4 +1,5 @@
-//! Declarative paper-figure campaigns: every figure of the paper (e1–e9)
+//! Declarative paper-figure campaigns: every figure of the paper (e1–e9,
+//! plus the repo's own e10 sharded-scale figure)
 //! expressed as a scenario [`Matrix`] driven through the content-addressed
 //! [`ResultStore`], plus the golden-export machinery that pins each figure's
 //! byte-deterministic CSV against a checked-in reference.
@@ -229,6 +230,48 @@ pub fn e8_matrix(hops: usize) -> Matrix {
         .master_seed(3)
 }
 
+/// e10 — the sharded engine's scale cells: the big torus and the multi-rack
+/// fat-tree pushed through the sharded windowed engine, swept across shard
+/// counts and inter-rack cable spacing. Shard count never moves a result
+/// byte (the golden pins identical rows per count); spacing is the physical
+/// knob behind the engine's conservative lookahead — longer inter-rack
+/// cables buy longer windows at the cost of the extra flight time every
+/// cross-rack packet pays, and the figure shows that cost.
+pub fn e10_matrix(
+    topologies: Vec<TopologySpec>,
+    partition_kib: u64,
+    horizon_ms: u64,
+    shards: &[usize],
+    spacings: &[Length],
+) -> Matrix {
+    let base = ScenarioSpec::new(
+        "e10-sharded-scale",
+        TopologySpec::grid(3, 3, 2),
+        WorkloadSpec::shuffle(Bytes::from_kib(partition_kib)),
+    )
+    .controller(ControllerSpec::Baseline)
+    .horizon(SimTime::from_millis(horizon_ms));
+    // Axis order matters: `spacing` mutates the topology chosen by the
+    // `topology` axis, so it must come after it.
+    Matrix::new(base)
+        .axis(
+            "topology",
+            topologies.into_iter().map(AxisValue::Topology).collect(),
+        )
+        .axis(
+            "shards",
+            shards.iter().map(|&n| AxisValue::Shards(n)).collect(),
+        )
+        .axis(
+            "spacing",
+            spacings
+                .iter()
+                .map(|&l| AxisValue::RackSpacing(l))
+                .collect(),
+        )
+        .master_seed(17)
+}
+
 /// e9 — the scenario-matrix figure: racks × load × controller × **port
 /// buffer**, reduced to per-cell tail-latency aggregates.
 pub fn e9_matrix(sides: &[usize], loads: &[f64], buffers: &[Bytes], seeds: usize) -> Matrix {
@@ -445,6 +488,28 @@ pub fn e9_export(outcome: &SweepOutcome) -> String {
     rackfabric_scenario::export::cells_to_csv(&outcome.cells)
 }
 
+/// e10 export: one row per (topology, shard count, rack spacing) cell.
+/// Rows that differ only in `shards` must be identical in every result
+/// column — the golden pins the sharded engine's shard-count invariance on
+/// its scale cells.
+pub fn e10_export(outcome: &SweepOutcome) -> String {
+    let mut out =
+        String::from("topology,shards,spacing,completed_runs,job_completion_us,p99_us,events\n");
+    for cell in &outcome.cells {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{}\n",
+            cell_label(cell, "topology"),
+            cell_label(cell, "shards"),
+            cell_label(cell, "spacing"),
+            cell.completed_runs,
+            cell.mean_job_completion_us.map(num).unwrap_or_default(),
+            num(cell.packet_latency.p99 / 1e6),
+            cell.events_processed
+        ));
+    }
+    out
+}
+
 // ---------------------------------------------------------------------------
 // The campaign driver.
 // ---------------------------------------------------------------------------
@@ -487,7 +552,7 @@ fn analytic(
     }
 }
 
-/// Runs every figure campaign at `scale` through `store`, returning the nine
+/// Runs every figure campaign at `scale` through `store`, returning the ten
 /// figure exports in order. A warm store executes zero jobs and reproduces
 /// the exact same bytes.
 pub fn run_figures(
@@ -592,6 +657,37 @@ pub fn run_figures(
                 )
             },
             e9_export,
+            store,
+            runner,
+        )?,
+        run_campaign(
+            "e10",
+            "sharded_scale",
+            "sharded-engine scale cells: shard-count invariance and the rack-spacing cost",
+            if tiny {
+                e10_matrix(
+                    vec![
+                        TopologySpec::torus(4, 4, 2),
+                        TopologySpec::fat_tree(16, 8, 2, 2),
+                    ],
+                    2,
+                    10,
+                    &[1, 2],
+                    &[Length::from_m(2), Length::from_m(20)],
+                )
+            } else {
+                e10_matrix(
+                    vec![
+                        TopologySpec::torus(16, 16, 2),
+                        TopologySpec::fat_tree(128, 16, 4, 2),
+                    ],
+                    4,
+                    40,
+                    &[1, 4],
+                    &[Length::from_m(2), Length::from_m(20)],
+                )
+            },
+            e10_export,
             store,
             runner,
         )?,

@@ -90,6 +90,10 @@ pub struct ShardedConfig {
     /// Trace/metrics observer threaded into the windowed engine (window
     /// and drain spans, engine counters). Disabled by default.
     pub observer: Observer,
+    /// Deterministic wall-clock jitter seed for stress-testing the window
+    /// executor (injected sleeps/yields per worker round). Never affects
+    /// results; `None` (the default) runs clean.
+    pub stagger: Option<u64>,
 }
 
 impl ShardedConfig {
@@ -103,6 +107,7 @@ impl ShardedConfig {
             workers: 0,
             profile: false,
             observer: Observer::off(),
+            stagger: None,
         }
     }
 }
@@ -115,6 +120,11 @@ struct SharedState {
     arena: LinkArena,
     spec: TopologySpec,
     partition: FabricPartition,
+    /// `LinkIdx -> joins two different racks` (dense arena order). A
+    /// topology property — not a partition property — that upper-bounds the
+    /// cut: shards group whole racks, so every cut link is inter-rack. The
+    /// conservative lookahead minimises latency over this class only.
+    inter_mask: Vec<bool>,
 }
 
 /// Event tie-break key classes (see the key layout in [`event_key`]).
@@ -636,6 +646,17 @@ impl ShardModel for ShardFabric {
             }
         }
     }
+
+    /// Delivery acks only fold bytes into flow progress — they never
+    /// schedule or send — so the window executor may fuse over stretches
+    /// where nothing but deliveries is pending (the ack tail of a run).
+    fn passive_key(key: u64) -> bool {
+        key >> 62 == CLASS_DELIVERED
+    }
+
+    fn stop_contribution(&self) -> u64 {
+        self.completed_flows as u64
+    }
 }
 
 /// Reads the dense link constants out of the physical state.
@@ -676,17 +697,29 @@ struct Coordinator {
 }
 
 impl Coordinator {
-    /// Recomputes the conservative lookahead. Deliberately the minimum over
-    /// **all** live links (not just the cut): the value — and with it the
-    /// window sequence and where stop/budget checks land — must not depend
-    /// on the shard count.
+    /// Recomputes the conservative lookahead from the **inter-rack link
+    /// class**. Shards group whole racks ([`FabricPartition`] never splits
+    /// one), so every cut link joins two racks by construction and the
+    /// minimum live inter-rack latency lower-bounds every cross-shard
+    /// envelope. The class is a topology property — not a partition
+    /// property — so the value (and with it the window sequence and where
+    /// stop/budget checks land) is identical for every shard count. Longer
+    /// inter-rack cables directly buy longer windows; intra-rack hops no
+    /// longer throttle them. Falls back to the all-links minimum when no
+    /// live inter-rack link exists (a single-rack fabric never hands off,
+    /// and the fallback keeps its window lattice unchanged).
     fn refresh_lookahead(&mut self) {
-        let link_min = self
-            .link_hot
-            .iter()
-            .filter(|h| h.up && !h.capacity.is_zero())
-            .map(|h| h.propagation + h.fec)
-            .min()
+        let mask = &self.shared.inter_mask;
+        let live_min = |inter_only: bool| {
+            self.link_hot
+                .iter()
+                .enumerate()
+                .filter(|(i, h)| (!inter_only || mask[*i]) && h.up && !h.capacity.is_zero())
+                .map(|(_, h)| h.propagation + h.fec)
+                .min()
+        };
+        let link_min = live_min(true)
+            .or_else(|| live_min(false))
             .unwrap_or(SimDuration::MAX);
         self.lookahead = link_min
             .min(self.config.retry_delay)
@@ -864,11 +897,16 @@ impl Coordinator {
         }
         let mut partition = self.shared.partition.clone();
         partition.recut(&arena);
+        // Re-derive the inter-rack class for the new link set by the same
+        // rack rule the partition groups by, so reconfiguration-added links
+        // land in the right lookahead class.
+        let inter_mask = plan.target.inter_rack_mask(&arena);
         let shared = Arc::new(SharedState {
             topo,
             arena,
             spec: plan.target.clone(),
             partition,
+            inter_mask,
         });
         self.shared = shared.clone();
         self.link_hot = compute_link_hot(&self.phy, &self.shared.arena);
@@ -902,14 +940,12 @@ impl SyncHook<ShardFabric> for Coordinator {
         self.lookahead
     }
 
-    fn keep_running(&mut self, _now: SimTime, shards: &mut ShardsView<'_, ShardFabric>) -> bool {
-        if !self.config.stop_when_done {
-            return true;
+    fn stop_threshold(&self) -> u64 {
+        if self.config.stop_when_done {
+            self.total_flows as u64
+        } else {
+            u64::MAX
         }
-        let completed: usize = (0..shards.len())
-            .map(|s| shards.model(s).completed_flows)
-            .sum();
-        completed < self.total_flows
     }
 }
 
@@ -958,6 +994,7 @@ impl ShardedFabric {
             workers,
             profile,
             observer,
+            stagger,
         } = config;
         assert!(shards >= 1, "a sharded fabric needs at least one shard");
         let horizon = fabric_config.sim.horizon;
@@ -967,13 +1004,20 @@ impl ShardedFabric {
             .spec
             .instantiate(&mut phy, fabric_config.lane_rate);
         let arena = LinkArena::build(&topo);
-        let partition = FabricPartition::build(fabric_config.spec.nodes, shards, &arena);
+        let partition = FabricPartition::build(&fabric_config.spec.rack_of(), shards, &arena);
+        let inter_mask = fabric_config.spec.inter_rack_mask(&arena);
+        debug_assert!(
+            partition.cut_links().all(|idx| inter_mask[idx.index()]),
+            "partition cut a link inside a rack; the inter-rack lookahead \
+             class would not cover it"
+        );
         let shard_count = partition.shards();
         let shared = Arc::new(SharedState {
             topo,
             arena,
             spec: fabric_config.spec.clone(),
             partition,
+            inter_mask,
         });
         let link_hot = compute_link_hot(&phy, &shared.arena);
         let bypasses = phy.bypasses.clone();
@@ -1027,6 +1071,9 @@ impl ShardedFabric {
             .with_observer(observer.clone());
         if let Some(p) = &profiler {
             sim = sim.with_profiler(p.clone());
+        }
+        if let Some(seed) = stagger {
+            sim = sim.with_stagger(seed);
         }
         for (idx, flow) in flows.iter().enumerate() {
             let shard = shared.partition.owner(flow.src);

@@ -30,6 +30,7 @@ struct ShardSlot {
 struct WorkerSlot {
     barrier_wait_nanos: AtomicU64,
     barrier_waits: AtomicU64,
+    early_advances: AtomicU64,
     wait_histogram: LogHistogram,
 }
 
@@ -44,6 +45,8 @@ pub struct WindowProfiler {
     windows: AtomicU64,
     syncs: AtomicU64,
     window_picos: AtomicU64,
+    fused_windows: AtomicU64,
+    fused_picos: AtomicU64,
     window_len_picos: LogHistogram,
     events_per_window: LogHistogram,
 }
@@ -58,6 +61,8 @@ impl WindowProfiler {
             windows: AtomicU64::new(0),
             syncs: AtomicU64::new(0),
             window_picos: AtomicU64::new(0),
+            fused_windows: AtomicU64::new(0),
+            fused_picos: AtomicU64::new(0),
             window_len_picos: LogHistogram::new(),
             events_per_window: LogHistogram::new(),
         }
@@ -110,6 +115,24 @@ impl WindowProfiler {
         self.syncs.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records that `worker` reached a phase edge after every peer had
+    /// already sealed it — the no-wait fast path of the phase-counted
+    /// window executor.
+    #[inline]
+    pub fn record_early_advance(&self, worker: usize) {
+        self.workers[worker]
+            .early_advances
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one fused window: a window the planner extended past the
+    /// base conservative edge by `extra_picos` of sim time.
+    #[inline]
+    pub fn record_fused_window(&self, extra_picos: u64) {
+        self.fused_windows.fetch_add(1, Ordering::Relaxed);
+        self.fused_picos.fetch_add(extra_picos, Ordering::Relaxed);
+    }
+
     /// Takes a plain snapshot of everything recorded so far.
     pub fn snapshot(&self) -> WindowProfile {
         WindowProfile {
@@ -128,12 +151,15 @@ impl WindowProfiler {
                 .map(|w| WorkerProfile {
                     barrier_wait_nanos: w.barrier_wait_nanos.load(Ordering::Relaxed),
                     barrier_waits: w.barrier_waits.load(Ordering::Relaxed),
+                    early_advances: w.early_advances.load(Ordering::Relaxed),
                     wait_histogram: HistogramSnapshot::of(&w.wait_histogram),
                 })
                 .collect(),
             windows: self.windows.load(Ordering::Relaxed),
             syncs: self.syncs.load(Ordering::Relaxed),
             window_picos: self.window_picos.load(Ordering::Relaxed),
+            fused_windows: self.fused_windows.load(Ordering::Relaxed),
+            fused_picos: self.fused_picos.load(Ordering::Relaxed),
             window_len_picos: HistogramSnapshot::of(&self.window_len_picos),
             events_per_window: HistogramSnapshot::of(&self.events_per_window),
         }
@@ -250,6 +276,9 @@ pub struct WorkerProfile {
     pub barrier_wait_nanos: u64,
     /// Barrier waits performed.
     pub barrier_waits: u64,
+    /// Phase edges this worker crossed without waiting (every peer had
+    /// already sealed when it arrived).
+    pub early_advances: u64,
     /// Distribution of individual wait times (wall nanoseconds).
     pub wait_histogram: HistogramSnapshot,
 }
@@ -268,6 +297,11 @@ pub struct WindowProfile {
     pub syncs: u64,
     /// Total sim-time covered by windows, picoseconds.
     pub window_picos: u64,
+    /// Windows the planner fused past the base conservative edge.
+    pub fused_windows: u64,
+    /// Sim picoseconds of window length gained by fusion (included in
+    /// `window_picos`).
+    pub fused_picos: u64,
     /// Distribution of window lengths (sim picoseconds).
     pub window_len_picos: HistogramSnapshot,
     /// Distribution of events per window (all shards).
@@ -278,6 +312,11 @@ impl WindowProfile {
     /// Total barrier-wait wall nanoseconds over all workers.
     pub fn barrier_wait_nanos(&self) -> u64 {
         self.workers.iter().map(|w| w.barrier_wait_nanos).sum()
+    }
+
+    /// Total no-wait phase-edge crossings over all workers.
+    pub fn early_advances(&self) -> u64 {
+        self.workers.iter().map(|w| w.early_advances).sum()
     }
 
     /// All workers' wait histograms merged into one.
@@ -337,11 +376,14 @@ impl WindowProfile {
         for (mine, theirs) in self.workers.iter_mut().zip(&other.workers) {
             mine.barrier_wait_nanos += theirs.barrier_wait_nanos;
             mine.barrier_waits += theirs.barrier_waits;
+            mine.early_advances += theirs.early_advances;
             mine.wait_histogram.merge(&theirs.wait_histogram);
         }
         self.windows += other.windows;
         self.syncs += other.syncs;
         self.window_picos += other.window_picos;
+        self.fused_windows += other.fused_windows;
+        self.fused_picos += other.fused_picos;
         self.window_len_picos.merge(&other.window_len_picos);
         self.events_per_window.merge(&other.events_per_window);
     }
@@ -353,12 +395,16 @@ impl WindowProfile {
         let mut out = String::from("{");
         out.push_str(&format!(
             "\"windows\": {}, \"syncs\": {}, \"window_sim_picos\": {}, \
+             \"fused_windows\": {}, \"fused_sim_picos\": {}, \"early_advances\": {}, \
              \"barrier_wait_ns_total\": {}, \"barrier_wait_fraction\": {:.6}, \
              \"shard_event_imbalance\": {:.6}, \"events_per_window_mean\": {:.3}, \
              \"window_len_picos_p50\": {}, \"window_len_picos_p99\": {}",
             self.windows,
             self.syncs,
             self.window_picos,
+            self.fused_windows,
+            self.fused_picos,
+            self.early_advances(),
             self.barrier_wait_nanos(),
             self.barrier_wait_fraction(wall_nanos, workers),
             self.shard_event_imbalance(),
@@ -379,7 +425,11 @@ impl WindowProfile {
         out.push_str("], \"workers\": [");
         let mut rendered = 0;
         for (i, worker) in self.workers.iter().enumerate() {
-            if worker.barrier_waits == 0 && worker.barrier_wait_nanos == 0 && i >= workers {
+            if worker.barrier_waits == 0
+                && worker.barrier_wait_nanos == 0
+                && worker.early_advances == 0
+                && i >= workers
+            {
                 continue;
             }
             if rendered > 0 {
@@ -388,9 +438,10 @@ impl WindowProfile {
             rendered += 1;
             out.push_str(&format!(
                 "{{\"worker\": {i}, \"barrier_wait_ns\": {}, \"barrier_waits\": {}, \
-                 \"wait_ns_p99\": {}}}",
+                 \"early_advances\": {}, \"wait_ns_p99\": {}}}",
                 worker.barrier_wait_nanos,
                 worker.barrier_waits,
+                worker.early_advances,
                 worker.wait_histogram.quantile_bound(0.99)
             ));
         }

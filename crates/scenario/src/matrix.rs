@@ -13,7 +13,7 @@ use rackfabric::policy::CrcPolicy;
 use rackfabric_phy::PlpTiming;
 use rackfabric_sim::rng::DetRng;
 use rackfabric_sim::time::{SimDuration, SimTime};
-use rackfabric_sim::units::{BitRate, Bytes};
+use rackfabric_sim::units::{BitRate, Bytes, Length};
 use rackfabric_switch::model::{SwitchKind, SwitchModel};
 use rackfabric_topo::routing::RoutingAlgorithm;
 use rackfabric_topo::spec::TopologySpec;
@@ -68,6 +68,11 @@ pub enum AxisValue {
     /// engine with `n` rack groups. Sweeps use this axis to cross-check
     /// 1-shard against N-shard runs (byte-identical exports).
     Shards(usize),
+    /// Stretch every **inter-rack** cable of the topology (and its
+    /// escalation target) to at least this length. Longer inter-rack cables
+    /// fund a larger conservative lookahead for the sharded engine — the
+    /// physical knob behind its window length.
+    RackSpacing(Length),
 }
 
 impl AxisValue {
@@ -110,6 +115,10 @@ impl AxisValue {
             }
             AxisValue::Horizon(h) => spec.horizon = *h,
             AxisValue::Shards(n) => spec.shards = *n,
+            AxisValue::RackSpacing(l) => {
+                spec.topology = spec.topology.clone().with_rack_spacing(*l);
+                spec.upgrade = spec.upgrade.take().map(|t| t.with_rack_spacing(*l));
+            }
         }
     }
 
@@ -157,6 +166,14 @@ impl AxisValue {
             AxisValue::Horizon(h) => format!("{}us", h.as_micros_f64()),
             AxisValue::Shards(0) => "monolithic".into(),
             AxisValue::Shards(n) => format!("{n}"),
+            AxisValue::RackSpacing(l) => {
+                let mm = l.as_mm();
+                if mm % 1000 == 0 {
+                    format!("{}m", mm / 1000)
+                } else {
+                    format!("{mm}mm")
+                }
+            }
         }
     }
 }

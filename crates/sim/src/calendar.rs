@@ -101,6 +101,27 @@ impl<E> CalendarQueue<E> {
         }
     }
 
+    /// Peeks the earliest pending entry's `(time, id)` without popping it,
+    /// pruning lazily-cancelled heads like
+    /// [`peek_time`](crate::queue::Scheduler::peek_time). The windowed
+    /// engine uses the id (a content key there) to merge two queues with
+    /// the exact `(time, key)` tie-break order a single queue would give.
+    pub fn peek_entry(&mut self) -> Option<(SimTime, EventId)> {
+        loop {
+            while let Some(head) = self.current.peek() {
+                if self.cancelled.contains(&head.id) {
+                    let entry = self.current.pop().expect("peeked entry must pop");
+                    self.cancelled.remove(&entry.id);
+                    continue;
+                }
+                return Some((head.at, head.id));
+            }
+            if !self.advance() {
+                return None;
+            }
+        }
+    }
+
     /// Width of one bucket in picoseconds.
     #[inline]
     fn width(&self) -> u64 {

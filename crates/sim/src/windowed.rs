@@ -4,20 +4,50 @@
 //! one core. This module is the substrate for running a simulation split
 //! into **shards**: each shard owns a disjoint slice of the model's state and
 //! a private [`CalendarQueue`], and the [`WindowedSim`] driver advances all
-//! shards in lockstep **windows** bounded by a conservative lookahead — the
-//! classic synchronous-window variant of conservative parallel DES. A shard
-//! may freely process every event strictly before the window edge because the
-//! protocol guarantees no other shard can still produce an event inside the
-//! window:
+//! shards through **windows** bounded by a conservative lookahead — the
+//! synchronous-window variant of conservative parallel DES, executed by a
+//! phase-counted protocol that lets unblocked workers run ahead instead of
+//! rendezvousing at a central barrier. A shard may freely process every event
+//! strictly before the window edge because the protocol guarantees no other
+//! shard can still produce an event inside the window:
 //!
 //! * Cross-shard interactions travel as [`Envelope`]s through per-shard
 //!   **outboxes**. During a window each shard appends to its own outbox with
-//!   no locking or atomics; envelopes are routed into the destination shards'
-//!   queues at the barrier between windows.
+//!   no locking or atomics; at the end of its round the owning worker flushes
+//!   the outbox into the destination shards' **inboxes**, and every worker
+//!   merges its shards' inboxes at the start of its next round.
 //! * Every envelope must be timestamped at least one **lookahead** after the
-//!   sending shard's current time (asserted at the barrier). The window
-//!   length never exceeds the lookahead, so an envelope handed over at a
-//!   barrier is always still in the receiver's future.
+//!   sending shard's current time (asserted at send). The window length never
+//!   exceeds the lookahead (see *window fusion* below for the one widening
+//!   that preserves the bound), so an envelope handed over between rounds is
+//!   always still in the receiver's future.
+//!
+//! ## The phase-counted round protocol
+//!
+//! Workers never meet at a barrier. Each worker `w` owns the shard cells
+//! `w, w + workers, …` and publishes, per **round**, a small summary of its
+//! cells (earliest pending active/passive event, cumulative event and stop
+//! counters) into a parity-double-buffered slot, then advances a monotonic
+//! **seal** counter. A worker enters round `r` as soon as every peer's seal
+//! has reached `r - 1`; when that already holds on arrival the worker
+//! **early-advances** without waiting. Every worker then runs the *same pure
+//! planner* over the *same sealed summaries*, so all workers compute an
+//! identical window/sync/stop decision without any coordinator thread — the
+//! serial section and the two barrier crossings of the previous
+//! sense-reversing design are gone. The parity buffer is safe because a peer
+//! cannot start round `r + 1` (and overwrite the `r - 1` parity) before this
+//! worker seals round `r`, which happens only after it finished reading the
+//! `r - 1` summaries.
+//!
+//! A full rendezvous happens only at [`SyncHook`] control points: all workers
+//! seal the sync round, worker 0 waits for every seal, runs `on_sync` with
+//! exclusive access to all shards, republishes the hook parameters
+//! (lookahead, next sync, stop threshold) and every worker's summary, and
+//! releases the peers through a sync generation counter. Sync points are
+//! driver-level, not events, so they impose a total order against
+//! surrounding events. The hook's `lookahead`/`next_sync`/`stop_threshold`
+//! are sampled at run start and after each `on_sync` — they must only change
+//! inside `on_sync`.
 //!
 //! ## Determinism: content-keyed event ordering
 //!
@@ -30,7 +60,7 @@
 //! same-instant events are delivered in ascending key order. A model that
 //! derives keys from stable identities (flow ids, sequence numbers) gets an
 //! event order that is a pure function of the simulation content — identical
-//! for 1 shard and N shards, and identical no matter how envelopes interleave
+//! for 1 shard and N shards, and identical no matter how rounds interleave
 //! with local scheduling.
 //!
 //! Two caveats follow from keyed ids: keys must be unique among events
@@ -39,19 +69,29 @@
 //! cancel sets in the schedulers assume ids are never reused; keyed models
 //! re-use a key only after its event was delivered).
 //!
-//! Global control that must observe *all* shards at one instant (e.g. a
-//! telemetry/control epoch) runs through the [`SyncHook`]: the driver stops
-//! window planning at `next_sync()`, calls `on_sync` with exclusive access to
-//! every shard, and resumes. Sync points are driver-level, not events, so
-//! they impose a total order against surrounding events: everything strictly
-//! before the sync instant happens before it, everything at or after happens
-//! after.
+//! ## Passive events and adaptive window fusion
 //!
-//! Worker threads are persistent for the whole run and synchronise on a
-//! spinning barrier; with a single worker (or one shard) the driver runs
-//! inline with no synchronisation at all. Thread count never affects results
-//! — only the shard *content* does, and a well-keyed model makes even the
-//! shard count immaterial.
+//! A model may classify some event keys as **passive** via
+//! [`ShardModel::passive_key`]: a passive event's handler must not schedule
+//! or send anything (it only folds the event into model state — e.g. a
+//! delivery acknowledgment updating flow progress). Passive events live in a
+//! second calendar per cell so the planner can see the earliest *active*
+//! event separately. When the planner has observed a streak of windows that
+//! processed only passive events (nothing could have crossed shards), it
+//! **fuses** upcoming windows: the window edge extends beyond one lookahead,
+//! up to `earliest_active + lookahead` (so any active event inside the fused
+//! span can still legally send an envelope past the edge) and a deterministic
+//! cap. Fusion is a pure function of sim state — never wall clock — and is
+//! disabled whenever an event budget or stop threshold is set, so the exact
+//! instant those checks land stays on the unfused lattice. Fusion (and early
+//! advance) can change how many windows a run takes, but never which events
+//! run, in which order, or what the model computes — exports stay
+//! byte-identical.
+//!
+//! Worker threads are persistent for the whole run; with a single worker the
+//! same code path runs inline with no synchronisation at all. Thread count
+//! never affects results — only the shard *content* does, and a well-keyed
+//! model makes even the shard count immaterial.
 
 use crate::calendar::CalendarQueue;
 use crate::engine::RunOutcome;
@@ -60,7 +100,7 @@ use crate::queue::Scheduler;
 use crate::time::{SimDuration, SimTime};
 use rackfabric_obs::profile::WindowProfiler;
 use rackfabric_obs::Observer;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
@@ -83,8 +123,12 @@ pub struct WindowCtx<'a, E> {
     now: SimTime,
     shard: usize,
     window_end_ps: u64,
-    queue: &'a mut CalendarQueue<E>,
+    active: &'a mut CalendarQueue<E>,
+    passive: &'a mut CalendarQueue<E>,
     outbox: &'a mut Vec<Envelope<E>>,
+    classify: fn(u64) -> bool,
+    #[cfg(debug_assertions)]
+    handling_passive: bool,
 }
 
 impl<'a, E> WindowCtx<'a, E> {
@@ -105,6 +149,13 @@ impl<'a, E> WindowCtx<'a, E> {
     /// # Panics
     /// Panics if `at` is in the past.
     pub fn schedule(&mut self, at: SimTime, key: u64, event: E) {
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            !self.handling_passive,
+            "shard {} scheduled from a passive event handler (key classified \
+             passive must not schedule or send)",
+            self.shard
+        );
         assert!(
             at >= self.now,
             "shard {} scheduled an event in the past (now={}, at={})",
@@ -112,13 +163,17 @@ impl<'a, E> WindowCtx<'a, E> {
             self.now,
             at
         );
-        self.queue.push(at, EventId(key), event);
+        if (self.classify)(key) {
+            self.passive.push(at, EventId(key), event);
+        } else {
+            self.active.push(at, EventId(key), event);
+        }
     }
 
     /// Sends an event to shard `to` (possibly this shard) at `at` with
     /// tie-break `key`. Self-sends short-circuit into the local queue —
     /// because delivery order is keyed, this is indistinguishable from a
-    /// barrier hand-off, which is what keeps 1-shard and N-shard runs
+    /// round hand-off, which is what keeps 1-shard and N-shard runs
     /// identical.
     ///
     /// # Panics
@@ -130,6 +185,13 @@ impl<'a, E> WindowCtx<'a, E> {
             self.schedule(at, key, event);
             return;
         }
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            !self.handling_passive,
+            "shard {} sent from a passive event handler (key classified \
+             passive must not schedule or send)",
+            self.shard
+        );
         assert!(
             at.as_picos() >= self.window_end_ps,
             "shard {} sent an envelope below the conservative window edge \
@@ -149,10 +211,26 @@ pub trait ShardModel: Send {
 
     /// Processes one event. All scheduling goes through the context.
     fn handle(&mut self, ctx: &mut WindowCtx<'_, Self::Event>, event: Self::Event);
+
+    /// Classifies an event key as **passive**: its handler folds the event
+    /// into model state without scheduling or sending anything. Passive
+    /// events are what window fusion amortises over (see module docs). Must
+    /// be a pure function of the key. Defaults to "nothing is passive".
+    fn passive_key(key: u64) -> bool {
+        let _ = key;
+        false
+    }
+
+    /// This shard's contribution towards the hook's
+    /// [`stop_threshold`](SyncHook::stop_threshold) (e.g. completed flows).
+    /// Must be non-decreasing over the run. Defaults to 0.
+    fn stop_contribution(&self) -> u64 {
+        0
+    }
 }
 
 /// Exclusive access to every shard, handed to [`SyncHook`] callbacks at
-/// barriers (models live behind per-shard locks during a parallel run).
+/// sync points (models live behind per-shard locks during a parallel run).
 pub struct ShardsView<'a, M: ShardModel> {
     guards: Vec<MutexGuard<'a, ShardCell<M>>>,
 }
@@ -180,6 +258,10 @@ impl<'a, M: ShardModel> ShardsView<'a, M> {
 }
 
 /// Global-control callbacks of a windowed run.
+///
+/// `next_sync`, `lookahead`, and `stop_threshold` are sampled at run start
+/// and re-sampled after every `on_sync` call — they must only change inside
+/// `on_sync` (the workers plan rounds from the sampled values).
 pub trait SyncHook<M: ShardModel> {
     /// Absolute time of the next synchronous control point
     /// ([`SimTime::MAX`] when there is none). Must be non-decreasing between
@@ -190,6 +272,16 @@ pub trait SyncHook<M: ShardModel> {
     /// been processed; no event at or after `at` has.
     fn on_sync(&mut self, at: SimTime, shards: &mut ShardsView<'_, M>);
 
+    /// Stops the run (outcome [`RunOutcome::Stopped`]) at the first window
+    /// edge where the sum of every shard's
+    /// [`stop_contribution`](ShardModel::stop_contribution) reaches this
+    /// threshold. [`u64::MAX`] (the default) never stops. Replaces the old
+    /// per-window `keep_running` callback with a check each worker evaluates
+    /// locally from published counters — no rendezvous needed.
+    fn stop_threshold(&self) -> u64 {
+        u64::MAX
+    }
+
     /// The conservative lookahead for upcoming windows: a lower bound on the
     /// delay of every cross-shard envelope. Clamped to at least 1 ps by the
     /// driver. **Must not depend on the shard count** if runs with different
@@ -197,38 +289,86 @@ pub trait SyncHook<M: ShardModel> {
     /// sequence — and therefore where budget/stop checks land — derives from
     /// it).
     fn lookahead(&self) -> SimDuration;
-
-    /// Called after every window; return false to stop the run (the model's
-    /// equivalent of [`crate::event::Context::stop`]).
-    fn keep_running(&mut self, now: SimTime, shards: &mut ShardsView<'_, M>) -> bool;
 }
 
 pub(crate) struct ShardCell<M: ShardModel> {
     shard: usize,
     pub(crate) model: M,
-    queue: CalendarQueue<M::Event>,
+    active: CalendarQueue<M::Event>,
+    passive: CalendarQueue<M::Event>,
     outbox: Vec<Envelope<M::Event>>,
+    /// Cumulative events processed by this cell (active + passive).
     events: u64,
+    /// Cumulative active events processed by this cell.
+    active_events: u64,
 }
 
 impl<M: ShardModel> ShardCell<M> {
-    /// Processes every pending event strictly before `end_ps`.
-    fn drain(&mut self, end_ps: u64) {
-        while let Some(t) = self.queue.peek_time() {
+    fn push(&mut self, at: SimTime, key: u64, event: M::Event, classify: fn(u64) -> bool) {
+        if classify(key) {
+            self.passive.push(at, EventId(key), event);
+        } else {
+            self.active.push(at, EventId(key), event);
+        }
+    }
+
+    /// Processes every pending event strictly before `end_ps`, merging the
+    /// active and passive calendars in `(time, key)` order.
+    fn drain(&mut self, end_ps: u64, classify: fn(u64) -> bool) {
+        loop {
+            let a = self.active.peek_entry();
+            let p = self.passive.peek_entry();
+            let (t, from_passive) = match (a, p) {
+                (None, None) => break,
+                (Some((ta, _)), None) => (ta, false),
+                (None, Some((tp, _))) => (tp, true),
+                (Some((ta, ka)), Some((tp, kp))) => {
+                    if (tp, kp.0) < (ta, ka.0) {
+                        (tp, true)
+                    } else {
+                        (ta, false)
+                    }
+                }
+            };
             if t.as_picos() >= end_ps {
                 break;
             }
-            let (at, _id, event) = self.queue.pop().expect("peeked event must pop");
+            let (at, _id, event) = if from_passive {
+                self.passive.pop().expect("peeked event must pop")
+            } else {
+                self.active.pop().expect("peeked event must pop")
+            };
             self.events += 1;
+            if !from_passive {
+                self.active_events += 1;
+            }
             let mut ctx = WindowCtx {
                 now: at,
                 shard: self.shard,
                 window_end_ps: end_ps,
-                queue: &mut self.queue,
+                active: &mut self.active,
+                passive: &mut self.passive,
                 outbox: &mut self.outbox,
+                classify,
+                #[cfg(debug_assertions)]
+                handling_passive: from_passive,
             };
             self.model.handle(&mut ctx, event);
         }
+    }
+
+    /// Earliest pending `(active, passive)` instants in picoseconds
+    /// (`u64::MAX` when the respective calendar is empty).
+    fn mins(&mut self) -> (u64, u64) {
+        let a = self
+            .active
+            .peek_entry()
+            .map_or(u64::MAX, |(t, _)| t.as_picos());
+        let p = self
+            .passive
+            .peek_entry()
+            .map_or(u64::MAX, |(t, _)| t.as_picos());
+        (a, p)
     }
 }
 
@@ -247,105 +387,368 @@ pub struct WindowedOutcome {
     pub syncs: u64,
 }
 
+/// Seal value a worker stores when it unwinds: peers spinning on the seal
+/// panic instead of deadlocking.
+const POISONED: u64 = u64::MAX;
+
+/// Consecutive passive-only windows before fusion engages.
+const FUSION_STREAK: u64 = 4;
+
+/// A fused window never spans more than this many lookaheads.
+const FUSION_CAP: u64 = 1024;
+
+/// Per-round summary a worker publishes about its owned cells.
+#[derive(Debug, Default)]
+struct RoundData {
+    /// Earliest pending active event (ps) across owned cells and envelopes
+    /// flushed this round.
+    active_min: AtomicU64,
+    /// Earliest pending passive event (ps), same coverage.
+    passive_min: AtomicU64,
+    /// Cumulative events processed by owned cells.
+    events: AtomicU64,
+    /// Cumulative active events processed by owned cells.
+    active_events: AtomicU64,
+    /// Sum of owned models' stop contributions.
+    contrib: AtomicU64,
+}
+
+/// One worker's slot on the board: a monotonic seal plus a parity pair of
+/// round summaries. Cache-line aligned so seal spinning stays local.
+#[repr(align(128))]
+struct PhaseSlot {
+    /// Highest round this worker has sealed ([`POISONED`] on panic).
+    seal: AtomicU64,
+    rounds: [RoundData; 2],
+}
+
+impl PhaseSlot {
+    fn new() -> Self {
+        PhaseSlot {
+            seal: AtomicU64::new(0),
+            rounds: [RoundData::default(), RoundData::default()],
+        }
+    }
+
+    /// Stores `totals` into the parity slot of `round` (plain stores — the
+    /// Release is the subsequent seal update).
+    fn store_round(&self, round: u64, totals: &WorkerTotals) {
+        let slot = &self.rounds[(round % 2) as usize];
+        slot.active_min.store(totals.active_min, Ordering::Relaxed);
+        slot.passive_min
+            .store(totals.passive_min, Ordering::Relaxed);
+        slot.events.store(totals.events, Ordering::Relaxed);
+        slot.active_events
+            .store(totals.active_events, Ordering::Relaxed);
+        slot.contrib.store(totals.contrib, Ordering::Relaxed);
+    }
+
+    /// Publishes `totals` for `round` and seals it.
+    fn publish(&self, round: u64, totals: &WorkerTotals) {
+        self.store_round(round, totals);
+        self.seal.store(round, Ordering::Release);
+    }
+}
+
+/// The shared coordination state of one run.
+struct Board {
+    phases: Vec<PhaseSlot>,
+    /// Current conservative lookahead in ps (sampled from the hook).
+    lookahead_ps: AtomicU64,
+    /// Next sync instant in ps (`u64::MAX` = none; sampled from the hook).
+    next_sync_ps: AtomicU64,
+    /// Stop threshold over summed contributions (sampled from the hook).
+    stop_threshold: AtomicU64,
+    /// Completed sync count; peers park on this while worker 0 runs the hook.
+    sync_gen: AtomicU64,
+    /// More workers than hardware threads: a waiting worker's peer cannot
+    /// be running concurrently, so spinning only steals the CPU the peer
+    /// needs — yield immediately instead.
+    oversubscribed: bool,
+}
+
+impl Board {
+    fn new(workers: usize) -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Board {
+            phases: (0..workers).map(|_| PhaseSlot::new()).collect(),
+            lookahead_ps: AtomicU64::new(1),
+            next_sync_ps: AtomicU64::new(u64::MAX),
+            stop_threshold: AtomicU64::new(u64::MAX),
+            sync_gen: AtomicU64::new(0),
+            oversubscribed: workers > cores,
+        }
+    }
+
+    /// Folds every worker's summary for `round` into one global snapshot.
+    fn snapshot(&self, round: u64) -> Snapshot {
+        let parity = (round % 2) as usize;
+        let mut s = Snapshot {
+            active_min: u64::MAX,
+            passive_min: u64::MAX,
+            events: 0,
+            active_events: 0,
+            contrib: 0,
+        };
+        for phase in &self.phases {
+            let r = &phase.rounds[parity];
+            s.active_min = s.active_min.min(r.active_min.load(Ordering::Relaxed));
+            s.passive_min = s.passive_min.min(r.passive_min.load(Ordering::Relaxed));
+            s.events += r.events.load(Ordering::Relaxed);
+            s.active_events += r.active_events.load(Ordering::Relaxed);
+            s.contrib += r.contrib.load(Ordering::Relaxed);
+        }
+        s
+    }
+}
+
+/// The global pending/progress state all workers plan from: identical on
+/// every worker because it derives only from sealed round summaries.
+#[derive(Debug, Clone, Copy)]
+struct Snapshot {
+    active_min: u64,
+    passive_min: u64,
+    events: u64,
+    active_events: u64,
+    contrib: u64,
+}
+
+/// Accumulator for one worker's owned cells within one round.
+#[derive(Debug, Clone, Copy)]
+struct WorkerTotals {
+    active_min: u64,
+    passive_min: u64,
+    events: u64,
+    active_events: u64,
+    contrib: u64,
+}
+
+impl WorkerTotals {
+    fn new() -> Self {
+        WorkerTotals {
+            active_min: u64::MAX,
+            passive_min: u64::MAX,
+            events: 0,
+            active_events: 0,
+            contrib: 0,
+        }
+    }
+
+    fn absorb_cell<M: ShardModel>(&mut self, cell: &mut ShardCell<M>) {
+        let (a, p) = cell.mins();
+        self.active_min = self.active_min.min(a);
+        self.passive_min = self.passive_min.min(p);
+        self.events += cell.events;
+        self.active_events += cell.active_events;
+        self.contrib += cell.model.stop_contribution();
+    }
+
+    fn cover_envelope(&mut self, at_ps: u64, passive: bool) {
+        if passive {
+            self.passive_min = self.passive_min.min(at_ps);
+        } else {
+            self.active_min = self.active_min.min(at_ps);
+        }
+    }
+}
+
 /// One step of the window planner.
-enum Step {
+enum Plan {
     /// Run the sync hook at this instant.
     Sync(SimTime),
-    /// Drain all shards over `[start_ps, end_ps)` (start = the earliest
-    /// pending event; carried so the profiler can record window lengths).
-    Window { start_ps: u64, end_ps: u64 },
+    /// Drain all shards up to `end_ps`; `fused_ps` is how far the edge was
+    /// extended beyond one lookahead (0 = unfused).
+    Window { end_ps: u64, fused_ps: u64 },
     /// Nothing left to do.
     Done(RunOutcome),
 }
 
-/// Drains one shard cell, timing the drain and counting its events when a
-/// profiler is attached. Shared by the serial path, worker 0, and the
-/// spawned workers.
-fn drain_cell<M: ShardModel>(
-    cell: &Mutex<ShardCell<M>>,
-    end_ps: u64,
-    profiler: Option<&WindowProfiler>,
-) {
-    let mut guard = cell.lock().expect("shard lock poisoned");
-    match profiler {
-        Some(p) => {
-            let before = guard.events;
-            let start = Instant::now();
-            guard.drain(end_ps);
-            p.record_drain(
-                guard.shard,
-                start.elapsed().as_nanos() as u64,
-                guard.events - before,
-            );
-        }
-        None => guard.drain(end_ps),
-    }
+/// A planning decision plus the accounting of the window that just finished
+/// (its length and event delta, for the profiler).
+struct Decision {
+    step: Plan,
+    finished: Option<(u64, u64)>,
 }
 
-/// Waits at the barrier, timing the wait per worker when a profiler is
-/// attached (the disabled path reads no clock).
-fn timed_wait(barrier: &SpinBarrier, worker: usize, profiler: Option<&WindowProfiler>) {
-    match profiler {
-        Some(p) => {
-            let start = Instant::now();
-            barrier.wait();
-            p.record_barrier_wait(worker, start.elapsed().as_nanos() as u64);
-        }
-        None => barrier.wait(),
-    }
+/// The replicated control state: every worker owns a `Planner` and feeds it
+/// the same snapshots, so all copies stay in lockstep — the plan is a pure
+/// function of sealed sim state, never of worker identity or wall clock.
+#[derive(Debug, Clone)]
+struct Planner {
+    now: SimTime,
+    horizon: SimTime,
+    budget: u64,
+    windows: u64,
+    syncs: u64,
+    prev_events: u64,
+    prev_active: u64,
+    /// Consecutive windows that processed zero active events (and therefore
+    /// could not have produced a cross-shard envelope). A pure function of
+    /// event content, so identical across shard and worker counts.
+    streak: u64,
+    /// The window planned last round, awaiting accounting.
+    prev_window: Option<(u64, u64)>,
 }
 
-/// A sense-reversing spinning barrier for the persistent window workers.
-/// Window bodies are short (often well under a microsecond), so parking on a
-/// futex every window would dominate; spinning with a yield fallback keeps
-/// the barrier in the tens-of-nanoseconds range.
-struct SpinBarrier {
-    arrived: AtomicUsize,
-    generation: AtomicUsize,
-    total: usize,
-}
-
-impl SpinBarrier {
-    fn new(total: usize) -> Self {
-        SpinBarrier {
-            arrived: AtomicUsize::new(0),
-            generation: AtomicUsize::new(0),
-            total,
-        }
-    }
-
-    fn wait(&self) {
-        let gen = self.generation.load(Ordering::Acquire);
-        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
-            self.arrived.store(0, Ordering::Relaxed);
-            self.generation
-                .store(gen.wrapping_add(1), Ordering::Release);
-        } else {
-            let mut spins = 0u32;
-            while self.generation.load(Ordering::Acquire) == gen {
-                spins += 1;
-                if spins < 64 {
-                    std::hint::spin_loop();
-                } else {
-                    std::thread::yield_now();
-                }
+impl Planner {
+    /// Accounts the previous round's window (budget/stop checks land here,
+    /// in the same order as the serial engine) and plans the next step.
+    fn plan(
+        &mut self,
+        snap: &Snapshot,
+        lookahead_ps: u64,
+        next_sync_ps: u64,
+        stop_threshold: u64,
+    ) -> Decision {
+        let mut finished = None;
+        if let Some((start, end)) = self.prev_window.take() {
+            self.windows += 1;
+            self.now = SimTime::from_picos(end.saturating_sub(1)).min(self.horizon);
+            let delta = snap.events.saturating_sub(self.prev_events);
+            self.prev_events = snap.events;
+            let active_delta = snap.active_events.saturating_sub(self.prev_active);
+            self.prev_active = snap.active_events;
+            if active_delta == 0 {
+                self.streak += 1;
+            } else {
+                self.streak = 0;
+            }
+            finished = Some((end.saturating_sub(start), delta));
+            if snap.events >= self.budget {
+                return Decision {
+                    step: Plan::Done(RunOutcome::EventBudgetExhausted),
+                    finished,
+                };
+            }
+            if snap.contrib >= stop_threshold {
+                return Decision {
+                    step: Plan::Done(RunOutcome::Stopped),
+                    finished,
+                };
             }
         }
+        // `u64::MAX` means "no sync point" — it must never be stepped to,
+        // even with an unbounded horizon.
+        let has_sync = next_sync_ps < u64::MAX;
+        let lookahead = lookahead_ps.max(1);
+        let horizon_ps = self.horizon.as_picos();
+        let t = snap.active_min.min(snap.passive_min);
+        let step = if t == u64::MAX {
+            if has_sync && next_sync_ps <= horizon_ps {
+                Plan::Sync(SimTime::from_picos(next_sync_ps))
+            } else {
+                Plan::Done(RunOutcome::Drained)
+            }
+        } else if has_sync && next_sync_ps <= t.min(horizon_ps) {
+            Plan::Sync(SimTime::from_picos(next_sync_ps))
+        } else if t > horizon_ps {
+            self.now = self.horizon;
+            Plan::Done(RunOutcome::HorizonReached)
+        } else {
+            // Half-open [t, end): the window may not cross the next sync
+            // point, and events exactly at the horizon still run.
+            let bound = |e: u64| e.min(next_sync_ps).min(horizon_ps.saturating_add(1));
+            let base = bound(t.saturating_add(lookahead));
+            let mut end = base;
+            let mut fused_ps = 0;
+            // Fusion: only passive events below the earliest active one, so
+            // nothing in [t, end) can send below the edge as long as the edge
+            // stays ≤ active_min + lookahead. Disabled when budget/stop
+            // checks must land on the unfused window lattice.
+            if self.budget == u64::MAX
+                && stop_threshold == u64::MAX
+                && self.streak >= FUSION_STREAK
+                && snap.active_min > t
+            {
+                let cap = bound(
+                    snap.active_min
+                        .saturating_add(lookahead)
+                        .min(t.saturating_add(lookahead.saturating_mul(FUSION_CAP))),
+                );
+                if cap > base {
+                    fused_ps = cap - base;
+                    end = cap;
+                }
+            }
+            self.prev_window = Some((t, end));
+            Plan::Window {
+                end_ps: end,
+                fused_ps,
+            }
+        };
+        Decision { step, finished }
     }
 }
 
-/// The published window edge: `u64::MAX` tells the workers to exit.
-const EXIT: u64 = u64::MAX;
+/// Stores [`POISONED`] into the owner's seal on unwind so peers spinning on
+/// it panic instead of deadlocking.
+struct PoisonGuard<'a> {
+    seal: &'a AtomicU64,
+    armed: bool,
+}
+
+impl<'a> PoisonGuard<'a> {
+    fn new(seal: &'a AtomicU64) -> Self {
+        PoisonGuard { seal, armed: true }
+    }
+
+    fn defuse(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for PoisonGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.seal.store(POISONED, Ordering::Release);
+        }
+    }
+}
+
+/// Deterministic wall-clock jitter for stress tests: occasionally sleeps or
+/// yields based on a hash of `(seed, worker, round)`. Never touches sim
+/// state, so results are unaffected by construction.
+fn stagger_pause(seed: u64, worker: u64, round: u64) {
+    let mut x = seed
+        ^ worker.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ round.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    match x % 8 {
+        0 => std::thread::sleep(std::time::Duration::from_micros((x >> 8) % 50)),
+        1 | 2 => std::thread::yield_now(),
+        _ => {}
+    }
+}
+
+struct CellSlot<M: ShardModel> {
+    cell: Mutex<ShardCell<M>>,
+    /// Envelopes flushed to this cell by other workers, merged into the
+    /// cell's calendars at the start of the owner's next round. Leaf lock:
+    /// taken only while holding a cell lock (cell → inbox), never the
+    /// reverse.
+    inbox: Mutex<Vec<Envelope<M::Event>>>,
+}
 
 /// A sharded simulation advanced in conservative time windows.
 pub struct WindowedSim<M: ShardModel> {
-    cells: Vec<Mutex<ShardCell<M>>>,
+    cells: Vec<CellSlot<M>>,
     now: SimTime,
     events: u64,
     event_budget: u64,
     /// Worker threads used for window execution (0 = one per shard, capped
     /// at the machine's parallelism).
     workers: usize,
+    /// The model's passive-key classifier, captured as a fn pointer so cell
+    /// plumbing stays generic over the event type only.
+    classify: fn(u64) -> bool,
+    /// Chaos seed for stress tests (see [`WindowedSim::with_stagger`]).
+    stagger: Option<u64>,
     /// Shard/window profiler (barrier waits, drain times, window stats);
     /// `None` (the default) records nothing and reads no clocks.
     profiler: Option<Arc<WindowProfiler>>,
@@ -363,14 +766,17 @@ impl<M: ShardModel> WindowedSim<M> {
         let cells = models
             .into_iter()
             .enumerate()
-            .map(|(shard, model)| {
-                Mutex::new(ShardCell {
+            .map(|(shard, model)| CellSlot {
+                cell: Mutex::new(ShardCell {
                     shard,
                     model,
-                    queue: CalendarQueue::new(),
+                    active: CalendarQueue::new(),
+                    passive: CalendarQueue::new(),
                     outbox: Vec::new(),
                     events: 0,
-                })
+                    active_events: 0,
+                }),
+                inbox: Mutex::new(Vec::new()),
             })
             .collect();
         WindowedSim {
@@ -379,6 +785,8 @@ impl<M: ShardModel> WindowedSim<M> {
             events: 0,
             event_budget: u64::MAX,
             workers: 0,
+            classify: M::passive_key,
+            stagger: None,
             profiler: None,
             observer: Observer::off(),
         }
@@ -394,6 +802,15 @@ impl<M: ShardModel> WindowedSim<M> {
     /// machine's parallelism). Thread count never affects results.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Injects deterministic wall-clock jitter (sleeps/yields keyed off
+    /// `seed`, the worker index, and the round number) into the worker loop.
+    /// For stress-testing the round protocol: staggered workers must still
+    /// produce identical results. Never affects sim state.
+    pub fn with_stagger(mut self, seed: u64) -> Self {
+        self.stagger = Some(seed);
         self
     }
 
@@ -437,13 +854,18 @@ impl<M: ShardModel> WindowedSim<M> {
 
     /// Schedules an event on shard `shard` from outside the run (seeding).
     pub fn schedule(&mut self, shard: usize, at: SimTime, key: u64, event: M::Event) {
-        let cell = self.cells[shard].get_mut().expect("shard lock poisoned");
-        cell.queue.push(at, EventId(key), event);
+        let classify = self.classify;
+        let cell = self.cells[shard]
+            .cell
+            .get_mut()
+            .expect("shard lock poisoned");
+        cell.push(at, key, event, classify);
     }
 
     /// Exclusive access to shard `shard`'s model between runs.
     pub fn model_mut(&mut self, shard: usize) -> &mut M {
         &mut self.cells[shard]
+            .cell
             .get_mut()
             .expect("shard lock poisoned")
             .model
@@ -453,97 +875,237 @@ impl<M: ShardModel> WindowedSim<M> {
     pub fn into_models(self) -> Vec<M> {
         self.cells
             .into_iter()
-            .map(|c| c.into_inner().expect("shard lock poisoned").model)
+            .map(|c| c.cell.into_inner().expect("shard lock poisoned").model)
             .collect()
     }
 
-    /// Locks every shard (uncontended outside windows) into a view.
+    /// Locks every shard (uncontended outside rounds) into a view.
     fn view(&self) -> ShardsView<'_, M> {
         ShardsView {
             guards: self
                 .cells
                 .iter()
-                .map(|c| c.lock().expect("shard lock poisoned"))
+                .map(|c| c.cell.lock().expect("shard lock poisoned"))
                 .collect(),
         }
     }
 
-    /// The earliest pending event across all shards.
-    fn min_pending(&self) -> Option<SimTime> {
-        let mut min = None;
-        for cell in &self.cells {
-            let mut cell = cell.lock().expect("shard lock poisoned");
-            if let Some(t) = cell.queue.peek_time() {
-                min = Some(min.map_or(t, |m: SimTime| m.min(t)));
+    /// Waits until every peer has sealed at least `target`. Records the wait
+    /// (0 ns on the no-wait fast path, which counts as an early advance).
+    fn wait_seals(&self, board: &Board, me: usize, workers: usize, target: u64) {
+        if workers == 1 {
+            return;
+        }
+        let profiler = self.profiler.as_deref();
+        let start = profiler.map(|_| Instant::now());
+        let mut waited = false;
+        for (w, phase) in board.phases.iter().enumerate() {
+            if w == me {
+                continue;
+            }
+            let mut spins = 0u32;
+            loop {
+                let s = phase.seal.load(Ordering::Acquire);
+                if s == POISONED {
+                    panic!("peer window worker panicked");
+                }
+                if s >= target {
+                    break;
+                }
+                waited = true;
+                spins += 1;
+                if spins < 64 && !board.oversubscribed {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
             }
         }
-        min
+        if let Some(p) = profiler {
+            let nanos = if waited {
+                start.expect("profiler wait start").elapsed().as_nanos() as u64
+            } else {
+                0
+            };
+            p.record_barrier_wait(me, nanos);
+            if !waited && target >= 1 {
+                p.record_early_advance(me);
+            }
+        }
     }
 
-    /// Routes every outbox envelope into its destination queue. Runs at
-    /// barriers only; asserts the conservative bound on every envelope.
-    fn exchange(&self, window_end_ps: u64) {
-        let mut pending: Vec<Envelope<M::Event>> = Vec::new();
-        for cell in &self.cells {
-            let mut cell = cell.lock().expect("shard lock poisoned");
-            pending.append(&mut cell.outbox);
+    /// Merges a cell's inbox into its calendars, drains it through the
+    /// window, flushes its outbox into destination inboxes (covering the
+    /// envelopes' instants in `totals`), and absorbs the cell's summary.
+    fn process_cell(
+        &self,
+        idx: usize,
+        end_ps: Option<u64>,
+        totals: &mut WorkerTotals,
+        profiler: Option<&WindowProfiler>,
+    ) {
+        let classify = self.classify;
+        let slot = &self.cells[idx];
+        let mut cell = slot.cell.lock().expect("shard lock poisoned");
+        {
+            let mut inbox = slot.inbox.lock().expect("inbox lock poisoned");
+            for env in inbox.drain(..) {
+                cell.push(env.at, env.key, env.event, classify);
+            }
         }
-        for env in pending {
-            assert!(
-                env.at.as_picos() >= window_end_ps,
-                "envelope below the conservative window edge (at={}, end={} ps)",
-                env.at,
-                window_end_ps
+        if let Some(end_ps) = end_ps {
+            match profiler {
+                Some(p) => {
+                    let before = cell.events;
+                    let start = Instant::now();
+                    cell.drain(end_ps, classify);
+                    p.record_drain(
+                        cell.shard,
+                        start.elapsed().as_nanos() as u64,
+                        cell.events - before,
+                    );
+                }
+                None => cell.drain(end_ps, classify),
+            }
+            for env in cell.outbox.drain(..) {
+                if let Some(p) = profiler {
+                    p.record_mailbox_in(env.to, 1);
+                }
+                totals.cover_envelope(env.at.as_picos(), classify(env.key));
+                self.cells[env.to]
+                    .inbox
+                    .lock()
+                    .expect("inbox lock poisoned")
+                    .push(env);
+            }
+        }
+        totals.absorb_cell(&mut cell);
+    }
+
+    /// The per-worker round loop. Worker 0 carries the hook (peers pass
+    /// `None`) and is the only worker that runs sync callbacks and records
+    /// profiler window/sync totals; every worker runs the identical planner.
+    fn worker_loop<H: SyncHook<M>>(
+        &self,
+        board: &Board,
+        mut hook: Option<&mut H>,
+        worker: usize,
+        workers: usize,
+        mut planner: Planner,
+    ) -> WindowedOutcome {
+        let profiler = self.profiler.as_deref();
+        let guard = PoisonGuard::new(&board.phases[worker].seal);
+        let mut round: u64 = 1;
+        let outcome = loop {
+            if let Some(seed) = self.stagger {
+                if workers > 1 {
+                    stagger_pause(seed, worker as u64, round);
+                }
+            }
+            self.wait_seals(board, worker, workers, round - 1);
+            let snap = board.snapshot(round - 1);
+            let decision = planner.plan(
+                &snap,
+                board.lookahead_ps.load(Ordering::Relaxed),
+                board.next_sync_ps.load(Ordering::Relaxed),
+                board.stop_threshold.load(Ordering::Relaxed),
             );
-            if let Some(p) = &self.profiler {
-                p.record_mailbox_in(env.to, 1);
-            }
-            let mut dest = self.cells[env.to].lock().expect("shard lock poisoned");
-            dest.queue.push(env.at, EventId(env.key), env.event);
-        }
-    }
-
-    /// Plans the next step given the global pending state and the hook's
-    /// sync/lookahead answers. Pure control logic — identical for any shard
-    /// or worker count.
-    fn plan_step<H: SyncHook<M>>(&self, hook: &H, horizon: SimTime) -> Step {
-        // `SimTime::MAX` means "no sync point" — it must never be stepped
-        // to, even with an unbounded horizon.
-        let next_sync = hook.next_sync();
-        let has_sync = next_sync < SimTime::MAX;
-        let lookahead = hook.lookahead().as_picos().max(1);
-        match self.min_pending() {
-            None => {
-                if has_sync && next_sync <= horizon {
-                    Step::Sync(next_sync)
-                } else {
-                    Step::Done(RunOutcome::Drained)
+            if worker == 0 {
+                if let (Some(p), Some((len_ps, events))) = (profiler, decision.finished) {
+                    p.record_window(len_ps, events);
                 }
             }
-            Some(t) => {
-                if has_sync && next_sync <= t.min(horizon) {
-                    Step::Sync(next_sync)
-                } else if t > horizon {
-                    Step::Done(RunOutcome::HorizonReached)
-                } else {
-                    // Half-open [t, end): the window may not cross the next
-                    // sync point, and events exactly at the horizon still run.
-                    let end = t
-                        .as_picos()
-                        .saturating_add(lookahead)
-                        .min(next_sync.as_picos())
-                        .min(horizon.as_picos().saturating_add(1));
-                    Step::Window {
-                        start_ps: t.as_picos(),
-                        end_ps: end,
+            match decision.step {
+                Plan::Done(outcome) => break outcome,
+                Plan::Sync(at) => {
+                    let mut totals = WorkerTotals::new();
+                    for idx in (worker..self.cells.len()).step_by(workers) {
+                        self.process_cell(idx, None, &mut totals, profiler);
                     }
+                    board.phases[worker].publish(round, &totals);
+                    if worker == 0 {
+                        self.wait_seals(board, worker, workers, round);
+                        let hook = hook.as_mut().expect("worker 0 carries the sync hook");
+                        {
+                            let _span = self.observer.span(0, "sync", "windows");
+                            let mut view = self.view();
+                            hook.on_sync(at, &mut view);
+                            // Republish every worker's summary from the
+                            // post-hook state: `on_sync` may have mutated
+                            // models or scheduled events.
+                            for (w, phase) in board.phases.iter().enumerate() {
+                                let mut t = WorkerTotals::new();
+                                for idx in (w..self.cells.len()).step_by(workers) {
+                                    t.absorb_cell(&mut view.guards[idx]);
+                                }
+                                phase.store_round(round, &t);
+                            }
+                        }
+                        board
+                            .lookahead_ps
+                            .store(hook.lookahead().as_picos().max(1), Ordering::Relaxed);
+                        board
+                            .next_sync_ps
+                            .store(hook.next_sync().as_picos(), Ordering::Relaxed);
+                        board
+                            .stop_threshold
+                            .store(hook.stop_threshold(), Ordering::Relaxed);
+                        if let Some(p) = profiler {
+                            p.record_sync();
+                        }
+                        board.sync_gen.store(planner.syncs + 1, Ordering::Release);
+                    } else {
+                        let w0 = &board.phases[0].seal;
+                        let mut spins = 0u32;
+                        while board.sync_gen.load(Ordering::Acquire) <= planner.syncs {
+                            if w0.load(Ordering::Acquire) == POISONED {
+                                panic!("peer window worker panicked");
+                            }
+                            spins += 1;
+                            if spins < 64 && !board.oversubscribed {
+                                std::hint::spin_loop();
+                            } else {
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    planner.syncs += 1;
+                    planner.now = at;
+                }
+                Plan::Window { end_ps, fused_ps } => {
+                    let mut span = if worker == 0 {
+                        if let (Some(p), true) = (profiler, fused_ps > 0) {
+                            p.record_fused_window(fused_ps);
+                        }
+                        self.observer.span(0, "window", "windows")
+                    } else {
+                        self.observer.span(worker as u64, "drain", "windows")
+                    };
+                    if worker == 0 && self.observer.is_enabled() {
+                        span.arg_u64("end_ps", end_ps);
+                    }
+                    let mut totals = WorkerTotals::new();
+                    for idx in (worker..self.cells.len()).step_by(workers) {
+                        self.process_cell(idx, Some(end_ps), &mut totals, profiler);
+                    }
+                    drop(span);
+                    board.phases[worker].publish(round, &totals);
                 }
             }
+            round += 1;
+        };
+        guard.defuse();
+        WindowedOutcome {
+            outcome,
+            now: planner.now,
+            events: planner.prev_events,
+            windows: planner.windows,
+            syncs: planner.syncs,
         }
     }
 
-    /// Runs until `horizon` (inclusive), the queues drain, the hook stops the
-    /// run, or the event budget is exhausted.
+    /// Runs until `horizon` (inclusive), the queues drain, the hook's stop
+    /// threshold is met, or the event budget is exhausted.
     pub fn run<H: SyncHook<M>>(&mut self, horizon: SimTime, hook: &mut H) -> WindowedOutcome {
         let workers = if self.workers == 0 {
             std::thread::available_parallelism()
@@ -559,147 +1121,66 @@ impl<M: ShardModel> WindowedSim<M> {
                 sink.name_lane(w as u64, format!("worker {w}"));
             }
         }
+        // Single-threaded prologue: merge any envelopes left in inboxes by a
+        // previous budget/stop exit, then publish every worker's round-0
+        // summary so the first round plans from complete coverage.
+        let board = Board::new(workers);
+        let classify = self.classify;
+        let mut prev_events = 0u64;
+        let mut prev_active = 0u64;
+        for (w, phase) in board.phases.iter().enumerate() {
+            let mut totals = WorkerTotals::new();
+            for idx in (w..self.cells.len()).step_by(workers) {
+                let slot = &mut self.cells[idx];
+                let cell = slot.cell.get_mut().expect("shard lock poisoned");
+                let inbox = slot.inbox.get_mut().expect("inbox lock poisoned");
+                for env in inbox.drain(..) {
+                    cell.push(env.at, env.key, env.event, classify);
+                }
+                totals.absorb_cell(cell);
+            }
+            phase.store_round(0, &totals);
+            prev_events += totals.events;
+            prev_active += totals.active_events;
+        }
+        board
+            .lookahead_ps
+            .store(hook.lookahead().as_picos().max(1), Ordering::Relaxed);
+        board
+            .next_sync_ps
+            .store(hook.next_sync().as_picos(), Ordering::Relaxed);
+        board
+            .stop_threshold
+            .store(hook.stop_threshold(), Ordering::Relaxed);
+        let planner = Planner {
+            now: self.now,
+            horizon,
+            budget: self.event_budget,
+            windows: 0,
+            syncs: 0,
+            prev_events,
+            prev_active,
+            streak: 0,
+            prev_window: None,
+        };
         let result = if workers == 1 {
-            self.run_on(horizon, hook, None, 1)
+            self.worker_loop(&board, Some(hook), 0, 1, planner)
         } else {
-            let barrier = SpinBarrier::new(workers);
-            let edge = AtomicU64::new(0);
-            let cells = &self.cells;
             let this = &*self;
+            let board = &board;
             std::thread::scope(|scope| {
-                for worker in 1..workers {
-                    let barrier = &barrier;
-                    let edge = &edge;
-                    let profiler = self.profiler.clone();
-                    let observer = self.observer.clone();
-                    scope.spawn(move || loop {
-                        timed_wait(barrier, worker, profiler.as_deref());
-                        let end = edge.load(Ordering::Acquire);
-                        if end == EXIT {
-                            break;
-                        }
-                        {
-                            let _span = observer.span(worker as u64, "drain", "windows");
-                            for cell in cells.iter().skip(worker).step_by(workers) {
-                                drain_cell(cell, end, profiler.as_deref());
-                            }
-                        }
-                        timed_wait(barrier, worker, profiler.as_deref());
+                for w in 1..workers {
+                    let peer_planner = planner.clone();
+                    scope.spawn(move || {
+                        this.worker_loop::<H>(board, None, w, workers, peer_planner);
                     });
                 }
-                this.run_on(horizon, hook, Some((&barrier, &edge)), workers)
+                this.worker_loop(board, Some(hook), 0, workers, planner)
             })
         };
         self.now = result.now;
         self.events = result.events;
         result
-    }
-
-    /// The main control loop. With `sync` = None runs serially; otherwise
-    /// coordinates the persistent workers through the barrier, executing this
-    /// thread's share (`worker 0`) inline.
-    fn run_on<H: SyncHook<M>>(
-        &self,
-        horizon: SimTime,
-        hook: &mut H,
-        sync: Option<(&SpinBarrier, &AtomicU64)>,
-        workers: usize,
-    ) -> WindowedOutcome {
-        let mut now = self.now;
-        let mut windows = 0u64;
-        let mut syncs = 0u64;
-        let total_events = |this: &Self| -> u64 {
-            this.cells
-                .iter()
-                .map(|c| c.lock().expect("shard lock poisoned").events)
-                .sum()
-        };
-        let finish = |outcome: RunOutcome, now: SimTime, events: u64, windows, syncs| {
-            if let Some((barrier, edge)) = sync {
-                edge.store(EXIT, Ordering::Release);
-                barrier.wait();
-            }
-            WindowedOutcome {
-                outcome,
-                now,
-                events,
-                windows,
-                syncs,
-            }
-        };
-        let mut prev_events = if self.profiler.is_some() || self.observer.is_enabled() {
-            total_events(self)
-        } else {
-            0
-        };
-        loop {
-            match self.plan_step(hook, horizon) {
-                Step::Done(outcome) => {
-                    if outcome == RunOutcome::HorizonReached {
-                        now = horizon;
-                    }
-                    return finish(outcome, now, total_events(self), windows, syncs);
-                }
-                Step::Sync(at) => {
-                    let _span = self.observer.span(0, "sync", "windows");
-                    let mut view = self.view();
-                    hook.on_sync(at, &mut view);
-                    drop(view);
-                    now = at;
-                    syncs += 1;
-                    if let Some(p) = &self.profiler {
-                        p.record_sync();
-                    }
-                }
-                Step::Window { start_ps, end_ps } => {
-                    let mut window_span = self.observer.span(0, "window", "windows");
-                    match sync {
-                        None => {
-                            for cell in &self.cells {
-                                drain_cell(cell, end_ps, self.profiler.as_deref());
-                            }
-                        }
-                        Some((barrier, edge)) => {
-                            edge.store(end_ps, Ordering::Release);
-                            timed_wait(barrier, 0, self.profiler.as_deref());
-                            for cell in self.cells.iter().step_by(workers) {
-                                drain_cell(cell, end_ps, self.profiler.as_deref());
-                            }
-                            timed_wait(barrier, 0, self.profiler.as_deref());
-                        }
-                    }
-                    self.exchange(end_ps);
-                    now = SimTime::from_picos(end_ps.saturating_sub(1)).min(horizon);
-                    windows += 1;
-                    let events = total_events(self);
-                    if self.profiler.is_some() || self.observer.is_enabled() {
-                        let delta = events.saturating_sub(prev_events);
-                        prev_events = events;
-                        if let Some(p) = &self.profiler {
-                            p.record_window(end_ps.saturating_sub(start_ps), delta);
-                        }
-                        window_span.arg_u64("events", delta);
-                        window_span.arg_u64("end_ps", end_ps);
-                    }
-                    drop(window_span);
-                    if events >= self.event_budget {
-                        return finish(
-                            RunOutcome::EventBudgetExhausted,
-                            now,
-                            events,
-                            windows,
-                            syncs,
-                        );
-                    }
-                    let mut view = self.view();
-                    let go = hook.keep_running(now, &mut view);
-                    drop(view);
-                    if !go {
-                        return finish(RunOutcome::Stopped, now, events, windows, syncs);
-                    }
-                }
-            }
-        }
     }
 }
 
@@ -746,6 +1227,10 @@ mod tests {
                 },
             );
         }
+
+        fn stop_contribution(&self) -> u64 {
+            self.trace.len() as u64
+        }
     }
 
     struct NoSync {
@@ -759,29 +1244,22 @@ mod tests {
         fn lookahead(&self) -> SimDuration {
             self.lookahead
         }
-        fn keep_running(&mut self, _: SimTime, _: &mut ShardsView<'_, Ring>) -> bool {
-            true
-        }
     }
 
-    fn run_ring(shards: usize, workers: usize) -> Vec<(u64, usize, u64)> {
-        let nodes = 5;
-        let latency = SimDuration::from_nanos(7);
-        let models: Vec<Ring> = (0..shards)
+    fn ring_models(shards: usize, hops: u64) -> Vec<Ring> {
+        (0..shards)
             .map(|shard| Ring {
                 shard,
                 shards,
-                nodes,
-                latency,
-                hops_left: 200,
+                nodes: 5,
+                latency: SimDuration::from_nanos(7),
+                hops_left: hops,
                 trace: Vec::new(),
             })
-            .collect();
-        let mut sim = WindowedSim::new(models).with_workers(workers);
-        sim.schedule(0, SimTime::ZERO, 0, Token { node: 0, hops: 0 });
-        let out = sim.run(SimTime::MAX, &mut NoSync { lookahead: latency });
-        assert_eq!(out.outcome, RunOutcome::Drained);
-        assert_eq!(out.events, 201);
+            .collect()
+    }
+
+    fn collect_trace(sim: WindowedSim<Ring>) -> Vec<(u64, usize, u64)> {
         let mut trace: Vec<(u64, usize, u64)> = sim
             .into_models()
             .into_iter()
@@ -791,44 +1269,38 @@ mod tests {
         trace
     }
 
+    fn run_ring(shards: usize, workers: usize) -> Vec<(u64, usize, u64)> {
+        let latency = SimDuration::from_nanos(7);
+        let mut sim = WindowedSim::new(ring_models(shards, 200)).with_workers(workers);
+        sim.schedule(0, SimTime::ZERO, 0, Token { node: 0, hops: 0 });
+        let out = sim.run(SimTime::MAX, &mut NoSync { lookahead: latency });
+        assert_eq!(out.outcome, RunOutcome::Drained);
+        assert_eq!(out.events, 201);
+        collect_trace(sim)
+    }
+
     /// An instrumented run produces the identical trace, and the profiler
     /// accounts every event, window, and cross-shard envelope.
     #[test]
     fn profiling_does_not_change_the_trace() {
         let baseline = run_ring(3, 2);
-        let nodes = 5;
         let latency = SimDuration::from_nanos(7);
-        let models: Vec<Ring> = (0..3)
-            .map(|shard| Ring {
-                shard,
-                shards: 3,
-                nodes,
-                latency,
-                hops_left: 200,
-                trace: Vec::new(),
-            })
-            .collect();
         let profiler = Arc::new(WindowProfiler::new(3));
-        let mut sim = WindowedSim::new(models)
+        let mut sim = WindowedSim::new(ring_models(3, 200))
             .with_workers(2)
             .with_profiler(profiler.clone())
             .with_observer(Observer::enabled());
         sim.schedule(0, SimTime::ZERO, 0, Token { node: 0, hops: 0 });
         let out = sim.run(SimTime::MAX, &mut NoSync { lookahead: latency });
         assert_eq!(out.outcome, RunOutcome::Drained);
-        let mut trace: Vec<(u64, usize, u64)> = sim
-            .into_models()
-            .into_iter()
-            .flat_map(|m| m.trace)
-            .collect();
-        trace.sort();
+        let trace = collect_trace(sim);
         assert_eq!(trace, baseline);
         let profile = profiler.snapshot();
         assert_eq!(profile.shard_events().iter().sum::<u64>(), out.events);
         assert_eq!(profile.windows, out.windows);
         // The ring crosses shards, so envelopes flowed through the mailbox.
         assert!(profile.shards.iter().map(|s| s.mailbox_in).sum::<u64>() > 0);
-        // Two workers both waited at barriers.
+        // Two workers both recorded their round waits.
         assert!(profile.workers[0].barrier_waits > 0);
         assert!(profile.workers[1].barrier_waits > 0);
         assert_eq!(profile.events_per_window.sum, out.events);
@@ -841,6 +1313,29 @@ mod tests {
         assert_eq!(one, run_ring(2, 1));
         assert_eq!(one, run_ring(5, 2));
         assert_eq!(one, run_ring(3, 3));
+    }
+
+    /// Deterministically staggered workers (injected sleeps/yields at round
+    /// entry) still produce the identical trace: the round protocol never
+    /// lets wall-clock skew reach sim state.
+    #[test]
+    fn staggered_workers_produce_identical_traces() {
+        let baseline = run_ring(1, 1);
+        for (shards, workers, seed) in [(5, 2, 11u64), (5, 3, 12), (3, 3, 99), (4, 2, 7)] {
+            let latency = SimDuration::from_nanos(7);
+            let mut sim = WindowedSim::new(ring_models(shards, 200))
+                .with_workers(workers)
+                .with_stagger(seed);
+            sim.schedule(0, SimTime::ZERO, 0, Token { node: 0, hops: 0 });
+            let out = sim.run(SimTime::MAX, &mut NoSync { lookahead: latency });
+            assert_eq!(out.outcome, RunOutcome::Drained);
+            assert_eq!(out.events, 201);
+            assert_eq!(
+                collect_trace(sim),
+                baseline,
+                "stagger seed {seed} with {shards} shards / {workers} workers diverged"
+            );
+        }
     }
 
     #[test]
@@ -867,6 +1362,46 @@ mod tests {
         );
         assert_eq!(out.outcome, RunOutcome::EventBudgetExhausted);
         assert!(out.events >= 100);
+    }
+
+    /// The hook's stop threshold over summed shard contributions replaces
+    /// the old per-window callback, and the stop lands on the same window
+    /// edge for every shard and worker count.
+    #[test]
+    fn stop_threshold_is_shard_and_worker_invariant() {
+        struct StopAt {
+            lookahead: SimDuration,
+            threshold: u64,
+        }
+        impl SyncHook<Ring> for StopAt {
+            fn next_sync(&self) -> SimTime {
+                SimTime::MAX
+            }
+            fn on_sync(&mut self, _: SimTime, _: &mut ShardsView<'_, Ring>) {}
+            fn lookahead(&self) -> SimDuration {
+                self.lookahead
+            }
+            fn stop_threshold(&self) -> u64 {
+                self.threshold
+            }
+        }
+        let run = |shards: usize, workers: usize| {
+            let mut sim = WindowedSim::new(ring_models(shards, u64::MAX)).with_workers(workers);
+            sim.schedule(0, SimTime::ZERO, 0, Token { node: 0, hops: 0 });
+            let out = sim.run(
+                SimTime::MAX,
+                &mut StopAt {
+                    lookahead: SimDuration::from_nanos(7),
+                    threshold: 50,
+                },
+            );
+            assert_eq!(out.outcome, RunOutcome::Stopped);
+            assert!(out.events >= 50);
+            (out.now, out.events, collect_trace(sim))
+        };
+        let one = run(1, 1);
+        assert_eq!(one, run(3, 2));
+        assert_eq!(one, run(5, 3));
     }
 
     #[test]
@@ -914,11 +1449,8 @@ mod tests {
             fn lookahead(&self) -> SimDuration {
                 SimDuration::from_nanos(7)
             }
-            fn keep_running(&mut self, _: SimTime, _: &mut ShardsView<'_, Ring>) -> bool {
-                true
-            }
         }
-        let run = |shards: usize| {
+        let run = |shards: usize, workers: usize| {
             let models: Vec<Ring> = (0..shards)
                 .map(|shard| Ring {
                     shard,
@@ -929,7 +1461,7 @@ mod tests {
                     trace: Vec::new(),
                 })
                 .collect();
-            let mut sim = WindowedSim::new(models).with_workers(1);
+            let mut sim = WindowedSim::new(models).with_workers(workers);
             sim.schedule(0, SimTime::ZERO, 0, Token { node: 0, hops: 0 });
             let mut hook = EpochHook {
                 next: SimTime::from_nanos(20),
@@ -941,7 +1473,117 @@ mod tests {
             assert!(out.syncs > 0);
             hook.cuts
         };
-        assert_eq!(run(1), run(4));
+        let one = run(1, 1);
+        assert_eq!(one, run(4, 1));
+        assert_eq!(one, run(4, 3));
+    }
+
+    /// A model with passive tail events (deliveries that only fold into
+    /// state): after enough passive-only windows the planner fuses windows,
+    /// shrinking the window count without moving a single event.
+    mod fusion {
+        use super::*;
+
+        const PASSIVE_BIT: u64 = 1 << 63;
+
+        struct Soak {
+            shard: usize,
+            shards: usize,
+            trace: Vec<(u64, u64)>,
+        }
+
+        impl ShardModel for Soak {
+            type Event = u64;
+            fn handle(&mut self, ctx: &mut WindowCtx<'_, u64>, key: u64) {
+                self.trace.push((ctx.now().as_picos(), key));
+                // Active tokens hop to the next shard a few times; passive
+                // events only record.
+                if key & PASSIVE_BIT == 0 && key < 10 {
+                    let to = (self.shard + 1) % self.shards;
+                    ctx.send(to, ctx.now() + SimDuration::from_nanos(7), key + 1, key + 1);
+                }
+            }
+            fn passive_key(key: u64) -> bool {
+                key & PASSIVE_BIT != 0
+            }
+        }
+
+        fn run_soak(
+            shards: usize,
+            workers: usize,
+            profiler: Option<Arc<WindowProfiler>>,
+        ) -> (WindowedOutcome, Vec<(u64, u64)>) {
+            let models: Vec<Soak> = (0..shards)
+                .map(|shard| Soak {
+                    shard,
+                    shards,
+                    trace: Vec::new(),
+                })
+                .collect();
+            let mut sim = WindowedSim::new(models).with_workers(workers);
+            if let Some(p) = profiler {
+                sim = sim.with_profiler(p);
+            }
+            // One active chain early, then a long passive tail: 300 events
+            // spaced one lookahead apart starting at 1 µs.
+            sim.schedule(0, SimTime::ZERO, 0, 0);
+            for k in 0..300u64 {
+                let at = SimTime::from_nanos(1_000 + 7 * k);
+                let key = PASSIVE_BIT | k;
+                sim.schedule((k as usize) % shards, at, key, key);
+            }
+            let out = sim.run(
+                SimTime::MAX,
+                &mut NoSyncSoak {
+                    lookahead: SimDuration::from_nanos(7),
+                },
+            );
+            assert_eq!(out.outcome, RunOutcome::Drained);
+            assert_eq!(out.events, 311);
+            let mut trace: Vec<(u64, u64)> = sim
+                .into_models()
+                .into_iter()
+                .flat_map(|m| m.trace)
+                .collect();
+            trace.sort();
+            (out, trace)
+        }
+
+        struct NoSyncSoak {
+            lookahead: SimDuration,
+        }
+        impl SyncHook<Soak> for NoSyncSoak {
+            fn next_sync(&self) -> SimTime {
+                SimTime::MAX
+            }
+            fn on_sync(&mut self, _: SimTime, _: &mut ShardsView<'_, Soak>) {}
+            fn lookahead(&self) -> SimDuration {
+                self.lookahead
+            }
+        }
+
+        #[test]
+        fn passive_tails_fuse_windows_without_moving_events() {
+            let (one, trace_one) = run_soak(1, 1, None);
+            // The passive tail spans 300 lookaheads; fusion must collapse it
+            // far below one window per event.
+            assert!(
+                one.windows < 100,
+                "expected fused windows, got {}",
+                one.windows
+            );
+            let profiler = Arc::new(WindowProfiler::new(3));
+            let (three, trace_three) = run_soak(3, 2, Some(profiler.clone()));
+            assert_eq!(trace_one, trace_three);
+            assert_eq!(one.events, three.events);
+            // The fusion lattice is shard-count independent: it keys off
+            // active-event streaks, not cross-shard traffic counts.
+            assert_eq!(one.windows, three.windows);
+            assert_eq!(one.now, three.now);
+            let profile = profiler.snapshot();
+            assert!(profile.fused_windows > 0);
+            assert!(profile.fused_picos > 0);
+        }
     }
 
     #[test]
@@ -966,9 +1608,6 @@ mod tests {
             fn on_sync(&mut self, _: SimTime, _: &mut ShardsView<'_, Bad>) {}
             fn lookahead(&self) -> SimDuration {
                 SimDuration::from_nanos(100)
-            }
-            fn keep_running(&mut self, _: SimTime, _: &mut ShardsView<'_, Bad>) -> bool {
-                true
             }
         }
         let mut sim = WindowedSim::new(vec![Bad { shard: 0 }, Bad { shard: 1 }]).with_workers(1);

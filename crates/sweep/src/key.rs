@@ -177,7 +177,9 @@ fn spec_value(spec: &ScenarioSpec) -> JsonValue {
 fn topology_value(t: &TopologySpec) -> JsonValue {
     // The display name is excluded: instantiation consumes only the node
     // count and the edge list, so renaming a spec must not invalidate the
-    // cache. Edges are serialised exactly (endpoints, lanes, length, media).
+    // cache. Edges are serialised exactly (endpoints, lanes, length, media,
+    // link class — the class steers the conservative lookahead, so it
+    // shapes sharded results).
     let edges: Vec<JsonValue> = t
         .edges
         .iter()
@@ -188,6 +190,7 @@ fn topology_value(t: &TopologySpec) -> JsonValue {
                 uint(e.lanes as u64),
                 uint(e.length.as_mm()),
                 string(&format!("{:?}", e.media)),
+                string(&format!("{:?}", e.class)),
             ])
         })
         .collect();
@@ -358,7 +361,7 @@ mod tests {
     #[test]
     fn physical_layer_knobs_change_the_key() {
         use rackfabric_phy::PlpTiming;
-        use rackfabric_sim::units::Bytes;
+        use rackfabric_sim::units::{Bytes, Length};
         use rackfabric_switch::model::SwitchModel;
 
         let k = job_key(&base());
@@ -385,6 +388,13 @@ mod tests {
         let mut bypassed = base();
         bypassed.phy.bypassed_nodes = 2;
         assert_ne!(k, job_key(&bypassed), "bypass chains shape the datapath");
+        let mut spaced = base();
+        spaced.topology = spaced.topology.with_rack_spacing(Length::from_m(20));
+        assert_ne!(
+            k,
+            job_key(&spaced),
+            "inter-rack cable length shapes propagation delay and lookahead"
+        );
     }
 
     #[test]

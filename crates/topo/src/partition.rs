@@ -9,15 +9,23 @@
 //! bounds how far shards may run ahead of each other (the conservative
 //! lookahead).
 //!
-//! Nodes are assigned to shards in contiguous index ranges. Every builder in
-//! [`TopologySpec`](crate::spec::TopologySpec) numbers nodes row-major (grids/tori) or
-//! hosts-then-switches (fat-trees), so contiguous ranges correspond to
-//! physical rack groups: row bands of a torus, host-blocks of a Clos — the
-//! same grouping a multi-rack deployment would cable.
+//! Shards are built from whole **racks** (the connected components of the
+//! intra-rack link subgraph, [`TopologySpec::rack_of`](crate::spec::TopologySpec::rack_of)):
+//! consecutive rack ids are grouped into contiguous rack ranges, and a node
+//! belongs to the shard of its rack. Because intra-rack links by definition
+//! join nodes of the same rack — and racks are never split across shards —
+//! **every cut link is inter-rack by construction**. That is the invariant
+//! the conservative lookahead relies on: it minimises latency over the
+//! inter-rack link class only, and no envelope can cross shards faster than
+//! that minimum. Every builder numbers racks in node order (row bands of a
+//! torus, host-block+leaf cells of a Clos), so rack ranges are the same
+//! grouping a multi-rack deployment would cable.
 //!
-//! A partition is a pure function of `(node count, shard count)`; the cut
+//! A partition is a pure function of `(rack table, shard count)`; the cut
 //! mask additionally depends on the link set and is rebuilt together with
-//! the [`LinkArena`] after whole-rack reconfigurations.
+//! the [`LinkArena`] after whole-rack reconfigurations. Requesting more
+//! shards than there are racks clamps to the rack count (a rack is never
+//! split), so the effective shard count can be lower than requested.
 
 use crate::arena::{LinkArena, LinkIdx, PortIdx};
 use crate::graph::NodeId;
@@ -35,14 +43,20 @@ pub struct FabricPartition {
 }
 
 impl FabricPartition {
-    /// Partitions `nodes` nodes into `shards` contiguous rack groups and
-    /// derives the cut mask from `arena`. `shards` is clamped to
-    /// `1..=nodes`.
-    pub fn build(nodes: usize, shards: usize, arena: &LinkArena) -> Self {
-        assert!(nodes > 0, "cannot partition an empty fabric");
-        let shards = shards.clamp(1, nodes);
-        let chunk = nodes.div_ceil(shards);
-        let owner: Vec<u32> = (0..nodes).map(|n| (n / chunk) as u32).collect();
+    /// Partitions the fabric into up to `shards` contiguous **rack** groups
+    /// and derives the cut mask from `arena`. `racks` is the node-to-rack
+    /// table from
+    /// [`TopologySpec::rack_of`](crate::spec::TopologySpec::rack_of);
+    /// whole racks are never split, so `shards` is clamped to
+    /// `1..=rack_count` and the effective shard count (`max owner + 1`)
+    /// can be lower than requested when rack chunks collapse.
+    pub fn build(racks: &[u32], shards: usize, arena: &LinkArena) -> Self {
+        assert!(!racks.is_empty(), "cannot partition an empty fabric");
+        let rack_count = racks.iter().map(|&r| r as usize + 1).max().unwrap_or(1);
+        let shards = shards.clamp(1, rack_count);
+        let chunk = rack_count.div_ceil(shards);
+        let owner: Vec<u32> = racks.iter().map(|&r| r / chunk as u32).collect();
+        let shards = owner.iter().map(|&o| o as usize + 1).max().unwrap_or(1);
         let cut = arena.cut_mask(&owner);
         let cut_count = cut.iter().filter(|&&c| c).count();
         FabricPartition {
@@ -135,7 +149,7 @@ mod tests {
     fn contiguous_ranges_cover_every_node() {
         let spec = TopologySpec::grid(4, 4, 1);
         let arena = arena_of(&spec);
-        let p = FabricPartition::build(spec.nodes, 4, &arena);
+        let p = FabricPartition::build(&spec.rack_of(), 4, &arena);
         assert_eq!(p.shards(), 4);
         assert_eq!(p.nodes(), 16);
         // Row-major grid + contiguous ranges = one row per shard.
@@ -150,7 +164,7 @@ mod tests {
     fn cut_links_are_exactly_the_inter_row_links() {
         let spec = TopologySpec::grid(4, 4, 1);
         let arena = arena_of(&spec);
-        let p = FabricPartition::build(spec.nodes, 4, &arena);
+        let p = FabricPartition::build(&spec.rack_of(), 4, &arena);
         // A 4x4 grid split into rows cuts the 12 vertical links.
         assert_eq!(p.cut_count(), 12);
         for link in p.cut_links() {
@@ -165,7 +179,7 @@ mod tests {
     fn single_shard_has_no_cut() {
         let spec = TopologySpec::torus(4, 4, 1);
         let arena = arena_of(&spec);
-        let p = FabricPartition::build(spec.nodes, 1, &arena);
+        let p = FabricPartition::build(&spec.rack_of(), 1, &arena);
         assert_eq!(p.shards(), 1);
         assert_eq!(p.cut_count(), 0);
         assert_eq!(p.cut_links().count(), 0);
@@ -175,7 +189,7 @@ mod tests {
     fn shard_count_is_clamped_to_node_count() {
         let spec = TopologySpec::line(3, 1);
         let arena = arena_of(&spec);
-        let p = FabricPartition::build(spec.nodes, 64, &arena);
+        let p = FabricPartition::build(&spec.rack_of(), 64, &arena);
         assert_eq!(p.shards(), 3);
         assert_eq!(p.cut_count(), 2);
     }
@@ -184,7 +198,7 @@ mod tests {
     fn port_owner_follows_the_transmitting_node() {
         let spec = TopologySpec::grid(2, 2, 1);
         let arena = arena_of(&spec);
-        let p = FabricPartition::build(spec.nodes, 2, &arena);
+        let p = FabricPartition::build(&spec.rack_of(), 2, &arena);
         for (idx, _) in arena.iter() {
             let (a, b) = arena.endpoints(idx);
             let pa = arena.port(a, idx);
@@ -202,7 +216,7 @@ mod tests {
         let mut phy = PhyState::new();
         let mut topo = spec.instantiate(&mut phy, BitRate::from_gbps(25));
         let arena = LinkArena::build(&topo);
-        let mut p = FabricPartition::build(spec.nodes, 2, &arena);
+        let mut p = FabricPartition::build(&spec.rack_of(), 2, &arena);
         let before = p.cut_count();
         // Remove one cut link and recut.
         let victim = p.cut_links().next().unwrap();

@@ -33,6 +33,24 @@ pub enum TopologyKind {
     FatTree,
 }
 
+/// Physical placement class of a link: whether the cable stays inside one
+/// rack or crosses between racks.
+///
+/// The class is a **topology** property — it comes from the spec builders,
+/// never from a shard partition — which is what lets the sharded engine's
+/// conservative lookahead be computed from the inter-rack class alone while
+/// staying shard-count-independent: racks are the connected components of
+/// the intra-rack subgraph (see [`TopologySpec::rack_of`]), shard partitions
+/// align to rack boundaries, and therefore every partition cut link is
+/// inter-rack by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkClass {
+    /// A cable inside one rack (sled-to-sled backplane or in-rack fibre).
+    IntraRack,
+    /// A cable between racks (the longer run that funds lookahead).
+    InterRack,
+}
+
 /// One desired edge of the fabric.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EdgeSpec {
@@ -46,6 +64,8 @@ pub struct EdgeSpec {
     pub length: Length,
     /// Medium family.
     pub media: MediaKind,
+    /// Placement class (intra- vs inter-rack).
+    pub class: LinkClass,
 }
 
 impl EdgeSpec {
@@ -82,6 +102,15 @@ pub struct TopologySpec {
 /// a switch (i.e. a sled hop) every 2 metres.
 pub const DEFAULT_HOP_LENGTH: Length = Length::from_m(2);
 
+/// Default inter-rack cable length for [`TopologySpec::with_rack_spacing`]:
+/// a 20 m overhead-tray run between rack rows, the short end of what the
+/// Slingshot/dragonfly literature assumes for inter-group cables. Applied
+/// opt-in (the builders default every edge to [`DEFAULT_HOP_LENGTH`]-scale
+/// cables so existing campaigns keep their bytes); the extra flight time on
+/// the inter-rack class is what funds the sharded engine's longer
+/// conservative windows.
+pub const DEFAULT_INTER_RACK_LENGTH: Length = Length::from_m(20);
+
 impl TopologySpec {
     /// A 1-D chain of `n` nodes.
     pub fn line(n: usize, lanes: usize) -> TopologySpec {
@@ -92,6 +121,7 @@ impl TopologySpec {
                 lanes,
                 length: DEFAULT_HOP_LENGTH,
                 media: MediaKind::OpticalFiber,
+                class: LinkClass::InterRack,
             })
             .collect();
         TopologySpec {
@@ -113,6 +143,7 @@ impl TopologySpec {
                 lanes,
                 length: DEFAULT_HOP_LENGTH,
                 media: MediaKind::OpticalFiber,
+                class: LinkClass::InterRack,
             })
             .collect();
         TopologySpec {
@@ -132,21 +163,25 @@ impl TopologySpec {
         for r in 0..rows {
             for c in 0..cols {
                 if c + 1 < cols {
+                    // Along a row: sled-to-sled inside one rack.
                     edges.push(EdgeSpec {
                         a: id(r, c),
                         b: id(r, c + 1),
                         lanes,
                         length: DEFAULT_HOP_LENGTH,
                         media: MediaKind::OpticalFiber,
+                        class: LinkClass::IntraRack,
                     });
                 }
                 if r + 1 < rows {
+                    // Across rows: rack-to-rack.
                     edges.push(EdgeSpec {
                         a: id(r, c),
                         b: id(r + 1, c),
                         lanes,
                         length: DEFAULT_HOP_LENGTH,
                         media: MediaKind::OpticalFiber,
+                        class: LinkClass::InterRack,
                     });
                 }
             }
@@ -178,6 +213,7 @@ impl TopologySpec {
                     lanes,
                     length: wrap_len_cols,
                     media: MediaKind::OpticalFiber,
+                    class: LinkClass::IntraRack,
                 });
             }
         }
@@ -189,6 +225,7 @@ impl TopologySpec {
                     lanes,
                     length: wrap_len_rows,
                     media: MediaKind::OpticalFiber,
+                    class: LinkClass::InterRack,
                 });
             }
         }
@@ -211,6 +248,7 @@ impl TopologySpec {
                         lanes,
                         length: DEFAULT_HOP_LENGTH,
                         media: MediaKind::OpticalFiber,
+                        class: LinkClass::InterRack,
                     });
                 }
             }
@@ -242,6 +280,7 @@ impl TopologySpec {
                 lanes,
                 length: DEFAULT_HOP_LENGTH,
                 media: MediaKind::CopperDac,
+                class: LinkClass::IntraRack,
             });
         }
         for l in 0..leaves {
@@ -252,6 +291,7 @@ impl TopologySpec {
                     lanes,
                     length: Length::from_m(4),
                     media: MediaKind::OpticalFiber,
+                    class: LinkClass::InterRack,
                 });
             }
         }
@@ -277,6 +317,107 @@ impl TopologySpec {
             return None;
         }
         Some((idx / cols, idx % cols))
+    }
+
+    /// Stretches every inter-rack edge to at least `length` (intra-rack
+    /// edges are untouched). Longer inter-rack cables directly buy the
+    /// sharded engine a longer conservative lookahead, at the cost of the
+    /// extra propagation delay every cross-rack packet pays.
+    pub fn with_rack_spacing(mut self, length: Length) -> TopologySpec {
+        for edge in &mut self.edges {
+            if edge.class == LinkClass::InterRack {
+                edge.length = edge.length.max(length);
+            }
+        }
+        self
+    }
+
+    /// The rack of every node: connected components of the **intra-rack**
+    /// subgraph, numbered in increasing order of their smallest node index
+    /// (so racks of row-major builders are contiguous index ranges). Nodes
+    /// touched by no intra-rack edge form singleton racks.
+    ///
+    /// This is a pure function of the spec — never of a partition — and the
+    /// invariant the sharded engine builds on: an intra-rack edge always has
+    /// both endpoints in one rack, so any link between different racks is
+    /// inter-rack class by construction.
+    pub fn rack_of(&self) -> Vec<u32> {
+        // Union-find over intra-rack edges.
+        let mut parent: Vec<u32> = (0..self.nodes as u32).collect();
+        fn find(parent: &mut [u32], n: u32) -> u32 {
+            let mut root = n;
+            while parent[root as usize] != root {
+                root = parent[root as usize];
+            }
+            let mut cur = n;
+            while parent[cur as usize] != root {
+                let next = parent[cur as usize];
+                parent[cur as usize] = root;
+                cur = next;
+            }
+            root
+        }
+        for e in &self.edges {
+            if e.class != LinkClass::IntraRack {
+                continue;
+            }
+            if e.a.index() >= self.nodes || e.b.index() >= self.nodes {
+                continue;
+            }
+            let ra = find(&mut parent, e.a.as_u32());
+            let rb = find(&mut parent, e.b.as_u32());
+            if ra != rb {
+                // Root at the smaller index so component roots are the
+                // component minima — rack numbering below then follows
+                // node order deterministically.
+                let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+                parent[hi as usize] = lo;
+            }
+        }
+        let mut rack = vec![u32::MAX; self.nodes];
+        let mut next = 0u32;
+        for n in 0..self.nodes as u32 {
+            let root = find(&mut parent, n);
+            if rack[root as usize] == u32::MAX {
+                rack[root as usize] = next;
+                next += 1;
+            }
+            rack[n as usize] = rack[root as usize];
+        }
+        rack
+    }
+
+    /// Number of racks (see [`TopologySpec::rack_of`]).
+    pub fn rack_count(&self) -> usize {
+        self.rack_of()
+            .iter()
+            .map(|&r| r as usize + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Dense per-[`LinkIdx`](crate::arena::LinkIdx) mask over `arena`: true
+    /// when the link's endpoints lie in different racks. This is the link
+    /// set the sharded engine's lookahead minimises over — every partition
+    /// cut link crosses racks (partitions align to rack boundaries), so the
+    /// minimum inter-rack latency lower-bounds every cross-shard train. The
+    /// mask is derived from [`TopologySpec::rack_of`], not from the class
+    /// tags, so links created by reconfiguration plans are classified by the
+    /// same rule that aligns partitions.
+    pub fn inter_rack_mask(&self, arena: &crate::arena::LinkArena) -> Vec<bool> {
+        let rack = self.rack_of();
+        arena
+            .iter()
+            .map(|(idx, _)| {
+                let (a, b) = arena.endpoints(idx);
+                match (rack.get(a.index()), rack.get(b.index())) {
+                    (Some(ra), Some(rb)) => ra != rb,
+                    // Nodes beyond the spec (never produced by the
+                    // builders): treat as inter-rack, the conservative side.
+                    _ => true,
+                }
+            })
+            .collect()
     }
 
     /// Realises the spec: creates every physical link in `phy` and returns
@@ -394,6 +535,7 @@ mod tests {
             lanes: 1,
             length: DEFAULT_HOP_LENGTH,
             media: MediaKind::OpticalFiber,
+            class: LinkClass::IntraRack,
         };
         let e2 = EdgeSpec {
             a: NodeId(1),
@@ -401,8 +543,91 @@ mod tests {
             lanes: 2,
             length: DEFAULT_HOP_LENGTH,
             media: MediaKind::OpticalFiber,
+            class: LinkClass::IntraRack,
         };
         assert!(e1.same_pair(&e2));
         assert_eq!(e1.pair(), (NodeId(1), NodeId(3)));
+    }
+
+    #[test]
+    fn grid_racks_are_rows() {
+        let g = TopologySpec::grid(4, 3, 1);
+        let racks = g.rack_of();
+        for (n, &rack) in racks.iter().enumerate() {
+            assert_eq!(rack, (n / 3) as u32, "node {n} sits in its row's rack");
+        }
+        assert_eq!(g.rack_count(), 4);
+        // Torus wrap links stay within rows, so the racks are unchanged.
+        let t = TopologySpec::torus(4, 4, 1);
+        assert_eq!(t.rack_count(), 4);
+    }
+
+    #[test]
+    fn fat_tree_racks_pair_host_blocks_with_their_leaf() {
+        let f = TopologySpec::fat_tree(16, 8, 2, 1);
+        let racks = f.rack_of();
+        assert_eq!(
+            f.rack_count(),
+            2 + 2,
+            "2 host+leaf racks, 2 singleton spines"
+        );
+        // Hosts 0..8 + leaf 16 share a rack; hosts 8..16 + leaf 17 share the next.
+        for h in 0..8 {
+            assert_eq!(racks[h], racks[16]);
+            assert_eq!(racks[8 + h], racks[17]);
+        }
+        assert_ne!(racks[16], racks[17]);
+        // Spines are their own racks.
+        assert_ne!(racks[18], racks[16]);
+        assert_ne!(racks[19], racks[18]);
+    }
+
+    #[test]
+    fn all_inter_rack_builders_have_singleton_racks() {
+        for spec in [
+            TopologySpec::line(5, 1),
+            TopologySpec::ring(6, 1),
+            TopologySpec::hypercube(3, 1),
+        ] {
+            let n = spec.nodes;
+            assert_eq!(spec.rack_count(), n, "{}: one rack per node", spec.name);
+            let racks = spec.rack_of();
+            for (i, &r) in racks.iter().enumerate() {
+                assert_eq!(r as usize, i);
+            }
+        }
+    }
+
+    #[test]
+    fn rack_spacing_stretches_only_inter_rack_links() {
+        let spacing = Length::from_m(20);
+        let g = TopologySpec::grid(3, 3, 1).with_rack_spacing(spacing);
+        for e in &g.edges {
+            match e.class {
+                LinkClass::IntraRack => assert_eq!(e.length, DEFAULT_HOP_LENGTH),
+                LinkClass::InterRack => assert_eq!(e.length, spacing),
+            }
+        }
+        // Already-longer cables (torus wraps) are never shortened.
+        let t = TopologySpec::torus(8, 8, 1).with_rack_spacing(Length::from_m(1));
+        let max_len = t.edges.iter().map(|e| e.length).max().unwrap();
+        assert!(max_len >= Length::from_m(14));
+    }
+
+    #[test]
+    fn inter_rack_mask_marks_exactly_the_rack_crossing_links() {
+        let spec = TopologySpec::grid(3, 3, 1);
+        let mut phy = PhyState::new();
+        let topo = spec.instantiate(&mut phy, BitRate::from_gbps(25));
+        let arena = crate::arena::LinkArena::build(&topo);
+        let racks = spec.rack_of();
+        let mask = spec.inter_rack_mask(&arena);
+        assert_eq!(mask.len(), arena.len());
+        let inter = mask.iter().filter(|&&m| m).count();
+        assert_eq!(inter, 6, "the 6 vertical links cross racks");
+        for (idx, _) in arena.iter() {
+            let (a, b) = arena.endpoints(idx);
+            assert_eq!(mask[idx.index()], racks[a.index()] != racks[b.index()],);
+        }
     }
 }

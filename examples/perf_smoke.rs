@@ -102,10 +102,17 @@ fn sharded_matrix(tiny: bool, shards: usize) -> Matrix {
             SimTime::from_millis(10),
         )
     } else {
+        // Full-size cells model racks 20 m apart: the inter-rack flight
+        // time funds a ~10x longer conservative lookahead (the window
+        // length), which is where the sharded engine's sync overhead goes.
         (
             vec![
-                AxisValue::Topology(TopologySpec::torus(16, 16, 2)),
-                AxisValue::Topology(TopologySpec::fat_tree(128, 16, 4, 2)),
+                AxisValue::Topology(
+                    TopologySpec::torus(16, 16, 2).with_rack_spacing(Length::from_m(20)),
+                ),
+                AxisValue::Topology(
+                    TopologySpec::fat_tree(128, 16, 4, 2).with_rack_spacing(Length::from_m(20)),
+                ),
             ],
             Bytes::from_kib(4),
             SimTime::from_millis(40),
@@ -184,27 +191,50 @@ fn worker_sweep(
     counts
         .into_iter()
         .map(|workers| {
-            let flows = spec.build_flows();
-            let mut config =
-                rackfabric::shard::ShardedConfig::new(spec.to_fabric_config(), spec.shards);
-            config.workers = workers;
-            config.profile = true;
-            if workers == max_workers {
-                if let Some(sink) = trace {
-                    config.observer = Observer::off().with_trace(sink.clone());
+            // Best wall-clock of three passes per count: a speedup ratio of
+            // single measurements is scheduler-noise roulette, and CI gates
+            // on this ratio. Results must be identical across passes.
+            let mut best: Option<WorkerPoint> = None;
+            for pass in 0..3 {
+                let flows = spec.build_flows();
+                let mut config =
+                    rackfabric::shard::ShardedConfig::new(spec.to_fabric_config(), spec.shards);
+                config.workers = workers;
+                config.profile = true;
+                if workers == max_workers && pass == 0 {
+                    if let Some(sink) = trace {
+                        config.observer = Observer::off().with_trace(sink.clone());
+                    }
                 }
+                let fabric = rackfabric::shard::ShardedFabric::new(config, flows);
+                let start = std::time::Instant::now();
+                let run = fabric.run();
+                let wall_nanos = start.elapsed().as_nanos() as u64;
+                let point = WorkerPoint {
+                    workers,
+                    events: run.events_processed,
+                    wall_nanos,
+                    summary_fingerprint: format!("{:?}", run.metrics.summary()),
+                    profile: run.profile,
+                };
+                best = Some(match best.take() {
+                    None => point,
+                    Some(prev) => {
+                        if prev.events != point.events
+                            || prev.summary_fingerprint != point.summary_fingerprint
+                        {
+                            eprintln!("perf_smoke: FAIL — repeated {workers}-worker runs diverged");
+                            std::process::exit(1);
+                        }
+                        if point.wall_nanos < prev.wall_nanos {
+                            point
+                        } else {
+                            prev
+                        }
+                    }
+                });
             }
-            let fabric = rackfabric::shard::ShardedFabric::new(config, flows);
-            let start = std::time::Instant::now();
-            let run = fabric.run();
-            let wall_nanos = start.elapsed().as_nanos() as u64;
-            WorkerPoint {
-                workers,
-                events: run.events_processed,
-                wall_nanos,
-                summary_fingerprint: format!("{:?}", run.metrics.summary()),
-                profile: run.profile,
-            }
+            best.expect("three passes ran")
         })
         .collect()
 }
@@ -426,11 +456,25 @@ fn main() {
         .and_then(|h| h.as_array())
         .map(|entries| entries.iter().map(render_history_entry).collect())
         .unwrap_or_default();
+    // Cap on load, not only on append: a tiny run rewriting an over-long
+    // history (e.g. one produced before the cap existed) must trim it too.
+    if history.len() > HISTORY_CAP {
+        let excess = history.len() - HISTORY_CAP;
+        history.drain(..excess);
+    }
 
     // Render BENCH_hotpath.json.
     let mut out = String::from("{\n");
     out.push_str("  \"experiment\": \"hotpath_perf_smoke\",\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    // Worker-scaling ratios are only meaningful when the box can actually
+    // run the workers concurrently; record the core count next to them.
+    out.push_str(&format!(
+        "  \"available_cores\": {},\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    ));
     out.push_str(&format!(
         "  \"pre_pr_events_per_sec\": {},\n",
         baselines_json(pre_pr.0, pre_pr.1)
@@ -468,12 +512,25 @@ fn main() {
                         .take(point.workers)
                         .map(|w| w.barrier_wait_nanos.to_string())
                         .collect();
+                    // Early advances count rounds a worker entered without
+                    // spinning on a peer (the phase-counted executor's fast
+                    // path); fused windows count the zero-activity windows
+                    // the planner merged. Both are wall-clock-free.
+                    let advances: Vec<String> = p
+                        .workers
+                        .iter()
+                        .take(point.workers)
+                        .map(|w| w.early_advances.to_string())
+                        .collect();
                     format!(
                         ", \"shard_events\": [{}], \"barrier_wait_ns\": [{}], \
-                         \"barrier_wait_fraction\": {}",
+                         \"barrier_wait_fraction\": {}, \"early_advances\": [{}], \
+                         \"fused_windows\": {}",
                         shard_events.join(", "),
                         waits.join(", "),
                         json::number(p.barrier_wait_fraction(point.wall_nanos, point.workers)),
+                        advances.join(", "),
+                        p.fused_windows,
                     )
                 })
                 .unwrap_or_default();

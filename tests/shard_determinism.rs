@@ -130,6 +130,53 @@ fn worker_thread_count_does_not_change_sharded_results() {
     assert_eq!(serial.metrics.summary(), threaded.metrics.summary());
 }
 
+/// Stress gate for the phase-counted window executor: deterministic
+/// wall-clock jitter (injected sleeps/yields keyed off `(seed, worker,
+/// round)`) shuffles the real-time interleaving of workers — early
+/// advances, inbox arrival order, seal timing — across shard and worker
+/// counts, and every run must still match the unstaggered 1-worker
+/// reference exactly. Wall time is the only thing stagger may move.
+#[test]
+fn staggered_workers_do_not_change_sharded_results() {
+    let run = |shards: usize, workers: usize, stagger: Option<u64>| {
+        let spec = ScenarioSpec::new(
+            "stagger",
+            TopologySpec::grid(3, 3, 2),
+            WorkloadSpec::shuffle(Bytes::from_kib(2)),
+        )
+        .seed(42)
+        .horizon(SimTime::from_millis(20));
+        let flows = spec.build_flows();
+        let mut config = ShardedConfig::new(spec.to_fabric_config(), shards);
+        config.workers = workers;
+        config.stagger = stagger;
+        run_sharded(config, flows)
+    };
+    let reference = run(1, 1, None);
+    assert!(reference.all_flows_complete);
+    for (shards, workers) in [(3, 2), (3, 3), (2, 2)] {
+        for seed in [1u64, 77, 4242] {
+            let chaotic = run(shards, workers, Some(seed));
+            assert_eq!(
+                reference.events_processed, chaotic.events_processed,
+                "stagger seed {seed} at {shards} shards / {workers} workers \
+                 changed the event count"
+            );
+            assert_eq!(
+                reference.windows, chaotic.windows,
+                "stagger seed {seed} at {shards} shards / {workers} workers \
+                 changed the window count"
+            );
+            assert_eq!(
+                reference.metrics.summary(),
+                chaotic.metrics.summary(),
+                "stagger seed {seed} at {shards} shards / {workers} workers \
+                 changed the results"
+            );
+        }
+    }
+}
+
 /// A reconfiguration fence spanning shards: the grid→torus escalation runs
 /// at a sync point, fences every link in **every** shard, and the upgraded
 /// fabric must behave identically for 1 and 4 shards.
