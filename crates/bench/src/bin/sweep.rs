@@ -24,7 +24,7 @@
 //!                       lifecycle, store lookups, execute/persist phases)
 //!                       into DIR; open it at https://ui.perfetto.dev
 //!
-//! figure mode (the paper-figure campaigns e1..e10):
+//! figure mode (the paper-figure campaigns e1..e11):
 //!
 //!   --figures           run every paper-figure campaign through the store,
 //!                       write the gallery (CSV exports + per-figure SVG
@@ -359,7 +359,7 @@ fn finish_observability(args: &Args, store: &ResultStore, observer: &Observer) {
     }
 }
 
-/// `--figures`: drive every paper-figure campaign (e1..e10) through the
+/// `--figures`: drive every paper-figure campaign (e1..e11) through the
 /// store, write the report gallery, and pin (or regenerate) the goldens.
 fn run_figure_mode(args: &Args, store: &ResultStore, runner: &Runner) {
     let scale = if args.tiny { Scale::Tiny } else { Scale::Paper };

@@ -1,5 +1,5 @@
 //! Declarative paper-figure campaigns: every figure of the paper (e1–e9,
-//! plus the repo's own e10 sharded-scale figure)
+//! plus the repo's own e10 sharded-scale and e11 fabric-vs-routing figures)
 //! expressed as a scenario [`Matrix`] driven through the content-addressed
 //! [`ResultStore`], plus the golden-export machinery that pins each figure's
 //! byte-deterministic CSV against a checked-in reference.
@@ -272,6 +272,52 @@ pub fn e10_matrix(
         .master_seed(17)
 }
 
+/// e11 — adaptive **fabric** vs adaptive **routing**: the paper's
+/// reconfigurable rack (grid escalating to a torus under the CRC) head to
+/// head against a static dragonfly running the routing-policy ladder
+/// (minimal / Valiant / UGAL-style adaptive) under the same shuffle. The
+/// full fabric × routing cross is swept so each fabric answers congestion
+/// with every policy — the dragonfly diverts over its global links, the
+/// adaptive fabric rewires them.
+pub fn e11_matrix(
+    grid_side: usize,
+    dragonfly: TopologySpec,
+    partition_kib: u64,
+    horizon_ms: u64,
+) -> Matrix {
+    let base = ScenarioSpec::new(
+        "e11-fabric-vs-routing",
+        TopologySpec::grid(3, 3, 2),
+        WorkloadSpec::shuffle(Bytes::from_kib(partition_kib)),
+    )
+    .horizon(SimTime::from_millis(horizon_ms));
+    Matrix::new(base)
+        .axis(
+            "fabric",
+            vec![
+                AxisValue::Multi(vec![
+                    AxisValue::Topology(TopologySpec::grid(grid_side, grid_side, 2)),
+                    AxisValue::Upgrade(Some(TopologySpec::torus(grid_side, grid_side, 1))),
+                    AxisValue::Controller(ControllerSpec::adaptive_default()),
+                ]),
+                AxisValue::Multi(vec![
+                    AxisValue::Topology(dragonfly),
+                    AxisValue::Upgrade(None),
+                    AxisValue::Controller(ControllerSpec::Baseline),
+                ]),
+            ],
+        )
+        .axis(
+            "routing",
+            vec![
+                AxisValue::Routing(RoutingAlgorithm::ShortestHop),
+                AxisValue::Routing(RoutingAlgorithm::Valiant),
+                AxisValue::Routing(RoutingAlgorithm::Adaptive),
+            ],
+        )
+        .master_seed(23)
+}
+
 /// e9 — the scenario-matrix figure: racks × load × controller × **port
 /// buffer**, reduced to per-cell tail-latency aggregates.
 pub fn e9_matrix(sides: &[usize], loads: &[f64], buffers: &[Bytes], seeds: usize) -> Matrix {
@@ -510,6 +556,31 @@ pub fn e10_export(outcome: &SweepOutcome) -> String {
     out
 }
 
+/// e11 export: one row per (fabric, routing policy) cell. The
+/// `topology_reconfigs` column separates the two answers to congestion: the
+/// adaptive fabric rewires (non-zero reconfigs, routing-agnostic escalation)
+/// while the dragonfly stays put and lets Valiant/adaptive routing spread
+/// load over its global links.
+pub fn e11_export(outcome: &SweepOutcome) -> String {
+    let mut out = String::from(
+        "fabric,routing,nodes,completed_runs,job_completion_us,p99_us,topology_reconfigs,events\n",
+    );
+    for cell in &outcome.cells {
+        let nodes = cell_spec(outcome, cell.cell).map_or(0, |s| s.topology.nodes);
+        out.push_str(&format!(
+            "{},{},{nodes},{},{},{},{},{}\n",
+            cell_label(cell, "fabric"),
+            cell_label(cell, "routing"),
+            cell.completed_runs,
+            cell.mean_job_completion_us.map(num).unwrap_or_default(),
+            num(cell.packet_latency.p99 / 1e6),
+            cell.topology_reconfigurations,
+            cell.events_processed
+        ));
+    }
+    out
+}
+
 // ---------------------------------------------------------------------------
 // The campaign driver.
 // ---------------------------------------------------------------------------
@@ -552,9 +623,9 @@ fn analytic(
     }
 }
 
-/// Runs every figure campaign at `scale` through `store`, returning the ten
-/// figure exports in order. A warm store executes zero jobs and reproduces
-/// the exact same bytes.
+/// Runs every figure campaign at `scale` through `store`, returning the
+/// eleven figure exports in order. A warm store executes zero jobs and
+/// reproduces the exact same bytes.
 pub fn run_figures(
     scale: Scale,
     store: &ResultStore,
@@ -688,6 +759,19 @@ pub fn run_figures(
                 )
             },
             e10_export,
+            store,
+            runner,
+        )?,
+        run_campaign(
+            "e11",
+            "fabric_vs_routing",
+            "adaptive-fabric reconfiguration vs dragonfly adaptive routing, same shuffle",
+            if tiny {
+                e11_matrix(3, TopologySpec::dragonfly(3, 2, 2, 1), 2, 50)
+            } else {
+                e11_matrix(6, TopologySpec::dragonfly(6, 4, 4, 1), 8, 500)
+            },
+            e11_export,
             store,
             runner,
         )?,

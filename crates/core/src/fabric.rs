@@ -210,6 +210,10 @@ pub struct AdaptiveFabric {
     /// The price book lowered to a routing cost map, rebuilt once per price
     /// update instead of once per route-cache miss.
     cost_map: HashMap<rackfabric_phy::LinkId, f64>,
+    /// Node-to-rack table of the current spec (dragonfly groups, torus
+    /// rows), consumed by the rack-detour routing policies. Rebuilt with
+    /// the dense state after whole-rack reconfigurations.
+    racks: Vec<u32>,
     epoch_start: SimTime,
     completed_flows: usize,
     topology_upgraded: bool,
@@ -246,6 +250,7 @@ impl AdaptiveFabric {
             route_cache: RouteCache::new(),
             price_book: PriceBook::default(),
             cost_map: HashMap::new(),
+            racks: Vec::new(),
             epoch_start: SimTime::ZERO,
             completed_flows: 0,
             topology_upgraded: false,
@@ -301,6 +306,7 @@ impl AdaptiveFabric {
         self.bytes_this_epoch = bytes;
         self.wire_bytes_this_epoch = wire;
         self.reconfiguring_until = fences;
+        self.racks = self.current_spec.rack_of();
         self.route_cache.bump_epoch();
         self.refresh_link_hot();
     }
@@ -348,16 +354,23 @@ impl AdaptiveFabric {
     /// Associated function so the borrow of the route cache can coexist with
     /// the lookup state. Shared with the sharded engine's per-shard route
     /// caches.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn route_for(
         config: &FabricConfig,
         topo: &Topology,
         current_spec: &TopologySpec,
+        racks: &[u32],
+        cost_map: &HashMap<rackfabric_phy::LinkId, f64>,
         src: NodeId,
         dst: NodeId,
         flow_seq: u64,
     ) -> Option<Route> {
         match config.routing {
             RoutingAlgorithm::Ecmp => routing::ecmp_select(topo, src, dst, flow_seq),
+            RoutingAlgorithm::Valiant => routing::valiant_route(topo, racks, src, dst, flow_seq),
+            RoutingAlgorithm::Adaptive => {
+                routing::adaptive_route(topo, racks, src, dst, flow_seq, cost_map, 1.0)
+            }
             _ => routing::dimension_ordered(current_spec, topo, src, dst)
                 .or_else(|| routing::shortest_path(topo, src, dst)),
         }
@@ -375,7 +388,7 @@ impl AdaptiveFabric {
         dst: NodeId,
         flow_seq: u64,
     ) -> Option<Arc<InternedRoute>> {
-        let selector = if self.config.routing == RoutingAlgorithm::Ecmp {
+        let selector = if self.config.routing.per_flow() {
             flow_seq
         } else {
             0
@@ -387,6 +400,7 @@ impl AdaptiveFabric {
             topo,
             current_spec,
             cost_map,
+            racks,
             ..
         } = self;
         if let Some(cached) = route_cache.lookup(src, dst, selector) {
@@ -411,9 +425,18 @@ impl AdaptiveFabric {
                 answer
             }
             _ => {
-                let computed = Self::route_for(config, topo, current_spec, src, dst, flow_seq)
-                    .and_then(|r| InternedRoute::intern(r, arena))
-                    .map(Arc::new);
+                let computed = Self::route_for(
+                    config,
+                    topo,
+                    current_spec,
+                    racks,
+                    cost_map,
+                    src,
+                    dst,
+                    flow_seq,
+                )
+                .and_then(|r| InternedRoute::intern(r, arena))
+                .map(Arc::new);
                 route_cache.insert(src, dst, selector, computed.clone());
                 computed
             }
@@ -741,9 +764,10 @@ impl AdaptiveFabric {
         self.metrics.throughput_series.push_at(now, total_gbps);
 
         self.price_book = self.crc.price(&report);
-        // Prices feed cost-aware routing; only then is the cost map needed,
-        // and stale cached routes must not survive a price update.
-        if self.config.routing == RoutingAlgorithm::MinCost {
+        // Prices feed cost-aware routing (min-cost and the UGAL-style
+        // adaptive policy); only then is the cost map needed, and stale
+        // cached routes must not survive a price update.
+        if self.config.routing.cost_aware() {
             self.cost_map = self.price_book.as_cost_map();
             self.route_cache.bump_epoch();
         }

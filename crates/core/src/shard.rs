@@ -125,6 +125,10 @@ struct SharedState {
     /// cut: shards group whole racks, so every cut link is inter-rack. The
     /// conservative lookahead minimises latency over this class only.
     inter_mask: Vec<bool>,
+    /// Node-to-rack table of `spec` — the input of the rack-detour routing
+    /// policies. Shared read-only so every shard's route cache computes the
+    /// same detours from the same table.
+    racks: Vec<u32>,
 }
 
 /// Event tie-break key classes (see the key layout in [`event_key`]).
@@ -250,7 +254,7 @@ impl ShardFabric {
         dst: NodeId,
         flow_seq: u64,
     ) -> Option<Arc<InternedRoute>> {
-        let selector = if self.config.routing == RoutingAlgorithm::Ecmp {
+        let selector = if self.config.routing.per_flow() {
             flow_seq
         } else {
             0
@@ -289,6 +293,8 @@ impl ShardFabric {
                     &self.config,
                     &shared.topo,
                     &shared.spec,
+                    &shared.racks,
+                    &self.cost_map,
                     src,
                     dst,
                     flow_seq,
@@ -806,7 +812,10 @@ impl Coordinator {
         self.metrics.throughput_series.push_at(now, total_gbps);
 
         self.price_book = self.crc.price(&report);
-        if self.config.routing == RoutingAlgorithm::MinCost {
+        // Cost-aware routing (min-cost, UGAL-style adaptive): broadcast one
+        // price snapshot to every shard and invalidate their caches together,
+        // so per-shard routing decisions stay shard-count-independent.
+        if self.config.routing.cost_aware() {
             let cost_map = self.price_book.as_cost_map();
             for shard in shards.models_mut() {
                 shard.cost_map = cost_map.clone();
@@ -901,12 +910,14 @@ impl Coordinator {
         // rack rule the partition groups by, so reconfiguration-added links
         // land in the right lookahead class.
         let inter_mask = plan.target.inter_rack_mask(&arena);
+        let racks = plan.target.rack_of();
         let shared = Arc::new(SharedState {
             topo,
             arena,
             spec: plan.target.clone(),
             partition,
             inter_mask,
+            racks,
         });
         self.shared = shared.clone();
         self.link_hot = compute_link_hot(&self.phy, &self.shared.arena);
@@ -1004,7 +1015,8 @@ impl ShardedFabric {
             .spec
             .instantiate(&mut phy, fabric_config.lane_rate);
         let arena = LinkArena::build(&topo);
-        let partition = FabricPartition::build(&fabric_config.spec.rack_of(), shards, &arena);
+        let racks = fabric_config.spec.rack_of();
+        let partition = FabricPartition::build(&racks, shards, &arena);
         let inter_mask = fabric_config.spec.inter_rack_mask(&arena);
         debug_assert!(
             partition.cut_links().all(|idx| inter_mask[idx.index()]),
@@ -1018,6 +1030,7 @@ impl ShardedFabric {
             spec: fabric_config.spec.clone(),
             partition,
             inter_mask,
+            racks,
         });
         let link_hot = compute_link_hot(&phy, &shared.arena);
         let bypasses = phy.bypasses.clone();

@@ -38,7 +38,10 @@ pub enum AxisValue {
     /// Set the CRC policy (keeps the controller's epoch and routing; turns a
     /// baseline controller adaptive).
     Policy(CrcPolicy),
-    /// Set the routing algorithm of an adaptive controller.
+    /// Override the routing algorithm regardless of controller (sets
+    /// [`ScenarioSpec::routing`], so a static baseline fabric can run
+    /// Valiant or adaptive routing and an adaptive controller's default is
+    /// replaced).
     Routing(RoutingAlgorithm),
     /// Set the per-lane signalling rate.
     LaneRate(BitRate),
@@ -96,11 +99,7 @@ impl AxisValue {
                     *baseline = adaptive;
                 }
             },
-            AxisValue::Routing(r) => {
-                if let ControllerSpec::Adaptive { routing, .. } = &mut spec.controller {
-                    *routing = *r;
-                }
-            }
+            AxisValue::Routing(r) => spec.routing = Some(*r),
             AxisValue::LaneRate(rate) => spec.lane_rate = *rate,
             AxisValue::Mtu(m) => spec.mtu = *m,
             AxisValue::TrainWindow(w) => spec.train_window = *w,
@@ -135,7 +134,14 @@ impl AxisValue {
             AxisValue::ActiveLanes(None) => "all".into(),
             AxisValue::Controller(c) => c.label(),
             AxisValue::Policy(p) => p.name().into(),
-            AxisValue::Routing(r) => format!("{r:?}").to_lowercase(),
+            AxisValue::Routing(r) => match r {
+                RoutingAlgorithm::ShortestHop => "minimal".into(),
+                RoutingAlgorithm::MinCost => "mincost".into(),
+                RoutingAlgorithm::Ecmp => "ecmp".into(),
+                RoutingAlgorithm::DimensionOrdered => "dor".into(),
+                RoutingAlgorithm::Valiant => "valiant".into(),
+                RoutingAlgorithm::Adaptive => "adaptive".into(),
+            },
             AxisValue::LaneRate(rate) => format!("{}gbps", rate.as_gbps_f64()),
             AxisValue::Mtu(m) => format!("{}B", m.as_u64()),
             AxisValue::TrainWindow(w) => format!("{}ns", w.as_nanos_f64()),
@@ -322,6 +328,26 @@ mod tests {
             AxisValue::Topology(TopologySpec::grid(3, 3, 2)),
             AxisValue::Topology(TopologySpec::grid(4, 4, 2)),
         ]
+    }
+
+    #[test]
+    fn routing_axis_overrides_any_controller() {
+        let mut spec = base().controller(ControllerSpec::Baseline);
+        AxisValue::Routing(RoutingAlgorithm::Valiant).apply(&mut spec);
+        assert_eq!(spec.routing, Some(RoutingAlgorithm::Valiant));
+        assert_eq!(
+            spec.to_fabric_config().routing,
+            RoutingAlgorithm::Valiant,
+            "the axis must reach the lowered config even without a controller"
+        );
+        assert_eq!(
+            AxisValue::Routing(RoutingAlgorithm::ShortestHop).label(),
+            "minimal"
+        );
+        assert_eq!(
+            AxisValue::Routing(RoutingAlgorithm::Adaptive).label(),
+            "adaptive"
+        );
     }
 
     #[test]

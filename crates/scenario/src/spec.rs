@@ -390,6 +390,11 @@ pub struct ScenarioSpec {
     /// windows collapse more events per train at the cost of coarser
     /// interleaving.
     pub train_window: SimDuration,
+    /// Routing-policy override. `None` keeps whatever the controller lowers
+    /// to (shortest-hop for `Baseline`, the CRC's configured algorithm for
+    /// `Adaptive`); `Some` replaces it, which is how a static baseline fabric
+    /// runs Valiant or adaptive (UGAL-style) routing without a controller.
+    pub routing: Option<RoutingAlgorithm>,
     /// Master seed (replaced per job by the matrix expansion).
     pub seed: u64,
     /// Simulation horizon.
@@ -432,6 +437,7 @@ impl ScenarioSpec {
             plp_timing: PlpTiming::default(),
             mtu: Bytes::new(1500),
             train_window: SimDuration::from_micros(1),
+            routing: None,
             seed: 1,
             horizon: SimTime::from_millis(50),
             event_budget: u64::MAX,
@@ -505,6 +511,13 @@ impl ScenarioSpec {
         self
     }
 
+    /// Overrides the routing policy regardless of controller, returning the
+    /// modified spec.
+    pub fn routing(mut self, routing: RoutingAlgorithm) -> Self {
+        self.routing = Some(routing);
+        self
+    }
+
     /// Sets the packetisation size, returning the modified spec.
     pub fn mtu(mut self, mtu: Bytes) -> Self {
         self.mtu = mtu;
@@ -550,6 +563,9 @@ impl ScenarioSpec {
                 c
             }
         };
+        if let Some(routing) = self.routing {
+            config.routing = routing;
+        }
         config.upgrade_spec = self.upgrade.clone();
         config.lane_rate = self.lane_rate;
         config.switch = self.switch;
@@ -569,6 +585,30 @@ impl ScenarioSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn routing_override_beats_the_controller_default() {
+        let spec = ScenarioSpec::new(
+            "routing-override",
+            TopologySpec::grid(3, 3, 1),
+            WorkloadSpec::shuffle(Bytes::from_kib(8)),
+        );
+        // The adaptive controller lowers to MinCost; the override replaces it.
+        let adaptive = spec.clone().routing(RoutingAlgorithm::Valiant);
+        assert_eq!(
+            adaptive.to_fabric_config().routing,
+            RoutingAlgorithm::Valiant
+        );
+        // A baseline fabric has no controller to pick routing, but the
+        // override still applies — static fabrics can run adaptive routing.
+        let baseline = spec
+            .controller(ControllerSpec::Baseline)
+            .routing(RoutingAlgorithm::Adaptive);
+        assert_eq!(
+            baseline.to_fabric_config().routing,
+            RoutingAlgorithm::Adaptive
+        );
+    }
 
     #[test]
     fn workload_load_scales_shuffle_partitions() {

@@ -146,6 +146,16 @@ fn spec_value(spec: &ScenarioSpec) -> JsonValue {
             ]),
         ),
         ("port_buffer_bytes", uint(spec.port_buffer.as_u64())),
+        (
+            // The spec-level routing override. `controller-default` means the
+            // lowered config keeps the controller's choice (shortest-hop for
+            // baseline, the CRC routing recorded under `controller` above).
+            "routing",
+            match spec.routing {
+                Some(r) => string(&format!("{r:?}")),
+                None => string("controller-default"),
+            },
+        ),
         ("seed", uint(spec.seed)),
         (
             "switch",

@@ -31,8 +31,9 @@ use std::sync::Arc;
 /// Version stamp written into every record; bump when the schema changes so
 /// stale stores re-execute instead of misparsing. 3: job keys carry the
 /// per-edge link class (intra- vs inter-rack), which steers the sharded
-/// engine's conservative lookahead.
-const FORMAT: u64 = 3;
+/// engine's conservative lookahead. 4: job keys carry the spec-level
+/// routing-policy override (minimal / Valiant / adaptive dragonfly routing).
+const FORMAT: u64 = 4;
 
 /// In-memory traffic counters of one open store handle (shared by clones).
 /// Purely observational: nothing in the records themselves depends on them.

@@ -15,12 +15,14 @@ use rackfabric_scenario::prelude::*;
 use rackfabric_sim::prelude::*;
 use rackfabric_sweep::prelude::*;
 use rackfabric_switch::model::SwitchModel;
+use rackfabric_topo::routing::RoutingAlgorithm;
 use rackfabric_topo::spec::TopologySpec;
 use std::collections::BTreeSet;
 
 /// The sweep axes the properties permute, parameterised by a few drawn
 /// values so every case explores a different matrix. The port-buffer axis
-/// keeps the new physical-layer axes under the permutation property.
+/// keeps the new physical-layer axes under the permutation property; the
+/// routing axis keeps the policy override there too.
 fn axes(rack_a: usize, load_a: f64, load_b: f64) -> Vec<(String, Vec<AxisValue>)> {
     vec![
         (
@@ -46,6 +48,13 @@ fn axes(rack_a: usize, load_a: f64, load_b: f64) -> Vec<(String, Vec<AxisValue>)
             vec![
                 AxisValue::PortBuffer(Bytes::from_kib(64)),
                 AxisValue::PortBuffer(Bytes::from_kib(256)),
+            ],
+        ),
+        (
+            "routing".into(),
+            vec![
+                AxisValue::Routing(RoutingAlgorithm::ShortestHop),
+                AxisValue::Routing(RoutingAlgorithm::Valiant),
             ],
         ),
     ]
@@ -94,8 +103,8 @@ proptest! {
         let base_axes = axes(rack_a, load_a, load_b);
         let mut permuted = base_axes.clone();
         // Cycle through a deterministic permutation schedule: rotate and
-        // optionally swap, covering a spread of the 4! orders across cases.
-        permuted.rotate_left(rotation % 4);
+        // optionally swap, covering a spread of the 5! orders across cases.
+        permuted.rotate_left(rotation % 5);
         if rotation >= 4 {
             permuted.swap(0, 1);
         }
@@ -220,6 +229,40 @@ proptest! {
         bypassed.phy.bypassed_nodes = 1;
         prop_assert_ne!(key, job_key(&bypassed));
     }
+
+    /// Every pair of distinct routing-policy overrides must key apart, and
+    /// every override must key apart from "no override" — a Valiant cell
+    /// resolving to a cached minimal-routing record would silently return
+    /// the wrong simulation.
+    #[test]
+    fn distinct_routing_policies_get_distinct_keys(
+        groups in 3usize..6,
+        seed in 1u64..10_000,
+    ) {
+        let spec = ScenarioSpec::new(
+            "routing-keys",
+            TopologySpec::dragonfly(groups, 2, 2, 1),
+            WorkloadSpec::shuffle(Bytes::from_kib(2)),
+        )
+        .horizon(SimTime::from_millis(10))
+        .seed(seed);
+        let policies = [
+            RoutingAlgorithm::ShortestHop,
+            RoutingAlgorithm::MinCost,
+            RoutingAlgorithm::Ecmp,
+            RoutingAlgorithm::DimensionOrdered,
+            RoutingAlgorithm::Valiant,
+            RoutingAlgorithm::Adaptive,
+        ];
+        let keys: Vec<JobKey> = policies
+            .iter()
+            .map(|&r| job_key(&spec.clone().routing(r)))
+            .collect();
+        let unique: BTreeSet<JobKey> = keys.iter().copied().collect();
+        prop_assert_eq!(unique.len(), policies.len());
+        // `None` (controller default) is its own point in key space.
+        prop_assert!(!unique.contains(&job_key(&spec)));
+    }
 }
 
 /// Worker counts live on the runner, not the spec — by construction they
@@ -232,5 +275,5 @@ fn runner_thread_count_cannot_reach_the_key() {
     let serial: Vec<JobKey> = matrix.expand().iter().map(|j| job_key(&j.spec)).collect();
     let parallel: Vec<JobKey> = matrix.expand().iter().map(|j| job_key(&j.spec)).collect();
     assert_eq!(serial, parallel);
-    assert_eq!(serial.len(), 32);
+    assert_eq!(serial.len(), 64);
 }

@@ -21,11 +21,14 @@
 //! torus, host-block+leaf cells of a Clos), so rack ranges are the same
 //! grouping a multi-rack deployment would cable.
 //!
-//! A partition is a pure function of `(rack table, shard count)`; the cut
-//! mask additionally depends on the link set and is rebuilt together with
-//! the [`LinkArena`] after whole-rack reconfigurations. Requesting more
-//! shards than there are racks clamps to the rack count (a rack is never
-//! split), so the effective shard count can be lower than requested.
+//! Rack ranges are balanced (sizes differ by at most one rack) and then
+//! greedily min-cut refined: shard boundaries shift one rack at a time,
+//! staying balanced, whenever that strictly reduces the number of cut
+//! links. A partition is a pure function of `(rack table, shard count,
+//! arena)`; the cut mask additionally depends on the link set and is
+//! rebuilt together with the [`LinkArena`] after whole-rack
+//! reconfigurations. Requesting more shards than there are racks clamps to
+//! the rack count (a rack is never split).
 
 use crate::arena::{LinkArena, LinkIdx, PortIdx};
 use crate::graph::NodeId;
@@ -43,20 +46,104 @@ pub struct FabricPartition {
 }
 
 impl FabricPartition {
-    /// Partitions the fabric into up to `shards` contiguous **rack** groups
-    /// and derives the cut mask from `arena`. `racks` is the node-to-rack
-    /// table from
-    /// [`TopologySpec::rack_of`](crate::spec::TopologySpec::rack_of);
+    /// Partitions the fabric into `shards` contiguous **rack** groups and
+    /// derives the cut mask from `arena`. `racks` is the node-to-rack table
+    /// from [`TopologySpec::rack_of`](crate::spec::TopologySpec::rack_of);
     /// whole racks are never split, so `shards` is clamped to
-    /// `1..=rack_count` and the effective shard count (`max owner + 1`)
-    /// can be lower than requested when rack chunks collapse.
+    /// `1..=rack_count`.
+    ///
+    /// The rack ranges are **balanced** (sizes differ by at most one rack)
+    /// and then **min-cut refined**: boundaries between adjacent shards are
+    /// greedily nudged one rack at a time — staying balanced and keeping
+    /// every shard non-empty — whenever the shift strictly reduces the
+    /// number of links crossing shard boundaries. On a dragonfly sharded by
+    /// group the cut is invariant (all group pairs are linked), but on
+    /// fabrics with uneven inter-rack wiring the refinement parks the
+    /// remainder racks where the cut is thinnest. The whole construction is
+    /// a pure function of `(rack table, shard count, arena link endpoints)`,
+    /// and results never depend on it — ownership only decides *where* an
+    /// event executes, never what it computes.
     pub fn build(racks: &[u32], shards: usize, arena: &LinkArena) -> Self {
         assert!(!racks.is_empty(), "cannot partition an empty fabric");
         let rack_count = racks.iter().map(|&r| r as usize + 1).max().unwrap_or(1);
         let shards = shards.clamp(1, rack_count);
-        let chunk = rack_count.div_ceil(shards);
-        let owner: Vec<u32> = racks.iter().map(|&r| r / chunk as u32).collect();
-        let shards = owner.iter().map(|&o| o as usize + 1).max().unwrap_or(1);
+        // Balanced contiguous chunking: the first `rem` shards carry one
+        // extra rack. `boundary[i]` is the first rack of shard `i + 1`.
+        let base = rack_count / shards;
+        let rem = rack_count % shards;
+        let mut boundary: Vec<usize> = Vec::with_capacity(shards - 1);
+        let mut start = 0;
+        for s in 0..shards - 1 {
+            start += base + usize::from(s < rem);
+            boundary.push(start);
+        }
+        // Link weight between each rack pair, for the cut-aware refinement.
+        let mut weights: std::collections::HashMap<(u32, u32), usize> =
+            std::collections::HashMap::new();
+        for (idx, _) in arena.iter() {
+            let (a, b) = arena.endpoints(idx);
+            if let (Some(&ra), Some(&rb)) = (racks.get(a.index()), racks.get(b.index())) {
+                if ra != rb {
+                    let pair = if ra < rb { (ra, rb) } else { (rb, ra) };
+                    *weights.entry(pair).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut weights: Vec<((u32, u32), usize)> = weights.into_iter().collect();
+        weights.sort_unstable();
+        let shard_of = |boundary: &[usize], rack: u32| -> usize {
+            boundary.partition_point(|&b| b <= rack as usize)
+        };
+        let cut_of = |boundary: &[usize]| -> usize {
+            weights
+                .iter()
+                .filter(|((ra, rb), _)| shard_of(boundary, *ra) != shard_of(boundary, *rb))
+                .map(|(_, w)| w)
+                .sum()
+        };
+        let balanced = |boundary: &[usize]| -> bool {
+            let mut lo = rack_count;
+            let mut hi = 0;
+            let mut prev = 0;
+            for &b in boundary.iter().chain(std::iter::once(&rack_count)) {
+                if b <= prev {
+                    return false; // an empty shard
+                }
+                lo = lo.min(b - prev);
+                hi = hi.max(b - prev);
+                prev = b;
+            }
+            hi - lo <= 1
+        };
+        // Greedy first-improvement passes: deterministic (left to right,
+        // strict decrease only) and bounded.
+        let mut best = cut_of(&boundary);
+        for _ in 0..rack_count {
+            let mut improved = false;
+            for i in 0..boundary.len() {
+                for delta in [-1isize, 1] {
+                    let shifted = boundary[i].wrapping_add_signed(delta);
+                    let mut candidate = boundary.clone();
+                    candidate[i] = shifted;
+                    if !balanced(&candidate) {
+                        continue;
+                    }
+                    let cut = cut_of(&candidate);
+                    if cut < best {
+                        boundary = candidate;
+                        best = cut;
+                        improved = true;
+                    }
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        let owner: Vec<u32> = racks
+            .iter()
+            .map(|&r| shard_of(&boundary, r) as u32)
+            .collect();
         let cut = arena.cut_mask(&owner);
         let cut_count = cut.iter().filter(|&&c| c).count();
         FabricPartition {
@@ -208,6 +295,87 @@ mod tests {
             assert_eq!(arena.port_node(pa), a);
             assert_eq!(arena.port_node(pb), b);
         }
+    }
+
+    #[test]
+    fn dragonfly_group_sharding_cuts_only_global_links() {
+        let spec = TopologySpec::dragonfly(4, 2, 2, 1);
+        let arena = arena_of(&spec);
+        let racks = spec.rack_of();
+        // One shard per group: every cut link is a global (inter-rack) link.
+        let p = FabricPartition::build(&racks, 4, &arena);
+        assert_eq!(p.shards(), 4);
+        assert_eq!(p.cut_count(), 6, "C(4,2) global links, all cut");
+        let inter = spec.inter_rack_mask(&arena);
+        for link in p.cut_links() {
+            assert!(inter[link.index()], "cut links must be inter-rack");
+        }
+        // Fewer shards than groups: still balanced whole-group chunks.
+        let p2 = FabricPartition::build(&racks, 3, &arena);
+        assert_eq!(p2.shards(), 3);
+        let sizes: Vec<usize> = (0..3).map(|s| p2.shard_size(s)).collect();
+        let group = 2 * (1 + 2);
+        assert!(
+            sizes.iter().all(|&s| s == group || s == 2 * group),
+            "{sizes:?}"
+        );
+    }
+
+    #[test]
+    fn remainder_racks_never_collapse_a_shard() {
+        // 9 racks over 4 shards used to chunk div_ceil = 3,3,3,<empty>;
+        // balanced chunking keeps all four shards populated.
+        let spec = TopologySpec::grid(9, 2, 1);
+        let arena = arena_of(&spec);
+        let p = FabricPartition::build(&spec.rack_of(), 4, &arena);
+        assert_eq!(p.shards(), 4);
+        let mut sizes: Vec<usize> = (0..4).map(|s| p.shard_size(s)).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![4, 4, 4, 6], "2-node racks, sizes 2/2/2/3 racks");
+    }
+
+    #[test]
+    fn refinement_moves_the_boundary_off_the_fat_seam() {
+        use crate::spec::{EdgeSpec, LinkClass, TopologyKind};
+        use rackfabric_phy::media::MediaKind;
+        use rackfabric_sim::units::Length;
+        // Five 2-node racks in a chain; the r2-r3 seam carries 5 parallel
+        // links, every other seam 1. A balanced 2-way split is 3+2 racks:
+        // the naive boundary after rack 2 cuts the fat seam (5 links), the
+        // refined boundary after rack 1 cuts a thin one (1 link).
+        let mut edges = Vec::new();
+        let edge = |a: u32, b: u32, class: LinkClass| EdgeSpec {
+            a: NodeId(a),
+            b: NodeId(b),
+            lanes: 1,
+            length: Length::from_m(2),
+            media: MediaKind::OpticalFiber,
+            class,
+        };
+        for r in 0..5u32 {
+            edges.push(edge(2 * r, 2 * r + 1, LinkClass::IntraRack));
+        }
+        for (a, b, n) in [(1, 2, 1), (3, 4, 1), (5, 6, 5), (7, 8, 1)] {
+            for _ in 0..n {
+                edges.push(edge(a, b, LinkClass::InterRack));
+            }
+        }
+        let spec = TopologySpec {
+            name: "seam-chain".into(),
+            kind: TopologyKind::Line,
+            nodes: 10,
+            edges,
+            dims: None,
+        };
+        let arena = arena_of(&spec);
+        let racks = spec.rack_of();
+        assert_eq!(spec.rack_count(), 5);
+        let p = FabricPartition::build(&racks, 2, &arena);
+        assert_eq!(p.shards(), 2);
+        assert_eq!(p.cut_count(), 1, "refinement must dodge the 5-link seam");
+        assert_eq!(p.owner(NodeId(4)), 1, "rack 2 moves to the second shard");
+        assert_eq!(p.shard_size(0), 4, "racks 0..2");
+        assert_eq!(p.shard_size(1), 6, "racks 2..5");
     }
 
     #[test]

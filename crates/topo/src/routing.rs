@@ -1,15 +1,25 @@
 //! Routing over the topology graph.
 //!
 //! The Closed Ring Control expresses its per-link prices as a cost map; this
-//! module turns costs into paths. Four algorithms are provided:
+//! module turns costs into paths. Six algorithms are provided:
 //!
-//! * [`shortest_path`] — plain BFS by hop count (the static baseline).
+//! * [`shortest_path`] — plain BFS by hop count (the static baseline; the
+//!   **minimal** policy of a dragonfly).
 //! * [`dijkstra`] — minimum-cost path under an arbitrary per-link cost map
 //!   (what the CRC uses, with its price tags as costs).
 //! * [`ecmp_paths`] — all minimum-hop paths, for equal-cost multi-path
 //!   spreading in the fat-tree baseline.
 //! * [`dimension_ordered`] — X-then-Y routing on grid/torus specs, the
 //!   deadlock-free default of mesh NoCs.
+//! * [`valiant_route`] — Valiant load balancing: detour through a
+//!   flow-hashed intermediate rack (dragonfly group), trading path length
+//!   for adversarial-traffic immunity.
+//! * [`adaptive_route`] — UGAL-style congestion-sensed choice between the
+//!   minimal and the Valiant path under the CRC's current price map.
+//!
+//! Every algorithm is a pure function of `(topology, racks, cost map,
+//! flow id)` — no internal randomness — which is what lets the sharded
+//! engine's per-shard route caches agree byte-for-byte at any shard count.
 
 use crate::graph::{NodeId, Topology};
 use crate::spec::{TopologyKind, TopologySpec};
@@ -70,6 +80,31 @@ pub enum RoutingAlgorithm {
     Ecmp,
     /// Dimension-ordered (X then Y) routing; only valid on grid/torus specs.
     DimensionOrdered,
+    /// Valiant load balancing: route via a flow-hashed intermediate rack
+    /// (dragonfly group), falling back to minimal when no detour exists.
+    Valiant,
+    /// UGAL-style adaptive routing: per flow, pick the cheaper of the
+    /// minimal and the Valiant path under the CRC's current price map
+    /// (ties go minimal, so an uncongested fabric routes minimally).
+    Adaptive,
+}
+
+impl RoutingAlgorithm {
+    /// True when routes depend on the flow id, so route caches must key the
+    /// flow into their selector instead of sharing one route per node pair.
+    pub fn per_flow(self) -> bool {
+        matches!(
+            self,
+            RoutingAlgorithm::Ecmp | RoutingAlgorithm::Valiant | RoutingAlgorithm::Adaptive
+        )
+    }
+
+    /// True when routes depend on the CRC's price map, so the engine must
+    /// refresh its cost snapshot and invalidate cached routes every control
+    /// epoch.
+    pub fn cost_aware(self) -> bool {
+        matches!(self, RoutingAlgorithm::MinCost | RoutingAlgorithm::Adaptive)
+    }
 }
 
 /// BFS shortest path by hop count. Ties are broken deterministically by
@@ -329,18 +364,154 @@ pub fn ecmp_paths(topo: &Topology, src: NodeId, dst: NodeId, max_paths: usize) -
     out
 }
 
+/// Simple splitmix hash of a flow id, shared by every flow-hashed selector
+/// so spreading quality is uniform across policies.
+fn splitmix(flow_id: u64) -> u64 {
+    let mut h = flow_id.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h
+}
+
 /// Selects one of the ECMP paths by hashing `flow_id` (deterministic).
 pub fn ecmp_select(topo: &Topology, src: NodeId, dst: NodeId, flow_id: u64) -> Option<Route> {
     let paths = ecmp_paths(topo, src, dst, 16);
     if paths.is_empty() {
         return None;
     }
-    // Simple splitmix hash of the flow id for path selection.
-    let mut h = flow_id.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    h ^= h >> 27;
-    let idx = (h % paths.len() as u64) as usize;
+    let idx = (splitmix(flow_id) % paths.len() as u64) as usize;
     Some(paths[idx].clone())
+}
+
+/// Valiant load balancing over the rack (dragonfly group) structure:
+/// `flow_id` hashes to an intermediate rack distinct from both endpoints'
+/// racks, and the route is the minimal path to that rack's representative
+/// (its smallest node — a router under the dragonfly builder) stitched to
+/// the minimal path onward. Falls back to the plain minimal path when fewer
+/// than three racks exist or the endpoints share a rack (no useful detour).
+///
+/// `racks` is the node-to-rack table from
+/// [`TopologySpec::rack_of`](crate::spec::TopologySpec::rack_of).
+pub fn valiant_route(
+    topo: &Topology,
+    racks: &[u32],
+    src: NodeId,
+    dst: NodeId,
+    flow_id: u64,
+) -> Option<Route> {
+    if src == dst {
+        return Some(Route::trivial(src));
+    }
+    let (src_rack, dst_rack) = match (racks.get(src.index()), racks.get(dst.index())) {
+        (Some(&s), Some(&d)) => (s, d),
+        _ => return shortest_path(topo, src, dst),
+    };
+    let rack_count = racks.iter().map(|&r| r as u64 + 1).max().unwrap_or(0);
+    let excluded = if src_rack == dst_rack { 1 } else { 2 };
+    let candidates = rack_count.saturating_sub(excluded);
+    if src_rack == dst_rack || candidates == 0 {
+        return shortest_path(topo, src, dst);
+    }
+    // Hash into the candidate racks, skipping the endpoints' own racks.
+    let mut pick = splitmix(flow_id) % candidates;
+    let (lo, hi) = if src_rack < dst_rack {
+        (src_rack as u64, dst_rack as u64)
+    } else {
+        (dst_rack as u64, src_rack as u64)
+    };
+    if pick >= lo {
+        pick += 1;
+    }
+    if pick >= hi {
+        pick += 1;
+    }
+    // Representative: the smallest node of the picked rack (racks are
+    // numbered in node order, so the first match is the minimum).
+    let rep = racks
+        .iter()
+        .position(|&r| r as u64 == pick)
+        .map(|i| NodeId(i as u32))?;
+    // Each leg must stay out of the *other* endpoint's rack — otherwise BFS
+    // tie-breaking can route the second leg back through the source group
+    // and re-traverse exactly the congested global link the detour was
+    // meant to dodge. When a leg cannot avoid the rack (e.g. grid racks
+    // form a path), fall back to the unconstrained leg.
+    let leg1 = shortest_path_avoiding(topo, src, rep, |n| racks[n.index()] == dst_rack)
+        .or_else(|| shortest_path(topo, src, rep))?;
+    let leg2 = shortest_path_avoiding(topo, rep, dst, |n| racks[n.index()] == src_rack)
+        .or_else(|| shortest_path(topo, rep, dst))?;
+    let mut nodes = leg1.nodes;
+    nodes.extend_from_slice(&leg2.nodes[1..]);
+    let mut links = leg1.links;
+    links.extend_from_slice(&leg2.links);
+    Some(Route { nodes, links })
+}
+
+/// BFS shortest path skipping every node where `banned` holds (`src` and
+/// `dst` are always admitted). Same deterministic tie-breaking as
+/// [`shortest_path`].
+fn shortest_path_avoiding(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    banned: impl Fn(NodeId) -> bool,
+) -> Option<Route> {
+    if src == dst {
+        return Some(Route::trivial(src));
+    }
+    let mut prev: HashMap<NodeId, (NodeId, LinkId)> = HashMap::new();
+    let mut queue = VecDeque::new();
+    queue.push_back(src);
+    while let Some(n) = queue.pop_front() {
+        for adj in topo.neighbors(n) {
+            if adj.neighbor != dst && banned(adj.neighbor) {
+                continue;
+            }
+            if adj.neighbor != src && !prev.contains_key(&adj.neighbor) {
+                prev.insert(adj.neighbor, (n, adj.link));
+                if adj.neighbor == dst {
+                    return Some(rebuild(src, dst, &prev));
+                }
+                queue.push_back(adj.neighbor);
+            }
+        }
+    }
+    None
+}
+
+/// Total cost of a route under `costs` (links absent from the map cost
+/// `default_cost`). Summed in traversal order, so the result is bit-exact
+/// for the same route and map on every shard.
+pub fn route_cost(route: &Route, costs: &HashMap<LinkId, f64>, default_cost: f64) -> f64 {
+    route
+        .links
+        .iter()
+        .map(|l| costs.get(l).copied().unwrap_or(default_cost))
+        .sum()
+}
+
+/// UGAL-style adaptive routing: compares the minimal path against the
+/// flow's Valiant detour under the CRC's current price map and takes the
+/// strictly cheaper one (ties go minimal, so an unpriced fabric routes
+/// minimally — the Valiant path can never win on hop count alone).
+pub fn adaptive_route(
+    topo: &Topology,
+    racks: &[u32],
+    src: NodeId,
+    dst: NodeId,
+    flow_id: u64,
+    costs: &HashMap<LinkId, f64>,
+    default_cost: f64,
+) -> Option<Route> {
+    let minimal = shortest_path(topo, src, dst)?;
+    let Some(valiant) = valiant_route(topo, racks, src, dst, flow_id) else {
+        return Some(minimal);
+    };
+    if route_cost(&valiant, costs, default_cost) < route_cost(&minimal, costs, default_cost) {
+        Some(valiant)
+    } else {
+        Some(minimal)
+    }
 }
 
 /// Dimension-ordered (X-then-Y) routing for grid and torus specs. Routes
@@ -559,6 +730,100 @@ mod tests {
         let spec = TopologySpec::ring(5, 1);
         let topo = build(&spec);
         assert!(dimension_ordered(&spec, &topo, NodeId(0), NodeId(2)).is_none());
+    }
+
+    #[test]
+    fn valiant_detours_through_a_third_group() {
+        let spec = TopologySpec::dragonfly(4, 2, 2, 1);
+        let topo = build(&spec);
+        let racks = spec.rack_of();
+        // Hosts in groups 0 and 1 (group block = 6 nodes, routers first).
+        let src = NodeId(2);
+        let dst = NodeId(8);
+        let minimal = shortest_path(&topo, src, dst).unwrap();
+        // Some flow must pick a detour longer than minimal that transits a
+        // rack that is neither endpoint's.
+        let mut detoured = false;
+        for flow in 0..16u64 {
+            let r = valiant_route(&topo, &racks, src, dst, flow).unwrap();
+            assert_eq!(r.source(), src);
+            assert_eq!(r.destination(), dst);
+            // Deterministic per flow id.
+            assert_eq!(r, valiant_route(&topo, &racks, src, dst, flow).unwrap());
+            let transits: std::collections::HashSet<u32> = r
+                .intermediate_nodes()
+                .iter()
+                .map(|n| racks[n.index()])
+                .collect();
+            if r.hops() > minimal.hops() {
+                assert!(
+                    transits
+                        .iter()
+                        .any(|&g| g != racks[src.index()] && g != racks[dst.index()]),
+                    "longer path must transit a third group"
+                );
+                detoured = true;
+            }
+        }
+        assert!(detoured, "flow hashing must reach a detour");
+    }
+
+    #[test]
+    fn valiant_falls_back_without_a_detour_rack() {
+        // 2 groups: no third rack to detour through.
+        let spec = TopologySpec::dragonfly(2, 2, 1, 1);
+        let topo = build(&spec);
+        let racks = spec.rack_of();
+        let minimal = shortest_path(&topo, NodeId(2), NodeId(6)).unwrap();
+        for flow in 0..4u64 {
+            let r = valiant_route(&topo, &racks, NodeId(2), NodeId(6), flow).unwrap();
+            assert_eq!(r, minimal);
+        }
+        // Same-rack pairs route minimally too.
+        let intra = valiant_route(&topo, &racks, NodeId(2), NodeId(3), 9).unwrap();
+        assert_eq!(
+            intra.hops(),
+            shortest_path(&topo, NodeId(2), NodeId(3)).unwrap().hops()
+        );
+    }
+
+    #[test]
+    fn adaptive_prefers_minimal_until_prices_bite() {
+        let spec = TopologySpec::dragonfly(4, 2, 2, 1);
+        let topo = build(&spec);
+        let racks = spec.rack_of();
+        let src = NodeId(2);
+        let dst = NodeId(8);
+        let minimal = shortest_path(&topo, src, dst).unwrap();
+        // Unpriced fabric: every flow routes minimally.
+        for flow in 0..8u64 {
+            let r = adaptive_route(&topo, &racks, src, dst, flow, &HashMap::new(), 1.0).unwrap();
+            assert_eq!(r, minimal);
+        }
+        // Price the minimal path's links sky-high: flows whose Valiant
+        // detour avoids them switch over.
+        let mut costs = HashMap::new();
+        for l in &minimal.links {
+            costs.insert(*l, 1000.0);
+        }
+        let mut switched = false;
+        for flow in 0..16u64 {
+            let r = adaptive_route(&topo, &racks, src, dst, flow, &costs, 1.0).unwrap();
+            if r != minimal {
+                switched = true;
+                assert!(route_cost(&r, &costs, 1.0) < route_cost(&minimal, &costs, 1.0));
+            }
+        }
+        assert!(switched, "congestion pricing must divert some flows");
+    }
+
+    #[test]
+    fn policy_trait_helpers_classify_algorithms() {
+        use RoutingAlgorithm::*;
+        assert!(Ecmp.per_flow() && Valiant.per_flow() && Adaptive.per_flow());
+        assert!(!ShortestHop.per_flow() && !MinCost.per_flow());
+        assert!(MinCost.cost_aware() && Adaptive.cost_aware());
+        assert!(!ShortestHop.cost_aware() && !Valiant.cost_aware() && !Ecmp.cost_aware());
     }
 
     #[test]

@@ -31,6 +31,9 @@ pub enum TopologyKind {
     /// A two-level folded-Clos built from rack switches (the conventional
     /// packet-switched baseline).
     FatTree,
+    /// A dragonfly: fully connected router groups joined by one global link
+    /// per group pair (the HPC-interconnect scale-out family).
+    Dragonfly,
 }
 
 /// Physical placement class of a link: whether the cable stays inside one
@@ -304,6 +307,93 @@ impl TopologySpec {
         }
     }
 
+    /// A dragonfly of `groups` fully connected router groups, each with
+    /// `routers_per_group` routers carrying `hosts_per_router` hosts.
+    ///
+    /// Node ids per group are contiguous — routers first, then hosts — so
+    /// every group is one rack under [`TopologySpec::rack_of`] (all
+    /// intra-group cables are [`LinkClass::IntraRack`]) and the smallest
+    /// node of each rack is a router. Link classes split the dragonfly's
+    /// two latency tiers exactly the way the sharded engine wants them:
+    ///
+    /// * **local** links (router↔host, router↔router inside a group) are
+    ///   `IntraRack` at [`DEFAULT_HOP_LENGTH`], so a group never straddles
+    ///   a shard boundary;
+    /// * **global** links (one per unordered group pair, spread round-robin
+    ///   over each group's routers) are `InterRack` optical runs at
+    ///   [`DEFAULT_INTER_RACK_LENGTH`], so every partition cut is a
+    ///   long-latency global cable and its flight time funds the
+    ///   conservative lookahead. [`TopologySpec::with_rack_spacing`]
+    ///   stretches exactly these.
+    pub fn dragonfly(
+        groups: usize,
+        routers_per_group: usize,
+        hosts_per_router: usize,
+        lanes: usize,
+    ) -> TopologySpec {
+        assert!(groups >= 2, "a dragonfly needs at least 2 groups");
+        assert!(routers_per_group >= 1 && hosts_per_router >= 1 && lanes >= 1);
+        let group_size = routers_per_group * (1 + hosts_per_router);
+        let router = |g: usize, r: usize| NodeId((g * group_size + r) as u32);
+        let host = |g: usize, r: usize, k: usize| {
+            NodeId((g * group_size + routers_per_group + r * hosts_per_router + k) as u32)
+        };
+        let mut edges = Vec::new();
+        for g in 0..groups {
+            // Local tier: an all-to-all among the group's routers plus the
+            // host downlinks — one rack's worth of short cables.
+            for r in 0..routers_per_group {
+                for r2 in (r + 1)..routers_per_group {
+                    edges.push(EdgeSpec {
+                        a: router(g, r),
+                        b: router(g, r2),
+                        lanes,
+                        length: DEFAULT_HOP_LENGTH,
+                        media: MediaKind::OpticalFiber,
+                        class: LinkClass::IntraRack,
+                    });
+                }
+                for k in 0..hosts_per_router {
+                    edges.push(EdgeSpec {
+                        a: router(g, r),
+                        b: host(g, r, k),
+                        lanes,
+                        length: DEFAULT_HOP_LENGTH,
+                        media: MediaKind::CopperDac,
+                        class: LinkClass::IntraRack,
+                    });
+                }
+            }
+        }
+        // Global tier: one link per unordered group pair. Each group numbers
+        // its g-1 global ports by destination group (skipping itself) and
+        // spreads them round-robin over its routers, the standard dragonfly
+        // cabling.
+        for g1 in 0..groups {
+            for g2 in (g1 + 1)..groups {
+                let port1 = g2 - 1; // g2 > g1, so no self-skip adjustment.
+                let port2 = g1; // g1 < g2: ports below g2 map directly.
+                edges.push(EdgeSpec {
+                    a: router(g1, port1 % routers_per_group),
+                    b: router(g2, port2 % routers_per_group),
+                    lanes,
+                    length: DEFAULT_INTER_RACK_LENGTH,
+                    media: MediaKind::OpticalFiber,
+                    class: LinkClass::InterRack,
+                });
+            }
+        }
+        TopologySpec {
+            name: format!(
+                "dragonfly-{groups}g-{routers_per_group}a-{hosts_per_router}h-{lanes}lane"
+            ),
+            kind: TopologyKind::Dragonfly,
+            nodes: groups * group_size,
+            edges,
+            dims: None,
+        }
+    }
+
     /// Total lanes demanded by the spec (a proxy for SerDes / power cost).
     pub fn total_lanes(&self) -> usize {
         self.edges.iter().map(|e| e.lanes).sum()
@@ -547,6 +637,73 @@ mod tests {
         };
         assert!(e1.same_pair(&e2));
         assert_eq!(e1.pair(), (NodeId(1), NodeId(3)));
+    }
+
+    #[test]
+    fn dragonfly_shape_and_classes() {
+        let d = TopologySpec::dragonfly(3, 2, 2, 1);
+        // 3 groups x (2 routers + 4 hosts).
+        assert_eq!(d.nodes, 18);
+        assert_eq!(d.kind, TopologyKind::Dragonfly);
+        // Per group: 1 router-router + 4 host links; plus C(3,2) globals.
+        assert_eq!(d.edges.len(), 3 * 5 + 3);
+        let globals: Vec<_> = d
+            .edges
+            .iter()
+            .filter(|e| e.class == LinkClass::InterRack)
+            .collect();
+        assert_eq!(globals.len(), 3, "one global link per group pair");
+        for e in &globals {
+            assert_eq!(e.length, DEFAULT_INTER_RACK_LENGTH);
+            assert_ne!(e.a.index() / 6, e.b.index() / 6, "globals cross groups");
+        }
+        // Local links stay inside one group block.
+        for e in d.edges.iter().filter(|e| e.class == LinkClass::IntraRack) {
+            assert_eq!(e.a.index() / 6, e.b.index() / 6);
+            assert_eq!(e.length, DEFAULT_HOP_LENGTH);
+        }
+        let mut phy = PhyState::new();
+        let topo = d.instantiate(&mut phy, BitRate::from_gbps(25));
+        assert!(topo.is_connected());
+    }
+
+    #[test]
+    fn dragonfly_groups_are_racks_led_by_a_router() {
+        let d = TopologySpec::dragonfly(4, 3, 2, 1);
+        let racks = d.rack_of();
+        assert_eq!(d.rack_count(), 4, "one rack per group");
+        let group_size = 3 * (1 + 2);
+        for (n, &rack) in racks.iter().enumerate() {
+            assert_eq!(
+                rack as usize,
+                n / group_size,
+                "node {n} racks with its group"
+            );
+        }
+        // The smallest node of each rack is router 0 of the group — the
+        // deterministic Valiant representative.
+        for g in 0..4 {
+            assert_eq!(racks[g * group_size] as usize, g);
+        }
+    }
+
+    #[test]
+    fn dragonfly_scales_past_a_thousand_hosts() {
+        let d = TopologySpec::dragonfly(9, 8, 16, 2);
+        assert_eq!(d.nodes, 9 * (8 + 8 * 16));
+        let hosts = d.nodes - 9 * 8;
+        assert!(hosts >= 1000, "{hosts} hosts");
+        // 1152 host links + 9 * C(8,2) locals + C(9,2) globals.
+        assert_eq!(d.edges.len(), 1152 + 9 * 28 + 36);
+        assert_eq!(d.rack_count(), 9);
+        // Rack spacing stretches exactly the 36 global cables.
+        let spaced = d.with_rack_spacing(Length::from_m(50));
+        let stretched = spaced
+            .edges
+            .iter()
+            .filter(|e| e.length == Length::from_m(50))
+            .count();
+        assert_eq!(stretched, 36);
     }
 
     #[test]

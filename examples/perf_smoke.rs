@@ -25,7 +25,16 @@
 //! cargo run --release --example perf_smoke -- --shards 4   # N-shard arm
 //! cargo run --release --example perf_smoke -- --workers 8  # worker-scaling cap
 //! cargo run --release --example perf_smoke -- --export-cells out.json
+//! cargo run --release --example perf_smoke -- --dragonfly --shards 9
 //! ```
+//!
+//! `--dragonfly` runs **only** the 1k-host dragonfly heavy-shuffle cell —
+//! `dragonfly(9, 8, 16)`: 1152 hosts behind 72 routers in 9 groups, ~1.5M
+//! all-to-all flows — at the given `--shards` (9 = one shard per group, so
+//! every cut link is a long-latency global link). The cell is deliberately
+//! a single process arm: CI runs it twice (`--shards 1` and `--shards 9`)
+//! and `cmp`s the two `--export-cells` files byte for byte, which is the
+//! sharded-engine acceptance gate at dragonfly scale.
 //!
 //! `--workers N` caps the **window-parallel worker sweep**: the heaviest
 //! sharded cell re-runs at worker counts 1, 2, 4, … up to
@@ -46,7 +55,7 @@
 //! results: instrumentation is wall-clock-only and the byte-compare gates
 //! above run with it enabled.
 
-use rackfabric::prelude::TopologySpec;
+use rackfabric::prelude::{RoutingAlgorithm, TopologySpec};
 use rackfabric_obs::prelude::{Observer, TraceSink, WindowProfile};
 use rackfabric_scenario::prelude::*;
 use rackfabric_sim::json;
@@ -136,6 +145,42 @@ fn sharded_matrix(tiny: bool, shards: usize) -> Matrix {
                 AxisValue::Controller(ControllerSpec::Baseline),
                 AxisValue::Controller(ControllerSpec::adaptive_default()),
             ],
+        )
+        .master_seed(7)
+}
+
+/// The 1k-host dragonfly arm: one heavy-shuffle cell on
+/// `dragonfly(9, 8, 16)` — 1152 hosts, 1224 nodes, ~1.5M all-to-all flows —
+/// with 20 m inter-group spacing so the global links fund the long
+/// conservative lookahead. The static baseline controller with the minimal
+/// routing override keeps the cell's cost in the engine hot path (per-flow
+/// Valiant/adaptive BFS at 1.5M flows would dominate the measurement; the
+/// routing policies are byte-compared across shard counts at small scale in
+/// `tests/shard_determinism.rs` and compared for results in the e11
+/// campaign).
+fn dragonfly_matrix(shards: usize) -> Matrix {
+    let topo = TopologySpec::dragonfly(9, 8, 16, 2).with_rack_spacing(Length::from_m(20));
+    let base = ScenarioSpec::new(
+        "dragonfly-scale",
+        topo,
+        WorkloadSpec::Shuffle {
+            partition: Bytes::new(512),
+            load: 1.0,
+        },
+    )
+    .controller(ControllerSpec::Baseline)
+    // Deep buffers absorb the shuffle barrier: with the default 256 KiB
+    // ports the simultaneous all-to-all start spends ~95% of its events on
+    // drop/retry cycles (230M+ events per arm, ~4 min wall); 64 MiB keeps
+    // the cell lossless so each flow costs one inject + per-hop trains +
+    // one ack and the arm measures the fabric, not the retry storm.
+    .port_buffer(Bytes::from_kib(64 * 1024))
+    .horizon(SimTime::from_millis(50))
+    .shards(shards);
+    Matrix::new(base)
+        .axis(
+            "routing",
+            vec![AxisValue::Routing(RoutingAlgorithm::ShortestHop)],
         )
         .master_seed(7)
 }
@@ -299,6 +344,11 @@ fn main() {
             }
         },
     };
+    if args.iter().any(|a| a == "--dragonfly") {
+        run_dragonfly(shards, export_cells.as_deref());
+        return;
+    }
+
     let mode = if tiny { "tiny" } else { "full" };
     eprintln!("perf_smoke: running {mode} heavy-shuffle sweep ({shards}-shard arm)...");
 
@@ -703,6 +753,54 @@ fn main() {
 
     if !(heap_ok && threads_ok && repeat_ok && shards_ok && workers_ok) {
         std::process::exit(1);
+    }
+}
+
+/// Runs the 1k-host dragonfly arm and exits the process: one heavy-shuffle
+/// cell at the requested shard count, exported byte-stably for the CI
+/// `cmp` gate. Deliberately skips the in-process 1-vs-N cross-check — the
+/// cell is ~1.5M flows, and CI compares the two arms across processes
+/// instead, which costs one run per arm instead of two.
+fn run_dragonfly(shards: usize, export_cells: Option<&str>) {
+    eprintln!("perf_smoke: running 1k-host dragonfly heavy-shuffle ({shards}-shard arm)...");
+    let result = Runner::single_threaded().run(&dragonfly_matrix(shards));
+    if result.failed_jobs() > 0 {
+        eprintln!(
+            "perf_smoke: FAIL — {} dragonfly job(s) panicked",
+            result.failed_jobs()
+        );
+        std::process::exit(1);
+    }
+    for cell in &result.cells {
+        if cell.completed_runs != cell.runs - cell.failed_runs {
+            eprintln!(
+                "perf_smoke: FAIL — dragonfly cell {:?} left flows incomplete",
+                cell.labels
+            );
+            std::process::exit(1);
+        }
+        let routing = cell
+            .labels
+            .iter()
+            .find(|(k, _)| k == "routing")
+            .map(|(_, v)| v.as_str())
+            .unwrap_or("?");
+        eprintln!(
+            "  dragonfly-9g-8a-16h/{routing} [{shards} shard(s)]: {:>9} events in {:>8.1} ms \
+             = {:>9.0} events/sec (p50 {:.0} ps, p99 {:.0} ps)",
+            cell.events_processed,
+            cell.wall_nanos as f64 / 1e6,
+            cell.events_per_sec(),
+            cell.packet_latency.p50,
+            cell.packet_latency.p99,
+        );
+    }
+    if let Some(path) = export_cells {
+        if let Err(e) = std::fs::write(path, result.to_json()) {
+            eprintln!("perf_smoke: FAIL — could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("perf_smoke: wrote byte-stable dragonfly cells to {path}");
     }
 }
 

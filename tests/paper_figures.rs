@@ -1,7 +1,7 @@
 //! Golden-export regression suite for the paper-figure campaigns.
 //!
 //! Every figure of the paper (e1–e9, plus the repo's own e10 sharded-scale
-//! figure) is a declarative campaign in
+//! and e11 fabric-vs-routing figures) is a declarative campaign in
 //! `rackfabric_bench::figures` whose CSV export is byte-deterministic. This
 //! suite runs the full set at `--tiny` scale end to end and pins it three
 //! ways:
@@ -41,7 +41,7 @@ fn tiny_figures_match_goldens_and_resume_to_zero_jobs() {
 
     // Cold: every simulation-backed figure executes its campaign.
     let cold = figures::run_figures(Scale::Tiny, &store, &runner).unwrap();
-    assert_eq!(cold.len(), 10, "e1..e10");
+    assert_eq!(cold.len(), 11, "e1..e11");
     let cold_executed: usize = cold.iter().map(|f| f.executed).sum();
     assert!(cold_executed > 0, "a cold store must execute jobs");
 

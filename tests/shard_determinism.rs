@@ -209,6 +209,113 @@ fn topology_upgrade_is_shard_count_independent() {
     assert_eq!(one.syncs, four.syncs);
 }
 
+/// The dragonfly acceptance gate: groups are racks, so sharding by group
+/// cuts only global links, and the three routing policies (minimal /
+/// Valiant / UGAL-style adaptive) must export byte-identically at every
+/// shard count. Valiant and adaptive are per-flow and cost-aware — the
+/// strongest test of the shared rack table and the broadcast cost map.
+fn dragonfly_matrix(shards: usize) -> Matrix {
+    use rackfabric_topo::routing::RoutingAlgorithm;
+    let base = ScenarioSpec::new(
+        "dragonfly-shard-determinism",
+        TopologySpec::dragonfly(3, 2, 2, 1),
+        WorkloadSpec::shuffle(Bytes::from_kib(2)),
+    )
+    .controller(ControllerSpec::Baseline)
+    .horizon(SimTime::from_millis(20))
+    .shards(shards);
+    Matrix::new(base)
+        .axis(
+            "routing",
+            vec![
+                AxisValue::Routing(RoutingAlgorithm::ShortestHop),
+                AxisValue::Routing(RoutingAlgorithm::Valiant),
+                AxisValue::Routing(RoutingAlgorithm::Adaptive),
+            ],
+        )
+        .replicates(2)
+        .master_seed(2718)
+}
+
+#[test]
+fn dragonfly_routing_policies_are_shard_count_independent() {
+    let one = Runner::single_threaded().run(&dragonfly_matrix(1));
+    assert_eq!(one.failed_jobs(), 0);
+    // 3 = one shard per dragonfly group (every cut is a global link);
+    // 2 leaves one shard holding two groups.
+    for shards in [2, 3] {
+        let many = Runner::single_threaded().run(&dragonfly_matrix(shards));
+        assert_eq!(
+            one.to_csv(),
+            many.to_csv(),
+            "{shards}-shard dragonfly sweep diverged from the 1-shard reference (CSV)"
+        );
+        assert_eq!(
+            one.to_json(),
+            many.to_json(),
+            "{shards}-shard dragonfly sweep diverged from the 1-shard reference (JSON)"
+        );
+    }
+    for cell in &one.cells {
+        assert_eq!(cell.completed_runs, 2, "cell {:?}", cell.labels);
+    }
+}
+
+/// An upgrade fence on a **global** (inter-group) link under sharding: the
+/// escalation target adds one extra global link between two groups, so the
+/// fence lands on a link that is a partition cut when sharded by group. The
+/// reconfiguration must fire exactly once and the run must match the
+/// 1-shard reference at every shard count.
+#[test]
+fn dragonfly_upgrade_fence_on_a_global_link_is_shard_count_independent() {
+    use rackfabric_topo::spec::{EdgeSpec, LinkClass, DEFAULT_INTER_RACK_LENGTH};
+    // Two lanes per link: the added global edge has no relane donor in the
+    // upgrade diff, so `reconfigure::plan` must split a lane off an existing
+    // link, which needs at least one link wider than the edge being added.
+    let source = TopologySpec::dragonfly(3, 2, 2, 2);
+    // Add-only escalation: the same dragonfly plus a second global link
+    // between group 0 (router 0) and group 2 (router 1) — a pair no
+    // baseline global link connects.
+    let mut target = source.clone();
+    let media = target.edges[0].media;
+    target.edges.push(EdgeSpec {
+        a: rackfabric_topo::NodeId(0),
+        b: rackfabric_topo::NodeId(13),
+        lanes: 1,
+        length: DEFAULT_INTER_RACK_LENGTH,
+        media,
+        class: LinkClass::InterRack,
+    });
+    target.name = format!("{}+extra-global", source.name);
+    let run = |shards: usize| {
+        let spec = ScenarioSpec::new(
+            "dragonfly-upgrade",
+            source.clone(),
+            WorkloadSpec::shuffle(Bytes::from_kib(48)),
+        )
+        .upgrade(target.clone())
+        .seed(4)
+        .horizon(SimTime::from_millis(200));
+        let flows = spec.build_flows();
+        let mut fabric_config = spec.to_fabric_config();
+        fabric_config.crc.epoch = SimDuration::from_micros(20);
+        run_sharded(ShardedConfig::new(fabric_config, shards), flows)
+    };
+    let one = run(1);
+    assert!(one.all_flows_complete, "1-shard upgrade run must finish");
+    assert_eq!(
+        one.metrics.topology_reconfigurations, 1,
+        "sustained shuffle pressure should trigger exactly one upgrade"
+    );
+    for shards in [2, 3] {
+        let many = run(shards);
+        assert_eq!(many.shards, shards);
+        assert_eq!(one.metrics.summary(), many.metrics.summary());
+        assert_eq!(one.events_processed, many.events_processed);
+        assert_eq!(one.syncs, many.syncs);
+    }
+}
+
 #[test]
 fn rerunning_the_same_sharded_matrix_is_reproducible() {
     let first = Runner::single_threaded().run(&sharded_matrix(3));
