@@ -1,6 +1,7 @@
-//! `sweep` — the campaign CLI driving `rackfabric-sweep` end to end:
-//! resume (content-addressed store) → budget (CI-convergence replication) →
-//! report (CSV/JSON/SVG/markdown).
+//! `sweep` — the campaign CLI driving `rackfabric-sweep` end to end through
+//! the command layer: journal (write-ahead campaign log) → resume
+//! (content-addressed store) → budget (CI-convergence replication) →
+//! report (CSV/JSON/SVG/markdown) → bundle (one-file export of all three).
 //!
 //! ```text
 //! sweep --store DIR --out DIR [options]
@@ -24,12 +25,30 @@
 //!                       lifecycle, store lookups, execute/persist phases)
 //!                       into DIR; open it at https://ui.perfetto.dev
 //!
+//! command layer (journal, recovery, diff, bundles):
+//!
+//!   --journal DIR       campaign journal directory (default:
+//!                       <store>/journal); every mutation is appended
+//!                       write-ahead as a checksummed command record
+//!   --no-journal        run without a journal (no durability)
+//!   --recover           before running, replay the journal: jobs whose
+//!                       write-ahead record survived but whose store write
+//!                       didn't re-execute; fully stored jobs cost zero
+//!   --diff A B          render a command-by-command diff of two journal
+//!                       directories and exit
+//!   --export-bundle F   after the run, export store + journal + reports
+//!                       as the single self-contained bundle file F
+//!   --import-bundle F   restore a bundle into --out (store/, journal/,
+//!                       reports/ subdirectories) and exit
+//!
 //! figure mode (the paper-figure campaigns e1..e11):
 //!
 //!   --figures           run every paper-figure campaign through the store,
 //!                       write the gallery (CSV exports + per-figure SVG
 //!                       reports) to --out, and diff each export against
 //!                       golden/<scale>/ byte for byte (exit 1 on drift)
+//!                       (--budget and --max-new-jobs apply here too; both
+//!                       skip the golden gate, which pins fixed replicates)
 //!   --update-golden     regenerate the goldens instead of checking them
 //!   --golden DIR        golden root directory (default: golden)
 //! ```
@@ -38,15 +57,20 @@
 //! second time and writes byte-identical reports — `--expect-cached` plus a
 //! directory diff is the resume-determinism gate in CI. The `paper-figures`
 //! CI job applies the same gate to `--figures` and additionally pins every
-//! export against the checked-in `golden/` files.
+//! export against the checked-in `golden/` files; its recovery arm
+//! interrupts a figure campaign with `--max-new-jobs`, replays the journal
+//! with `--recover`, and requires the recovered report directory to be
+//! byte-identical to an uninterrupted run's.
 
 use rackfabric::prelude::TopologySpec;
-use rackfabric_bench::figures::{self, Scale};
+use rackfabric_bench::figures::{self, FigureOptions, FigureResolver, Scale};
+use rackfabric_cmd::prelude::*;
 use rackfabric_obs::trace::TraceSink;
 use rackfabric_obs::Observer;
 use rackfabric_scenario::prelude::*;
 use rackfabric_sim::prelude::*;
 use rackfabric_sweep::prelude::*;
+use std::path::Path;
 use std::sync::Arc;
 
 /// The demo campaign: racks × load × controller heavy shuffle, the same
@@ -113,6 +137,38 @@ struct Args {
     gc: bool,
     stats: bool,
     trace: Option<String>,
+    journal: Option<String>,
+    no_journal: bool,
+    recover: bool,
+    diff: Option<(String, String)>,
+    export_bundle: Option<String>,
+    import_bundle: Option<String>,
+}
+
+impl Args {
+    /// The effective journal directory (default: `<store>/journal`), or
+    /// `None` under `--no-journal`.
+    fn journal_dir(&self) -> Option<String> {
+        if self.no_journal {
+            return None;
+        }
+        Some(
+            self.journal
+                .clone()
+                .unwrap_or_else(|| format!("{}/journal", self.store)),
+        )
+    }
+
+    /// The budgeted-replication policy assembled from the CLI knobs.
+    fn budget_policy(&self) -> BudgetPolicy {
+        BudgetPolicy {
+            target_rel_halfwidth: self.ci_target,
+            min_replicates: self.min_replicates,
+            max_replicates: self.max_replicates,
+            max_total_jobs: self.max_jobs,
+            ..BudgetPolicy::default()
+        }
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -134,6 +190,12 @@ fn parse_args() -> Result<Args, String> {
         gc: false,
         stats: false,
         trace: None,
+        journal: None,
+        no_journal: false,
+        recover: false,
+        diff: None,
+        export_bundle: None,
+        import_bundle: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -190,6 +252,16 @@ fn parse_args() -> Result<Args, String> {
             "--gc" => args.gc = true,
             "--stats" => args.stats = true,
             "--trace" => args.trace = Some(value(&mut i)?),
+            "--journal" => args.journal = Some(value(&mut i)?),
+            "--no-journal" => args.no_journal = true,
+            "--recover" => args.recover = true,
+            "--diff" => {
+                let a = value(&mut i)?;
+                let b = value(&mut i)?;
+                args.diff = Some((a, b));
+            }
+            "--export-bundle" => args.export_bundle = Some(value(&mut i)?),
+            "--import-bundle" => args.import_bundle = Some(value(&mut i)?),
             other => return Err(format!("unknown argument: {other}")),
         }
         i += 1;
@@ -205,6 +277,34 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if let Some((a, b)) = &args.diff {
+        match diff_journal_dirs(a, Path::new(a), b, Path::new(b)) {
+            Ok(text) => {
+                print!("{text}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("sweep: FAIL — cannot diff journals {a} and {b}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(src) = &args.import_bundle {
+        match import_bundle(Path::new(src), Path::new(&args.out)) {
+            Ok(stats) => {
+                eprintln!(
+                    "sweep: restored {} file(s), {} byte(s) from {src} into {}",
+                    stats.files, stats.bytes, args.out
+                );
+                return;
+            }
+            Err(e) => {
+                eprintln!("sweep: FAIL — cannot import bundle {src}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     let store = match ResultStore::open(&args.store) {
         Ok(store) => store,
@@ -223,9 +323,25 @@ fn main() {
         None => Observer::off(),
     };
     let runner = Runner::new(args.threads).with_observer(observer.clone());
+    let exec = match args.journal_dir() {
+        Some(dir) => match Executor::with_journal(store, runner, &dir) {
+            Ok(exec) => exec,
+            Err(e) => {
+                eprintln!("sweep: cannot open journal {dir}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => Executor::new(store, runner),
+    };
+
+    if args.recover {
+        run_recovery(&args, &exec);
+    }
+
     if args.figures {
-        run_figure_mode(&args, &store, &runner);
-        finish_observability(&args, &store, &observer);
+        run_figure_mode(&args, &exec);
+        export_bundle_if_requested(&args, &exec);
+        finish_observability(&args, exec.store(), &observer);
         return;
     }
     let name = if args.tiny {
@@ -236,13 +352,7 @@ fn main() {
 
     let mut sweep = Sweep::new(campaign_matrix(args.tiny)).observed(observer.clone());
     if args.budget {
-        sweep = sweep.budget(BudgetPolicy {
-            target_rel_halfwidth: args.ci_target,
-            min_replicates: args.min_replicates,
-            max_replicates: args.max_replicates,
-            max_total_jobs: args.max_jobs,
-            ..BudgetPolicy::default()
-        });
+        sweep = sweep.budget(args.budget_policy());
     }
     if let Some(cap) = args.max_new_jobs {
         sweep = sweep.max_new_jobs(cap);
@@ -251,9 +361,9 @@ fn main() {
     eprintln!(
         "sweep: campaign `{name}` against store {} ({} record(s) warm)",
         args.store,
-        store.len()
+        exec.store().len()
     );
-    let outcome = match sweep.run(&store, &runner) {
+    let outcome = match exec.run_campaign(&sweep) {
         Ok(outcome) => outcome,
         Err(e) => {
             eprintln!("sweep: FAIL — campaign aborted: {e}");
@@ -281,7 +391,7 @@ fn main() {
         );
     }
 
-    if let Err(e) = write_report(std::path::Path::new(&args.out), name, &outcome) {
+    if let Err(e) = exec.emit_report(name, Path::new(&args.out), &outcome) {
         eprintln!("sweep: FAIL — cannot write report to {}: {e}", args.out);
         std::process::exit(1);
     }
@@ -293,7 +403,7 @@ fn main() {
             .iter()
             .map(|r| job_key(&r.job.spec))
             .collect();
-        match store.gc(live.iter()) {
+        match exec.gc(&live) {
             Ok(stats) => eprintln!(
                 "sweep: gc kept {} record(s), removed {}",
                 stats.kept, stats.removed
@@ -305,7 +415,8 @@ fn main() {
         }
     }
 
-    finish_observability(&args, &store, &observer);
+    export_bundle_if_requested(&args, &exec);
+    finish_observability(&args, exec.store(), &observer);
 
     if args.expect_cached && outcome.executed > 0 {
         eprintln!(
@@ -313,6 +424,72 @@ fn main() {
             outcome.executed
         );
         std::process::exit(1);
+    }
+}
+
+/// Campaign-marker resolver for the CLI's `--recover`: figure markers
+/// replay through the bench figure table, the demo campaign replays by
+/// rebuilding its matrix at the invocation's scale. Either way the replay
+/// is store-first, so fully stored campaigns cost zero executions.
+struct CliResolver {
+    tiny: bool,
+}
+
+impl CampaignResolver for CliResolver {
+    fn replay(&self, command: &Command, exec: &Executor) -> std::io::Result<bool> {
+        match command {
+            Command::RegenerateFigure { .. } => FigureResolver.replay(command, exec),
+            Command::ExpandMatrix { campaign, .. } if campaign == "sweep-campaign" => {
+                exec.run_campaign(&Sweep::new(campaign_matrix(self.tiny)))?;
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+}
+
+/// `--recover`: replay the journal before the requested mode runs, so an
+/// interrupted prior invocation completes first (already-stored jobs cost
+/// zero executions).
+fn run_recovery(args: &Args, exec: &Executor) {
+    let resolver = CliResolver { tiny: args.tiny };
+    match exec.recover(&resolver) {
+        Ok(stats) => eprintln!(
+            "sweep: recovered journal — {} command(s): {} cell(s) re-executed, \
+             {} already stored, {} campaign(s) replayed, {} marker(s) skipped{}",
+            stats.commands,
+            stats.cells_replayed,
+            stats.cells_already_stored,
+            stats.campaigns_replayed,
+            stats.markers_skipped,
+            if stats.torn_tail {
+                " [torn tail healed]"
+            } else {
+                ""
+            }
+        ),
+        Err(e) => {
+            eprintln!("sweep: FAIL — journal recovery: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `--export-bundle FILE`: pack store + journal + the report directory the
+/// run just wrote into one self-contained bundle file.
+fn export_bundle_if_requested(args: &Args, exec: &Executor) {
+    let Some(dest) = &args.export_bundle else {
+        return;
+    };
+    match exec.export_bundle(Some(Path::new(&args.out)), Path::new(dest)) {
+        Ok(stats) => eprintln!(
+            "sweep: exported bundle {dest} ({} file(s), {} byte(s))",
+            stats.files, stats.bytes
+        ),
+        Err(e) => {
+            eprintln!("sweep: FAIL — cannot export bundle {dest}: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -360,16 +537,30 @@ fn finish_observability(args: &Args, store: &ResultStore, observer: &Observer) {
 }
 
 /// `--figures`: drive every paper-figure campaign (e1..e11) through the
-/// store, write the report gallery, and pin (or regenerate) the goldens.
-fn run_figure_mode(args: &Args, store: &ResultStore, runner: &Runner) {
+/// command layer, write the report gallery, and pin (or regenerate) the
+/// goldens. `--budget` and `--max-new-jobs` both produce exports the fixed-
+/// replicate goldens cannot pin, so they skip the golden gate (and refuse
+/// `--update-golden`).
+fn run_figure_mode(args: &Args, exec: &Executor) {
     let scale = if args.tiny { Scale::Tiny } else { Scale::Paper };
+    let opts = FigureOptions {
+        budget: args.budget.then(|| args.budget_policy()),
+        max_new_jobs: args.max_new_jobs,
+    };
+    if args.update_golden && (opts.budget.is_some() || opts.max_new_jobs.is_some()) {
+        eprintln!(
+            "sweep: --update-golden requires fixed replicates and no job cap \
+             (drop --budget / --max-new-jobs)"
+        );
+        std::process::exit(2);
+    }
     eprintln!(
         "sweep: paper figures at {:?} scale against store {} ({} record(s) warm)",
         scale,
         args.store,
-        store.len()
+        exec.store().len()
     );
-    let runs = match figures::run_figures(scale, store, runner) {
+    let runs = match figures::run_figures_with(scale, exec, &opts) {
         Ok(runs) => runs,
         Err(e) => {
             eprintln!("sweep: FAIL — figure campaign aborted: {e}");
@@ -380,13 +571,19 @@ fn run_figure_mode(args: &Args, store: &ResultStore, runner: &Runner) {
     for run in &runs {
         executed += run.executed;
         eprintln!(
-            "  {}: {} executed, {} cached — {}",
+            "  {}: {} executed, {} cached{} — {}",
             run.export_file(),
             run.executed,
             run.cached,
+            if run.interrupted {
+                " [interrupted]"
+            } else {
+                ""
+            },
             run.title
         );
     }
+    let interrupted = runs.iter().any(|r| r.interrupted);
 
     let out = std::path::Path::new(&args.out);
     if let Err(e) = figures::write_gallery(out, &runs) {
@@ -406,6 +603,15 @@ fn run_figure_mode(args: &Args, store: &ResultStore, runner: &Runner) {
             runs.len(),
             args.golden,
             scale.golden_dir()
+        );
+    } else if opts.budget.is_some() {
+        eprintln!(
+            "sweep: budgeted replication — golden gate skipped (goldens pin fixed replicates)"
+        );
+    } else if interrupted {
+        eprintln!(
+            "sweep: campaign interrupted by --max-new-jobs — golden gate skipped \
+             (recover with --recover against the same store and journal)"
         );
     } else {
         let failures = figures::check_goldens(golden_root, scale, &runs);
@@ -429,8 +635,8 @@ fn run_figure_mode(args: &Args, store: &ResultStore, runner: &Runner) {
     }
 
     if args.gc {
-        let live = figures::live_keys(&runs);
-        match store.gc(live.iter()) {
+        let live: Vec<JobKey> = figures::live_keys(&runs).into_iter().collect();
+        match exec.gc(&live) {
             Ok(stats) => eprintln!(
                 "sweep: gc kept {} record(s), removed {}",
                 stats.kept, stats.removed

@@ -8,8 +8,10 @@
 //!
 //! * **Simulation campaigns** (e1–e4, e8, e9) — a `Matrix` over the new
 //!   physical-layer axes (switch model, port buffers, PLP timing, bypass
-//!   chains) resolved by [`Sweep`] against a store, so a warm store executes
-//!   **zero** jobs and re-exports identical bytes.
+//!   chains) resolved through the command-layer [`Executor`] (which journals
+//!   a `regenerate-figure` marker plus one record per fresh job), so a warm
+//!   store executes **zero** jobs and re-exports identical bytes — and an
+//!   interrupted campaign recovers from its journal via [`FigureResolver`].
 //! * **Analytic figures** (e5 break-even, e6 adaptive FEC) — pure functions
 //!   of the models; they execute zero store jobs by construction.
 //! * **Cross-validation** (e7) — the cycle-level NetFPGA model against the
@@ -22,6 +24,7 @@
 //! `cargo run -p rackfabric-bench --bin sweep -- --figures --update-golden`.
 
 use rackfabric::prelude::*;
+use rackfabric_cmd::{CampaignResolver, Command, Executor};
 use rackfabric_netfpga::validate_against_des;
 use rackfabric_phy::adaptive_fec::AdaptiveFecController;
 use rackfabric_phy::fec::invert_ber_to_snr_db;
@@ -73,6 +76,9 @@ pub struct FigureRun {
     pub executed: usize,
     /// Jobs answered from the store.
     pub cached: usize,
+    /// True when a `max_new_jobs` cap cut this campaign short — the export
+    /// covers only the jobs that ran, and goldens must not be checked.
+    pub interrupted: bool,
     /// The underlying sweep outcome (simulation campaigns only) — feeds the
     /// per-figure SVG report gallery.
     pub outcome: Option<SweepOutcome>,
@@ -585,197 +591,300 @@ pub fn e11_export(outcome: &SweepOutcome) -> String {
 // The campaign driver.
 // ---------------------------------------------------------------------------
 
-fn run_campaign(
-    id: &'static str,
-    slug: &'static str,
-    title: &'static str,
-    matrix: Matrix,
-    export: impl Fn(&SweepOutcome) -> String,
-    store: &ResultStore,
-    runner: &Runner,
-) -> io::Result<FigureRun> {
-    let outcome = Sweep::new(matrix).run(store, runner)?;
-    Ok(FigureRun {
+/// How a figure produces its export.
+pub enum FigureKind {
+    /// A scenario matrix resolved through the store, reduced by an export
+    /// function. Boxed: a `Matrix` carries a full base spec, and eleven of
+    /// them live in one table.
+    Sim(Box<Matrix>, fn(&SweepOutcome) -> String),
+    /// A pure function of the models — zero store jobs by construction.
+    Analytic(fn() -> String),
+}
+
+/// Shorthand used by [`figure_defs`] for the simulation-backed variant.
+fn sim(matrix: Matrix, export: fn(&SweepOutcome) -> String) -> FigureKind {
+    FigureKind::Sim(Box::new(matrix), export)
+}
+
+/// One figure campaign's declaration: identity plus how to produce it.
+/// [`figure_defs`] lists all eleven; the same table serves fresh runs (the
+/// CLI, the golden tests) and journal recovery (the [`FigureResolver`]).
+pub struct FigureDef {
+    /// Figure identifier ("e1".."e11").
+    pub id: &'static str,
+    /// File-name slug ("latency_vs_hops").
+    pub slug: &'static str,
+    /// One-line description.
+    pub title: &'static str,
+    /// Simulation campaign or analytic function.
+    pub kind: FigureKind,
+}
+
+/// Per-invocation knobs for a figure run. The default (`fixed replicates,
+/// no cap`) is the byte-deterministic golden configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FigureOptions {
+    /// Convergence-driven replication instead of the matrices' fixed
+    /// replicate counts. Budgeted exports are *not* golden-comparable.
+    pub budget: Option<BudgetPolicy>,
+    /// Campaign-wide cap on fresh executions, shared across all eleven
+    /// figures in order — the interruption knob the recovery CI arm pulls.
+    pub max_new_jobs: Option<usize>,
+}
+
+/// Every figure of the paper (plus e10/e11) at `scale`, in order.
+pub fn figure_defs(scale: Scale) -> Vec<FigureDef> {
+    let tiny = scale == Scale::Tiny;
+    let def = |id, slug, title, kind| FigureDef {
         id,
         slug,
         title,
+        kind,
+    };
+    vec![
+        def(
+            "e1",
+            "latency_vs_hops",
+            "media propagation vs switching latency per hop (cut-through and store-and-forward)",
+            sim(e1_matrix(if tiny { 4 } else { 21 }), e1_export),
+        ),
+        def(
+            "e2",
+            "reconfiguration",
+            "CRC-driven grid->torus reconfiguration across PLP timing tables",
+            sim(
+                if tiny {
+                    e2_matrix(4, 50)
+                } else {
+                    e2_matrix(64, 500)
+                },
+                e2_export,
+            ),
+        ),
+        def(
+            "e3",
+            "mapreduce_scaling",
+            "shuffle completion vs rack size, static grid vs adaptive fabric",
+            sim(
+                if tiny {
+                    e3_matrix(&[2, 3], 2, 100)
+                } else {
+                    e3_matrix(&[3, 4, 5, 6], 32, 2_000)
+                },
+                e3_export,
+            ),
+        ),
+        def(
+            "e4",
+            "power_vs_load",
+            "interconnect power vs offered load, power-cap vs latency-only policy",
+            sim(
+                if tiny {
+                    e4_matrix(&[0.25, 1.0], 500)
+                } else {
+                    e4_matrix(&[0.1, 0.25, 0.5, 0.75, 1.0], 2_000)
+                },
+                e4_export,
+            ),
+        ),
+        def(
+            "e5",
+            "breakeven",
+            "minimum flow size for which reconfiguration pays off (25G -> 100G)",
+            FigureKind::Analytic(e5_export),
+        ),
+        def(
+            "e6",
+            "adaptive_fec",
+            "adaptive FEC: codec choice, post-FEC BER and latency vs channel BER",
+            FigureKind::Analytic(e6_export),
+        ),
+        def(
+            "e7",
+            "validation",
+            "DES switch model vs cycle-level NetFPGA SUME model",
+            FigureKind::Analytic(e7_export),
+        ),
+        def(
+            "e8",
+            "bypass",
+            "latency of an N-hop path vs number of PHY-bypassed switches",
+            sim(e8_matrix(if tiny { 4 } else { 8 }), e8_export),
+        ),
+        def(
+            "e9",
+            "scenario_matrix",
+            "racks x load x controller x port-buffer sweep with per-cell tail latency",
+            sim(
+                if tiny {
+                    e9_matrix(
+                        &[2, 3],
+                        &[1.0],
+                        &[Bytes::from_kib(64), Bytes::from_kib(256)],
+                        1,
+                    )
+                } else {
+                    e9_matrix(
+                        &[3, 4],
+                        &[0.5, 1.0],
+                        &[Bytes::from_kib(64), Bytes::from_kib(256)],
+                        2,
+                    )
+                },
+                e9_export,
+            ),
+        ),
+        def(
+            "e10",
+            "sharded_scale",
+            "sharded-engine scale cells: shard-count invariance and the rack-spacing cost",
+            sim(
+                if tiny {
+                    e10_matrix(
+                        vec![
+                            TopologySpec::torus(4, 4, 2),
+                            TopologySpec::fat_tree(16, 8, 2, 2),
+                        ],
+                        2,
+                        10,
+                        &[1, 2],
+                        &[Length::from_m(2), Length::from_m(20)],
+                    )
+                } else {
+                    e10_matrix(
+                        vec![
+                            TopologySpec::torus(16, 16, 2),
+                            TopologySpec::fat_tree(128, 16, 4, 2),
+                        ],
+                        4,
+                        40,
+                        &[1, 4],
+                        &[Length::from_m(2), Length::from_m(20)],
+                    )
+                },
+                e10_export,
+            ),
+        ),
+        def(
+            "e11",
+            "fabric_vs_routing",
+            "adaptive-fabric reconfiguration vs dragonfly adaptive routing, same shuffle",
+            sim(
+                if tiny {
+                    e11_matrix(3, TopologySpec::dragonfly(3, 2, 2, 1), 2, 50)
+                } else {
+                    e11_matrix(6, TopologySpec::dragonfly(6, 4, 4, 1), 8, 500)
+                },
+                e11_export,
+            ),
+        ),
+    ]
+}
+
+/// Runs one figure through the command layer. `remaining` is the shared
+/// fresh-execution allowance (`None` = unbounded); it is decremented by
+/// what this campaign executed, so a cap interrupts the figure *sequence*
+/// at a job boundary, not just one campaign.
+fn run_figure(
+    def: FigureDef,
+    scale: Scale,
+    exec: &Executor,
+    opts: &FigureOptions,
+    remaining: &mut Option<usize>,
+) -> io::Result<FigureRun> {
+    let (matrix, export) = match def.kind {
+        FigureKind::Analytic(render) => {
+            return Ok(FigureRun {
+                id: def.id,
+                slug: def.slug,
+                title: def.title,
+                export: render(),
+                executed: 0,
+                cached: 0,
+                interrupted: false,
+                outcome: None,
+            })
+        }
+        FigureKind::Sim(matrix, export) => (matrix, export),
+    };
+    let mut sweep = Sweep::new(*matrix);
+    if let Some(policy) = opts.budget {
+        sweep = sweep.budget(policy);
+    }
+    if let Some(cap) = *remaining {
+        sweep = sweep.max_new_jobs(cap);
+    }
+    let outcome = exec.regenerate_figure(def.id, scale.golden_dir(), &sweep)?;
+    if let Some(cap) = remaining.as_mut() {
+        *cap = cap.saturating_sub(outcome.executed);
+    }
+    Ok(FigureRun {
+        id: def.id,
+        slug: def.slug,
+        title: def.title,
         export: export(&outcome),
         executed: outcome.executed,
         cached: outcome.cached,
+        interrupted: outcome.interrupted,
         outcome: Some(outcome),
     })
 }
 
-fn analytic(
-    id: &'static str,
-    slug: &'static str,
-    title: &'static str,
-    export: String,
-) -> FigureRun {
-    FigureRun {
-        id,
-        slug,
-        title,
-        export,
-        executed: 0,
-        cached: 0,
-        outcome: None,
-    }
+/// Runs every figure campaign at `scale` through `exec`'s store, returning
+/// the eleven figure exports in order. A warm store executes zero jobs and
+/// reproduces the exact same bytes.
+pub fn run_figures(scale: Scale, exec: &Executor) -> io::Result<Vec<FigureRun>> {
+    run_figures_with(scale, exec, &FigureOptions::default())
 }
 
-/// Runs every figure campaign at `scale` through `store`, returning the
-/// eleven figure exports in order. A warm store executes zero jobs and
-/// reproduces the exact same bytes.
-pub fn run_figures(
+/// [`run_figures`] with per-invocation knobs: budgeted replication and/or a
+/// campaign-wide fresh-execution cap. Even when the cap runs out early,
+/// every figure still journals its `regenerate-figure` marker (later
+/// campaigns run with a zero allowance) — which is exactly what lets
+/// recovery complete jobs the interruption never reached.
+pub fn run_figures_with(
     scale: Scale,
-    store: &ResultStore,
-    runner: &Runner,
+    exec: &Executor,
+    opts: &FigureOptions,
 ) -> io::Result<Vec<FigureRun>> {
-    let tiny = scale == Scale::Tiny;
-    Ok(vec![
-        run_campaign(
-            "e1",
-            "latency_vs_hops",
-            "media propagation vs switching latency per hop (cut-through and store-and-forward)",
-            e1_matrix(if tiny { 4 } else { 21 }),
-            e1_export,
-            store,
-            runner,
-        )?,
-        run_campaign(
-            "e2",
-            "reconfiguration",
-            "CRC-driven grid->torus reconfiguration across PLP timing tables",
-            if tiny {
-                e2_matrix(4, 50)
-            } else {
-                e2_matrix(64, 500)
-            },
-            e2_export,
-            store,
-            runner,
-        )?,
-        run_campaign(
-            "e3",
-            "mapreduce_scaling",
-            "shuffle completion vs rack size, static grid vs adaptive fabric",
-            if tiny {
-                e3_matrix(&[2, 3], 2, 100)
-            } else {
-                e3_matrix(&[3, 4, 5, 6], 32, 2_000)
-            },
-            e3_export,
-            store,
-            runner,
-        )?,
-        run_campaign(
-            "e4",
-            "power_vs_load",
-            "interconnect power vs offered load, power-cap vs latency-only policy",
-            if tiny {
-                e4_matrix(&[0.25, 1.0], 500)
-            } else {
-                e4_matrix(&[0.1, 0.25, 0.5, 0.75, 1.0], 2_000)
-            },
-            e4_export,
-            store,
-            runner,
-        )?,
-        analytic(
-            "e5",
-            "breakeven",
-            "minimum flow size for which reconfiguration pays off (25G -> 100G)",
-            e5_export(),
-        ),
-        analytic(
-            "e6",
-            "adaptive_fec",
-            "adaptive FEC: codec choice, post-FEC BER and latency vs channel BER",
-            e6_export(),
-        ),
-        analytic(
-            "e7",
-            "validation",
-            "DES switch model vs cycle-level NetFPGA SUME model",
-            e7_export(),
-        ),
-        run_campaign(
-            "e8",
-            "bypass",
-            "latency of an N-hop path vs number of PHY-bypassed switches",
-            e8_matrix(if tiny { 4 } else { 8 }),
-            e8_export,
-            store,
-            runner,
-        )?,
-        run_campaign(
-            "e9",
-            "scenario_matrix",
-            "racks x load x controller x port-buffer sweep with per-cell tail latency",
-            if tiny {
-                e9_matrix(
-                    &[2, 3],
-                    &[1.0],
-                    &[Bytes::from_kib(64), Bytes::from_kib(256)],
-                    1,
-                )
-            } else {
-                e9_matrix(
-                    &[3, 4],
-                    &[0.5, 1.0],
-                    &[Bytes::from_kib(64), Bytes::from_kib(256)],
-                    2,
-                )
-            },
-            e9_export,
-            store,
-            runner,
-        )?,
-        run_campaign(
-            "e10",
-            "sharded_scale",
-            "sharded-engine scale cells: shard-count invariance and the rack-spacing cost",
-            if tiny {
-                e10_matrix(
-                    vec![
-                        TopologySpec::torus(4, 4, 2),
-                        TopologySpec::fat_tree(16, 8, 2, 2),
-                    ],
-                    2,
-                    10,
-                    &[1, 2],
-                    &[Length::from_m(2), Length::from_m(20)],
-                )
-            } else {
-                e10_matrix(
-                    vec![
-                        TopologySpec::torus(16, 16, 2),
-                        TopologySpec::fat_tree(128, 16, 4, 2),
-                    ],
-                    4,
-                    40,
-                    &[1, 4],
-                    &[Length::from_m(2), Length::from_m(20)],
-                )
-            },
-            e10_export,
-            store,
-            runner,
-        )?,
-        run_campaign(
-            "e11",
-            "fabric_vs_routing",
-            "adaptive-fabric reconfiguration vs dragonfly adaptive routing, same shuffle",
-            if tiny {
-                e11_matrix(3, TopologySpec::dragonfly(3, 2, 2, 1), 2, 50)
-            } else {
-                e11_matrix(6, TopologySpec::dragonfly(6, 4, 4, 1), 8, 500)
-            },
-            e11_export,
-            store,
-            runner,
-        )?,
-    ])
+    let mut remaining = opts.max_new_jobs;
+    figure_defs(scale)
+        .into_iter()
+        .map(|def| run_figure(def, scale, exec, opts, &mut remaining))
+        .collect()
+}
+
+/// Replays journaled `regenerate-figure` markers against the figure table:
+/// the record's id + scale select the campaign, its budget (if any) is
+/// reapplied, and the whole matrix resolves store-first — so recovery of a
+/// fully stored figure executes zero jobs and an interrupted one executes
+/// exactly its missing jobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FigureResolver;
+
+impl CampaignResolver for FigureResolver {
+    fn replay(&self, command: &Command, exec: &Executor) -> io::Result<bool> {
+        let Command::RegenerateFigure { id, scale, budget } = command else {
+            return Ok(false);
+        };
+        let scale = match scale.as_str() {
+            "tiny" => Scale::Tiny,
+            "paper" => Scale::Paper,
+            _ => return Ok(false),
+        };
+        let Some(def) = figure_defs(scale).into_iter().find(|d| d.id == id) else {
+            return Ok(false);
+        };
+        let FigureKind::Sim(matrix, _) = def.kind else {
+            return Ok(false);
+        };
+        let mut sweep = Sweep::new(*matrix);
+        if let Some(spec) = budget {
+            sweep = sweep.budget(spec.to_policy());
+        }
+        exec.regenerate_figure(id, scale.golden_dir(), &sweep)?;
+        Ok(true)
+    }
 }
 
 /// The job keys a set of figure runs resolved — the live set for
@@ -949,5 +1058,43 @@ mod tests {
         assert_eq!(e7_export(), e7_export());
         assert!(e5_export().starts_with("reconfig_us,min_flow_kib\n"));
         assert_eq!(e6_export().lines().count(), 9, "header + 8 BER points");
+    }
+
+    #[test]
+    fn figure_table_lists_all_eleven_figures_at_both_scales() {
+        for scale in [Scale::Tiny, Scale::Paper] {
+            let defs = figure_defs(scale);
+            let ids: Vec<&str> = defs.iter().map(|d| d.id).collect();
+            assert_eq!(
+                ids,
+                ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"]
+            );
+            let analytic = defs
+                .iter()
+                .filter(|d| matches!(d.kind, FigureKind::Analytic(_)))
+                .count();
+            assert_eq!(analytic, 3, "e5, e6, e7");
+        }
+    }
+
+    #[test]
+    fn figure_resolver_ignores_foreign_and_unknown_markers() {
+        let dir =
+            std::env::temp_dir().join(format!("rackfabric-figure-resolver-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let exec = Executor::new(ResultStore::open(&dir).unwrap(), Runner::single_threaded());
+        let foreign = Command::ExpandMatrix {
+            campaign: "not-a-figure".into(),
+            cells: 1,
+            jobs: 1,
+        };
+        assert!(!FigureResolver.replay(&foreign, &exec).unwrap());
+        let unknown = Command::RegenerateFigure {
+            id: "e99".into(),
+            scale: "tiny".into(),
+            budget: None,
+        };
+        assert!(!FigureResolver.replay(&unknown, &exec).unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -77,12 +77,14 @@ pub fn shared_store_dir() -> PathBuf {
         .unwrap_or_else(|| Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/figure-store"))
 }
 
-/// Resolves a matrix through the shared store: cache hits skip the engine,
-/// misses run on one worker per core and are persisted for the next caller.
+/// Resolves a matrix through the shared store via the command-layer
+/// [`Executor`](rackfabric_cmd::Executor) (journal-less — same boundary as
+/// the CLI, no durability): cache hits skip the engine, misses run on one
+/// worker per core and are persisted for the next caller.
 fn run_matrix(matrix: rackfabric_scenario::Matrix) -> SweepOutcome {
     let store = ResultStore::open(shared_store_dir()).expect("open shared result store");
-    Sweep::new(matrix)
-        .run(&store, &Runner::new(0))
+    rackfabric_cmd::Executor::new(store, Runner::new(0))
+        .run_campaign(&Sweep::new(matrix))
         .expect("store I/O during sweep")
 }
 

@@ -1,0 +1,173 @@
+//! Torn-write property tests for the campaign journal: whatever prefix of
+//! the log survives a crash, [`Executor::recover`] must restore the longest
+//! valid prefix, never panic, and never re-execute a job whose result is
+//! already in the store.
+//!
+//! The exhaustive test truncates a real campaign journal at **every byte
+//! boundary**; the property test flips arbitrary single bytes (corruption,
+//! not just truncation). Both run against the warm store the campaign
+//! produced, so any re-execution is a recovery bug, not a cache miss.
+
+use proptest::prelude::*;
+use rackfabric_cmd::journal::{read_log, LogRecord};
+use rackfabric_cmd::{Executor, NoCampaigns};
+use rackfabric_scenario::matrix::{AxisValue, Matrix};
+use rackfabric_scenario::runner::Runner;
+use rackfabric_scenario::spec::{ScenarioSpec, WorkloadSpec};
+use rackfabric_sim::time::SimTime;
+use rackfabric_sim::units::Bytes;
+use rackfabric_sweep::campaign::Sweep;
+use rackfabric_sweep::store::ResultStore;
+use rackfabric_topo::spec::TopologySpec;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+/// The fixture: one journaled two-job campaign, run once per process. The
+/// torn copies live in per-test directories; the store stays warm and is
+/// only ever read by recovery.
+struct Fixture {
+    root: PathBuf,
+    /// Bytes of the single journal segment the campaign wrote.
+    bytes: Vec<u8>,
+    /// Its validated records (marker + one per job).
+    records: Vec<LogRecord>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let root =
+            std::env::temp_dir().join(format!("rackfabric-cmd-torn-write-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let exec = Executor::with_journal(
+            ResultStore::open(root.join("store")).unwrap(),
+            Runner::single_threaded(),
+            root.join("journal"),
+        )
+        .unwrap();
+        let base = ScenarioSpec::new(
+            "torn-write",
+            TopologySpec::grid(2, 2, 2),
+            WorkloadSpec::shuffle(Bytes::from_kib(1)),
+        )
+        .horizon(SimTime::from_millis(20));
+        let matrix = Matrix::new(base)
+            .axis("load", vec![AxisValue::Load(0.5), AxisValue::Load(1.0)])
+            .master_seed(3);
+        exec.run_campaign(&Sweep::new(matrix)).unwrap();
+
+        let bytes = std::fs::read(root.join("journal").join("seg-00000000.wal")).unwrap();
+        let (records, tail) = read_log(&root.join("journal")).unwrap();
+        assert!(tail.clean);
+        assert_eq!(records.len(), 3, "expand-matrix marker + 2 execute-cell");
+        Fixture {
+            root,
+            bytes,
+            records,
+        }
+    })
+}
+
+/// Byte offsets at which each record of `bytes` ends (frame boundaries).
+fn frame_boundaries(bytes: &[u8]) -> Vec<usize> {
+    let mut boundaries = Vec::new();
+    let mut offset = 0usize;
+    while offset + 8 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
+        offset += 8 + len;
+        assert!(offset <= bytes.len(), "fixture journal ends mid-frame");
+        boundaries.push(offset);
+    }
+    boundaries
+}
+
+/// Writes `bytes` as the only segment of a fresh journal at `dir`.
+fn write_torn_journal(dir: &Path, bytes: &[u8]) {
+    let _ = std::fs::remove_dir_all(dir);
+    std::fs::create_dir_all(dir).unwrap();
+    std::fs::write(dir.join("seg-00000000.wal"), bytes).unwrap();
+}
+
+/// Opens an executor on the warm fixture store with the journal at `dir`
+/// and recovers; returns what recovery saw and did.
+fn recover_with(fix: &Fixture, dir: &Path) -> rackfabric_cmd::RecoveryStats {
+    let exec = Executor::with_journal(
+        ResultStore::open(fix.root.join("store")).unwrap(),
+        Runner::single_threaded(),
+        dir,
+    )
+    .unwrap();
+    exec.recover(&NoCampaigns).unwrap()
+}
+
+#[test]
+fn recovery_restores_longest_valid_prefix_at_every_truncation_point() {
+    let fix = fixture();
+    let boundaries = frame_boundaries(&fix.bytes);
+    assert_eq!(boundaries.len(), fix.records.len());
+    let dir = fix.root.join("torn-exhaustive");
+
+    for cut in 0..=fix.bytes.len() {
+        write_torn_journal(&dir, &fix.bytes[..cut]);
+
+        // The reader yields exactly the records whose frames fit in the cut.
+        let (records, tail) = read_log(&dir).unwrap();
+        let expected = boundaries.iter().filter(|&&end| end <= cut).count();
+        assert_eq!(records.len(), expected, "wrong prefix length at cut {cut}");
+        assert_eq!(
+            records[..],
+            fix.records[..expected],
+            "prefix content diverged at cut {cut}"
+        );
+        assert_eq!(
+            tail.clean,
+            cut == 0 || boundaries.contains(&cut),
+            "tail cleanliness wrong at cut {cut}"
+        );
+
+        // Recovery over that prefix: the store is warm, so nothing may
+        // re-execute, and opening must have healed the tear.
+        let stats = recover_with(fix, &dir);
+        assert_eq!(stats.commands, expected);
+        assert_eq!(
+            stats.cells_replayed, 0,
+            "re-executed a stored job at cut {cut}"
+        );
+        assert_eq!(
+            stats.cells_already_stored,
+            expected.saturating_sub(1).min(2)
+        );
+        assert!(!stats.torn_tail, "open must heal the tear before recovery");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn recovery_survives_arbitrary_single_byte_corruption(
+        pos_frac in 0.0f64..1.0,
+        flip in 1u32..256,
+    ) {
+        let fix = fixture();
+        let pos = ((pos_frac * fix.bytes.len() as f64) as usize).min(fix.bytes.len() - 1);
+        let mut corrupt = fix.bytes.clone();
+        corrupt[pos] ^= flip as u8;
+
+        let dir = fix.root.join(format!("torn-prop-{pos}-{flip}"));
+        write_torn_journal(&dir, &corrupt);
+
+        // Whatever the flip hit, the reader must yield a strict prefix of
+        // the original records (CRC catches every single-byte error) and
+        // recovery must neither panic nor re-execute stored jobs.
+        let (records, _) = read_log(&dir).unwrap();
+        prop_assert!(records.len() <= fix.records.len());
+        prop_assert_eq!(&records[..], &fix.records[..records.len()]);
+
+        let stats = recover_with(fix, &dir);
+        prop_assert_eq!(stats.cells_replayed, 0);
+        prop_assert_eq!(stats.commands, records.len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

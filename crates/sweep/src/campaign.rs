@@ -38,6 +38,52 @@ use std::io;
 /// persist spans). Distinct from the runner's job-worker lanes.
 const SWEEP_LANE: u64 = 2000;
 
+/// The single seam between the sweep orchestrator and the engine: every
+/// store-miss batch of a campaign flows through exactly one
+/// [`EngineBoundary::execute_batch`] call, which must execute the jobs and
+/// persist each outcome before returning.
+///
+/// [`DirectBoundary`] is the plain implementation ([`Sweep::run`] uses it);
+/// a command layer implements this trait to journal each batch write-ahead
+/// without the orchestrator knowing. Implementations must not change the
+/// outcomes themselves — routing through a boundary never moves an export
+/// byte.
+pub trait EngineBoundary {
+    /// Executes `jobs` (all store misses) and persists every outcome into
+    /// `store`, returning the outcomes in job order.
+    fn execute_batch(
+        &self,
+        jobs: &[Job],
+        store: &ResultStore,
+        runner: &Runner,
+    ) -> io::Result<Vec<JobOutcome>>;
+}
+
+/// The pass-through engine boundary: run the batch on the scenario runner
+/// and persist each result, exactly as the orchestrator did before the
+/// boundary existed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DirectBoundary;
+
+impl EngineBoundary for DirectBoundary {
+    fn execute_batch(
+        &self,
+        jobs: &[Job],
+        store: &ResultStore,
+        runner: &Runner,
+    ) -> io::Result<Vec<JobOutcome>> {
+        let results = runner.run_jobs(jobs);
+        for (job, outcome) in jobs.iter().zip(&results) {
+            store.put(
+                &job_key(&job.spec),
+                &canonical_spec_json(&job.spec),
+                outcome,
+            )?;
+        }
+        Ok(results)
+    }
+}
+
 /// A resumable sweep campaign over one scenario matrix.
 #[derive(Debug, Clone)]
 pub struct Sweep {
@@ -91,12 +137,27 @@ impl Sweep {
     /// prior store contents and interruption points never change the final
     /// (complete) exports.
     pub fn run(&self, store: &ResultStore, runner: &Runner) -> io::Result<SweepOutcome> {
+        self.run_via(store, runner, &DirectBoundary)
+    }
+
+    /// [`Sweep::run`] with an explicit [`EngineBoundary`]: every store-miss
+    /// batch is executed and persisted through `boundary` instead of the
+    /// direct runner+store path. The command layer uses this to journal
+    /// fresh executions write-ahead; outcomes and exports are byte-identical
+    /// either way.
+    pub fn run_via(
+        &self,
+        store: &ResultStore,
+        runner: &Runner,
+        boundary: &dyn EngineBoundary,
+    ) -> io::Result<SweepOutcome> {
         if let Some(sink) = self.observer.trace() {
             sink.name_lane(SWEEP_LANE, "sweep");
         }
         let mut dispatcher = Dispatcher {
             store,
             runner,
+            boundary,
             executed: 0,
             cached: 0,
             skipped: 0,
@@ -340,6 +401,7 @@ fn merge_distributions(records: &[JobRecord]) -> Vec<CellDistributions> {
 struct Dispatcher<'a> {
     store: &'a ResultStore,
     runner: &'a Runner,
+    boundary: &'a dyn EngineBoundary,
     executed: usize,
     cached: usize,
     skipped: usize,
@@ -392,16 +454,15 @@ impl Dispatcher<'_> {
             return Ok(outcomes);
         }
         let batch: Vec<Job> = pending.iter().map(|&i| jobs[i].clone()).collect();
+        // The boundary both executes and persists — one span covers the
+        // whole mutation so traces stay meaningful whichever boundary runs.
         let results = {
             let mut span = self.observer.span(SWEEP_LANE, "execute", "sweep");
             span.arg_u64("jobs", batch.len() as u64);
-            self.runner.run_jobs(&batch)
+            self.boundary
+                .execute_batch(&batch, self.store, self.runner)?
         };
-        let _persist_span = self.observer.span(SWEEP_LANE, "persist", "sweep");
         for (&i, outcome) in pending.iter().zip(results) {
-            let spec = &jobs[i].spec;
-            self.store
-                .put(&job_key(spec), &canonical_spec_json(spec), &outcome)?;
             self.executed += 1;
             outcomes[i] = Some(outcome);
         }

@@ -67,7 +67,9 @@ pub mod store;
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use crate::budget::{BudgetPolicy, CellBudget, StopReason};
-    pub use crate::campaign::{CellDistributions, Sweep, SweepOutcome};
+    pub use crate::campaign::{
+        CellDistributions, DirectBoundary, EngineBoundary, Sweep, SweepOutcome,
+    };
     pub use crate::emit::{render_files, write_report};
     pub use crate::key::{canonical_spec_json, job_key, JobKey};
     pub use crate::report::{cdf_plot, line_plot, PlotSeries};
@@ -75,6 +77,6 @@ pub mod prelude {
 }
 
 pub use budget::{BudgetPolicy, CellBudget, StopReason};
-pub use campaign::{CellDistributions, Sweep, SweepOutcome};
+pub use campaign::{CellDistributions, DirectBoundary, EngineBoundary, Sweep, SweepOutcome};
 pub use key::{canonical_spec_json, job_key, JobKey};
 pub use store::{GcStats, ResultStore, StoreStats};

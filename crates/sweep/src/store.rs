@@ -84,9 +84,25 @@ pub struct ResultStore {
 
 impl ResultStore {
     /// Opens (creating if needed) the store rooted at `dir`.
+    ///
+    /// Opening also sweeps orphaned `*.tmp.*` files under `objects/` — the
+    /// leftovers of writers that crashed between their write and rename.
+    /// Only temp files older than [`GC_TEMP_GRACE`] are reclaimed, so a
+    /// concurrent writer's in-flight temp file survives.
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<ResultStore> {
+        Self::open_with_tmp_grace(dir, GC_TEMP_GRACE)
+    }
+
+    /// [`ResultStore::open`] with an explicit orphan-temp grace period.
+    /// Tests pass [`std::time::Duration::ZERO`] to sweep unconditionally;
+    /// production callers should stick with [`ResultStore::open`].
+    pub fn open_with_tmp_grace(
+        dir: impl Into<PathBuf>,
+        grace: std::time::Duration,
+    ) -> io::Result<ResultStore> {
         let root = dir.into();
         std::fs::create_dir_all(root.join("objects"))?;
+        sweep_orphan_temps(&root.join("objects"), grace)?;
         Ok(ResultStore {
             root,
             counters: Arc::new(StoreCounters::default()),
@@ -301,6 +317,36 @@ impl ResultStore {
 /// its rename.
 pub const GC_TEMP_GRACE: std::time::Duration = std::time::Duration::from_secs(60);
 
+/// Removes every `*.tmp.*` file under `objects/` older than `grace`:
+/// the droppings of writers that died between `write` and `rename`.
+/// Before [`ResultStore::open`] swept them, these leaked forever — gc only
+/// visits shard directories, and a crash could strand a temp file in a
+/// shard that no later campaign touches.
+fn sweep_orphan_temps(objects: &Path, grace: std::time::Duration) -> io::Result<usize> {
+    let mut removed = 0;
+    let Ok(shards) = std::fs::read_dir(objects) else {
+        return Ok(removed);
+    };
+    for shard in shards.flatten() {
+        let Ok(entries) = std::fs::read_dir(shard.path()) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.contains(".tmp.") && is_older_than(&path, grace) {
+                match std::fs::remove_file(&path) {
+                    Ok(()) => removed += 1,
+                    // A concurrent opener (or gc pass) beat us to it.
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+    Ok(removed)
+}
+
 /// True when the file's mtime is at least `age` in the past (unknown mtimes
 /// count as young, so gc errs toward sparing the file).
 fn is_older_than(path: &Path, age: std::time::Duration) -> bool {
@@ -505,6 +551,43 @@ mod tests {
         ));
         let _ = std::fs::remove_dir_all(&dir);
         dir
+    }
+
+    #[test]
+    fn open_sweeps_orphaned_temp_files_but_spares_records_and_young_temps() {
+        let spec = ScenarioSpec::new(
+            "store-orphan",
+            TopologySpec::grid(2, 2, 2),
+            WorkloadSpec::shuffle(Bytes::from_kib(2)),
+        )
+        .horizon(SimTime::from_millis(20))
+        .seed(7);
+        let result = run_scenario(&spec);
+        let key = job_key(&spec);
+
+        let dir = tmp_dir("orphan");
+        let store = ResultStore::open(&dir).unwrap();
+        let outcome = JobOutcome::Completed(Box::new(result));
+        store
+            .put(&key, &crate::key::canonical_spec_json(&spec), &outcome)
+            .unwrap();
+
+        // A crashed writer's dropping, stranded next to the real record.
+        let shard = dir.join("objects").join(&key.hex()[..2]);
+        let orphan = shard.join("deadbeef.tmp.424242.0");
+        std::fs::write(&orphan, b"half-written").unwrap();
+
+        // Default grace spares a freshly written temp file (its writer may
+        // still be between write and rename).
+        let store = ResultStore::open(&dir).unwrap();
+        assert!(orphan.exists(), "young temp files must survive open");
+
+        // Zero grace models the temp file having aged past GC_TEMP_GRACE.
+        let store2 = ResultStore::open_with_tmp_grace(&dir, std::time::Duration::ZERO).unwrap();
+        assert!(!orphan.exists(), "aged orphans are reclaimed at open");
+        assert!(store2.get(&key).is_some(), "real records are untouched");
+        assert_eq!(store.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! Every figure of the paper (e1–e9, plus the repo's own e10 sharded-scale
 //! and e11 fabric-vs-routing figures) is a declarative campaign in
 //! `rackfabric_bench::figures` whose CSV export is byte-deterministic. This
-//! suite runs the full set at `--tiny` scale end to end and pins it three
-//! ways:
+//! suite runs the full set at `--tiny` scale end to end through the
+//! command-layer `Executor` and pins it four ways:
 //!
 //! * each export must match its checked-in `golden/tiny/*.csv` **byte for
 //!   byte** (an intentional result change regenerates goldens via
@@ -12,10 +12,14 @@
 //!   --update-golden`),
 //! * a second run against the same store must execute **zero** jobs and
 //!   reproduce identical bytes (the resume gate),
+//! * a campaign interrupted mid-flight by `max_new_jobs` must recover from
+//!   its journal to the exact same golden bytes, re-executing nothing that
+//!   was already journaled and stored (the crash-recovery gate),
 //! * a perturbed export must *fail* the comparison with a readable
 //!   per-column diff (the drift detector itself is tested).
 
-use rackfabric_bench::figures::{self, Scale};
+use rackfabric_bench::figures::{self, FigureOptions, FigureResolver, Scale};
+use rackfabric_cmd::Executor;
 use rackfabric_scenario::runner::Runner;
 use rackfabric_sweep::prelude::*;
 use std::path::{Path, PathBuf};
@@ -24,26 +28,26 @@ fn golden_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("golden")
 }
 
-fn tmp_store(tag: &str) -> (PathBuf, ResultStore) {
+fn tmp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!(
         "rackfabric-paper-figures-{tag}-{}",
         std::process::id()
     ));
     let _ = std::fs::remove_dir_all(&dir);
-    let store = ResultStore::open(&dir).unwrap();
-    (dir, store)
+    dir
 }
 
 #[test]
 fn tiny_figures_match_goldens_and_resume_to_zero_jobs() {
-    let (dir, store) = tmp_store("e2e");
-    let runner = Runner::new(0);
+    let dir = tmp_dir("e2e");
+    let exec = Executor::new(ResultStore::open(&dir).unwrap(), Runner::new(0));
 
     // Cold: every simulation-backed figure executes its campaign.
-    let cold = figures::run_figures(Scale::Tiny, &store, &runner).unwrap();
+    let cold = figures::run_figures(Scale::Tiny, &exec).unwrap();
     assert_eq!(cold.len(), 11, "e1..e11");
     let cold_executed: usize = cold.iter().map(|f| f.executed).sum();
     assert!(cold_executed > 0, "a cold store must execute jobs");
+    assert!(cold.iter().all(|f| !f.interrupted));
 
     // Byte-for-byte against the checked-in goldens.
     let failures = figures::check_goldens(&golden_root(), Scale::Tiny, &cold);
@@ -55,7 +59,7 @@ fn tiny_figures_match_goldens_and_resume_to_zero_jobs() {
 
     // Warm: the same campaigns against the same store execute nothing and
     // export identical bytes.
-    let warm = figures::run_figures(Scale::Tiny, &store, &runner).unwrap();
+    let warm = figures::run_figures(Scale::Tiny, &exec).unwrap();
     let warm_executed: usize = warm.iter().map(|f| f.executed).sum();
     assert_eq!(warm_executed, 0, "a warm store must answer every job");
     for (c, w) in cold.iter().zip(&warm) {
@@ -67,6 +71,57 @@ fn tiny_figures_match_goldens_and_resume_to_zero_jobs() {
         );
         assert_eq!(c.export_file(), w.export_file());
     }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn interrupted_figure_campaign_recovers_from_journal_to_golden_bytes() {
+    let dir = tmp_dir("recover");
+    let exec = Executor::with_journal(
+        ResultStore::open(dir.join("store")).unwrap(),
+        Runner::new(0),
+        dir.join("journal"),
+    )
+    .unwrap();
+
+    // Interrupted: the shared fresh-execution allowance runs out inside the
+    // figure sequence; every figure still journals its marker.
+    let partial = figures::run_figures_with(
+        Scale::Tiny,
+        &exec,
+        &FigureOptions {
+            max_new_jobs: Some(6),
+            ..FigureOptions::default()
+        },
+    )
+    .unwrap();
+    let partial_executed: usize = partial.iter().map(|f| f.executed).sum();
+    assert_eq!(partial_executed, 6, "the cap must interrupt the sequence");
+    assert!(partial.iter().any(|f| f.interrupted));
+
+    // Recovery replays the journal through the figure table: the 6 stored
+    // jobs cost zero executions, the campaign markers complete the rest.
+    let stats = exec.recover(&FigureResolver).unwrap();
+    assert_eq!(stats.cells_replayed, 0, "stored jobs must not re-execute");
+    assert_eq!(stats.cells_already_stored, 6);
+    assert!(stats.campaigns_replayed > 0);
+
+    // The recovered store now answers the full set warm, and the exports
+    // are the exact golden bytes of an uninterrupted run.
+    let recovered = figures::run_figures(Scale::Tiny, &exec).unwrap();
+    let executed: usize = recovered.iter().map(|f| f.executed).sum();
+    assert_eq!(executed, 0, "recovery must have completed every campaign");
+    let failures = figures::check_goldens(&golden_root(), Scale::Tiny, &recovered);
+    assert!(
+        failures.is_empty(),
+        "recovered exports drifted from golden/tiny:\n{}",
+        failures.join("\n---\n")
+    );
+
+    // A second recovery pass is a no-op: everything journaled is stored.
+    let again = exec.recover(&FigureResolver).unwrap();
+    assert_eq!(again.cells_replayed, 0);
 
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -106,12 +161,16 @@ fn perturbed_histogram_bucket_fails_with_a_readable_per_column_diff() {
 fn figure_store_gc_reclaims_nothing_while_campaigns_are_live() {
     // After a full figure run, every record in the store is referenced by
     // some figure: gc against the live set must keep them all.
-    let (dir, store) = tmp_store("gc");
-    let runner = Runner::new(0);
-    let runs = figures::run_figures(Scale::Tiny, &store, &runner).unwrap();
-    let live = figures::live_keys(&runs);
-    assert_eq!(store.len(), live.len(), "one record per resolved job key");
-    let stats = store.gc(live.iter()).unwrap();
+    let dir = tmp_dir("gc");
+    let exec = Executor::new(ResultStore::open(&dir).unwrap(), Runner::new(0));
+    let runs = figures::run_figures(Scale::Tiny, &exec).unwrap();
+    let live: Vec<JobKey> = figures::live_keys(&runs).into_iter().collect();
+    assert_eq!(
+        exec.store().len(),
+        live.len(),
+        "one record per resolved job key"
+    );
+    let stats = exec.gc(&live).unwrap();
     assert_eq!(stats.removed, 0);
     assert_eq!(stats.kept, live.len());
     let _ = std::fs::remove_dir_all(&dir);
