@@ -546,6 +546,7 @@ fn run_figure_mode(args: &Args, exec: &Executor) {
     let opts = FigureOptions {
         budget: args.budget.then(|| args.budget_policy()),
         max_new_jobs: args.max_new_jobs,
+        cancel: None,
     };
     if args.update_golden && (opts.budget.is_some() || opts.max_new_jobs.is_some()) {
         eprintln!(

@@ -622,7 +622,7 @@ pub struct FigureDef {
 
 /// Per-invocation knobs for a figure run. The default (`fixed replicates,
 /// no cap`) is the byte-deterministic golden configuration.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct FigureOptions {
     /// Convergence-driven replication instead of the matrices' fixed
     /// replicate counts. Budgeted exports are *not* golden-comparable.
@@ -630,6 +630,11 @@ pub struct FigureOptions {
     /// Campaign-wide cap on fresh executions, shared across all eleven
     /// figures in order — the interruption knob the recovery CI arm pulls.
     pub max_new_jobs: Option<usize>,
+    /// Cooperative cancellation, threaded into every figure's sweep: a
+    /// tripped token interrupts the sequence at a job boundary exactly like
+    /// an exhausted `max_new_jobs` cap, and recovery completes it the same
+    /// way. This is the daemon's cancel path.
+    pub cancel: Option<CancelToken>,
 }
 
 /// Every figure of the paper (plus e10/e11) at `scale`, in order.
@@ -813,6 +818,9 @@ fn run_figure(
     }
     if let Some(cap) = *remaining {
         sweep = sweep.max_new_jobs(cap);
+    }
+    if let Some(token) = &opts.cancel {
+        sweep = sweep.cancel(token.clone());
     }
     let outcome = exec.regenerate_figure(def.id, scale.golden_dir(), &sweep)?;
     if let Some(cap) = remaining.as_mut() {

@@ -31,12 +31,24 @@ use std::path::Path;
 use std::sync::Mutex;
 
 /// The command-layer execution boundary. See the module docs.
+///
+/// An executor is `Send + Sync`: the store is atomics behind an `Arc`, the
+/// runner is plain data, and the journal is behind a `Mutex` — so a service
+/// can share one executor across its worker threads behind an `Arc`, with
+/// journal appends serialised and everything else lock-free.
 #[derive(Debug)]
 pub struct Executor {
     store: ResultStore,
     runner: Runner,
     journal: Option<Mutex<Journal>>,
 }
+
+// Compile-time pin of the sharing contract above: `rackfabricd` workers
+// hold one `Arc<Executor>`; losing `Send + Sync` would break them.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Executor>();
+};
 
 /// What one [`Executor::recover`] pass did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -139,9 +151,20 @@ impl Executor {
         &self,
         spec: &rackfabric_scenario::spec::ScenarioSpec,
     ) -> io::Result<JobOutcome> {
+        self.run_scenario_tracked(spec).map(|(outcome, _)| outcome)
+    }
+
+    /// [`Executor::run_scenario`] plus the cache verdict: the flag is true
+    /// when the store answered (zero engine work). Services report this
+    /// per-request — the "warm query = cache hit" guarantee is observable,
+    /// not just implied.
+    pub fn run_scenario_tracked(
+        &self,
+        spec: &rackfabric_scenario::spec::ScenarioSpec,
+    ) -> io::Result<(JobOutcome, bool)> {
         let key = job_key(spec);
         if let Some(outcome) = self.store.get(&key) {
-            return Ok(outcome);
+            return Ok((outcome, true));
         }
         let spec_json = canonical_spec_json(spec);
         self.journal_append(&Command::RunScenario {
@@ -161,7 +184,7 @@ impl Executor {
             .next()
             .expect("one job in, one outcome out");
         self.store.put(&key, &spec_json, &outcome)?;
-        Ok(outcome)
+        Ok((outcome, false))
     }
 
     /// Runs a sweep campaign through the command layer: an `expand-matrix`

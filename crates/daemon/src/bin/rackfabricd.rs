@@ -1,0 +1,240 @@
+//! `rackfabricd` — the simulator as a long-running multi-tenant service.
+//!
+//! ```text
+//! rackfabricd --store DIR [options]                 serve mode
+//! rackfabricd --oneshot FILE --store DIR [options]  batch mode
+//!
+//!   --store DIR       result store directory (default: rackfabricd-store)
+//!   --journal DIR     campaign journal directory (default: <store>/journal)
+//!   --no-journal      run without a journal (no durability)
+//!   --port N          listen port on 127.0.0.1 (default 0 = OS-assigned;
+//!                     the bound address is printed as `LISTENING <addr>`)
+//!   --workers N       worker pool size (default 0 = one per core)
+//!   --max-queue N     queue bound before submissions are rejected
+//!                     (default 1024)
+//!   --threads N       engine runner threads per job (default 0 = per core)
+//!   --trace FILE      on exit, write a Chrome-trace JSON of the service
+//!                     (worker lanes, job spans) to FILE
+//!   --metrics FILE    on exit, write the metrics registry JSON (queue
+//!                     depth, warm hits, response-time histogram) to FILE
+//!
+//! batch mode:
+//!
+//!   --oneshot FILE    execute the canonical command lines in FILE through
+//!                     the plain batch executor — no socket, no scheduler —
+//!                     and print one canonical result line per command.
+//!                     CI's determinism gate `cmp`s these bytes against the
+//!                     daemon's responses for the same commands.
+//!   --out FILE        write oneshot result lines to FILE instead of stdout
+//! ```
+//!
+//! Serve mode prints `LISTENING <addr>` once the socket is bound, then runs
+//! until a client sends a `shutdown` request. The protocol is one canonical
+//! JSON object per line; see `rackfabric-daemon`'s crate docs.
+
+use rackfabric_cmd::command::Command;
+use rackfabric_cmd::executor::Executor;
+use rackfabric_daemon::service::{execute_oneshot, Daemon, DaemonConfig};
+use rackfabric_obs::metrics::Registry;
+use rackfabric_obs::trace::TraceSink;
+use rackfabric_obs::Observer;
+use rackfabric_scenario::runner::Runner;
+use rackfabric_sim::json;
+use rackfabric_sweep::store::ResultStore;
+use std::io::Write;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+struct Args {
+    store: String,
+    journal: Option<String>,
+    no_journal: bool,
+    port: u16,
+    workers: usize,
+    max_queue: usize,
+    threads: usize,
+    trace: Option<String>,
+    metrics: Option<String>,
+    oneshot: Option<String>,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        store: "rackfabricd-store".into(),
+        journal: None,
+        no_journal: false,
+        port: 0,
+        workers: 0,
+        max_queue: 1024,
+        threads: 0,
+        trace: None,
+        metrics: None,
+        oneshot: None,
+        out: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{} requires a value", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--store" => args.store = value(&mut i)?,
+            "--journal" => args.journal = Some(value(&mut i)?),
+            "--no-journal" => args.no_journal = true,
+            "--port" => args.port = value(&mut i)?.parse().map_err(|e| format!("--port: {e}"))?,
+            "--workers" => {
+                args.workers = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--max-queue" => {
+                args.max_queue = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--max-queue: {e}"))?
+            }
+            "--threads" => {
+                args.threads = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--trace" => args.trace = Some(value(&mut i)?),
+            "--metrics" => args.metrics = Some(value(&mut i)?),
+            "--oneshot" => args.oneshot = Some(value(&mut i)?),
+            "--out" => args.out = Some(value(&mut i)?),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn build_executor(args: &Args, observer: &Observer) -> Executor {
+    let store = match ResultStore::open(&args.store) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("rackfabricd: cannot open store {}: {e}", args.store);
+            std::process::exit(1);
+        }
+    };
+    let runner = Runner::new(args.threads).with_observer(observer.clone());
+    if args.no_journal {
+        return Executor::new(store, runner);
+    }
+    let dir = args
+        .journal
+        .clone()
+        .unwrap_or_else(|| format!("{}/journal", args.store));
+    match Executor::with_journal(store, runner, &dir) {
+        Ok(exec) => exec,
+        Err(e) => {
+            eprintln!("rackfabricd: cannot open journal {dir}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Batch mode: the daemon's execution path with no socket or scheduler in
+/// the way. One canonical command line in, one canonical result line out —
+/// the reference bytes for the determinism gate.
+fn run_oneshot(args: &Args, exec: &Executor, path: &str) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("rackfabricd: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut lines = Vec::new();
+    for (n, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let command = json::parse(line)
+            .ok()
+            .as_ref()
+            .and_then(Command::from_value);
+        let Some(command) = command else {
+            eprintln!("rackfabricd: {path}:{}: not a command line", n + 1);
+            std::process::exit(1);
+        };
+        match execute_oneshot(exec, &command) {
+            Ok((_cached, result)) => lines.push(result),
+            Err(reason) => {
+                eprintln!("rackfabricd: {path}:{}: {reason}", n + 1);
+                std::process::exit(1);
+            }
+        }
+    }
+    let mut body = lines.join("\n");
+    body.push('\n');
+    match &args.out {
+        None => print!("{body}"),
+        Some(dest) => {
+            if let Err(e) = std::fs::write(dest, body) {
+                eprintln!("rackfabricd: cannot write {dest}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!(
+                "rackfabricd: wrote {} result line(s) to {dest}",
+                lines.len()
+            );
+        }
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("rackfabricd: {message}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut observer = Observer::off().with_registry(Arc::new(Registry::new()));
+    if args.trace.is_some() {
+        observer = observer.with_trace(Arc::new(TraceSink::new()));
+    }
+    let exec = build_executor(&args, &observer);
+
+    if let Some(path) = &args.oneshot {
+        run_oneshot(&args, &exec, path);
+        return;
+    }
+
+    let config = DaemonConfig {
+        workers: args.workers,
+        max_queue: args.max_queue,
+        addr: SocketAddr::from(([127, 0, 0, 1], args.port)),
+        observer: observer.clone(),
+    };
+    let daemon = match Daemon::start(Arc::new(exec), config) {
+        Ok(daemon) => daemon,
+        Err(e) => {
+            eprintln!("rackfabricd: cannot start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("LISTENING {}", daemon.addr());
+    let _ = std::io::stdout().flush();
+    daemon.wait();
+
+    if let (Some(path), Some(sink)) = (&args.trace, observer.trace()) {
+        match sink.write_file(path) {
+            Ok(()) => eprintln!("rackfabricd: wrote trace to {path}"),
+            Err(e) => eprintln!("rackfabricd: cannot write trace {path}: {e}"),
+        }
+    }
+    if let (Some(path), Some(registry)) = (&args.metrics, observer.registry()) {
+        match std::fs::write(path, registry.render_json()) {
+            Ok(()) => eprintln!("rackfabricd: wrote metrics to {path}"),
+            Err(e) => eprintln!("rackfabricd: cannot write metrics {path}: {e}"),
+        }
+    }
+    eprintln!("rackfabricd: shut down cleanly");
+}

@@ -1,0 +1,170 @@
+//! A small blocking client for the daemon protocol, used by the test
+//! harness, the load generator and the CLI's remote mode.
+//!
+//! One request per connection: the client connects, writes one canonical
+//! request line, reads event lines until the terminal one, and disconnects.
+//! Stateless connections keep the client trivially thread-safe (clone one
+//! per thread) and make every timeout local to one request. All socket
+//! reads are bounded by the client's timeout — a wedged daemon produces an
+//! error, never a hung test.
+
+use crate::proto::{Event, Request, StatusCounts};
+use rackfabric_cmd::command::Command;
+use rackfabric_sim::json;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Blocking protocol client. Cheap to clone; one connection per call.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+/// The full account of one submitted job.
+#[derive(Debug, Clone)]
+pub struct SubmitReply {
+    /// Job id assigned (or attached to) by the daemon.
+    pub job: String,
+    /// True when the store answered with zero executions.
+    pub cached: bool,
+    /// The result payload as one canonical JSON line — the byte string the
+    /// determinism harness compares against the batch path.
+    pub result_json: String,
+    /// Every event line observed, verbatim, in order (diagnostics).
+    pub events: Vec<String>,
+}
+
+impl Client {
+    /// A client for the daemon at `addr` with a per-request timeout.
+    pub fn new(addr: SocketAddr, timeout: Duration) -> Client {
+        Client { addr, timeout }
+    }
+
+    fn connect(&self) -> io::Result<TcpStream> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        Ok(stream)
+    }
+
+    fn send(&self, request: &Request) -> io::Result<(TcpStream, String)> {
+        let mut stream = self.connect()?;
+        let mut line = request.canonical_json();
+        line.push('\n');
+        stream.write_all(line.as_bytes())?;
+        Ok((stream, line))
+    }
+
+    /// Submits `command` and blocks until its terminal event. Cancellation
+    /// and failure come back as errors carrying the event's reason.
+    pub fn submit(&self, tenant: &str, priority: i64, command: Command) -> io::Result<SubmitReply> {
+        let (stream, _) = self.send(&Request::Submit {
+            tenant: tenant.to_string(),
+            priority,
+            command,
+        })?;
+        let mut events = Vec::new();
+        let mut job = String::new();
+        for line in BufReader::new(stream).lines() {
+            let line = line?;
+            events.push(line.clone());
+            let Some(event) = Event::from_line(&line) else {
+                return Err(bad_reply(&line));
+            };
+            match event {
+                Event::Accepted { job: id } => job = id,
+                Event::Started { .. } => {}
+                Event::Done {
+                    job: id,
+                    cached,
+                    result,
+                } => {
+                    return Ok(SubmitReply {
+                        job: id,
+                        cached,
+                        result_json: json::canonical(&result),
+                        events,
+                    })
+                }
+                Event::Rejected { reason } => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WouldBlock,
+                        format!("rejected: {reason}"),
+                    ))
+                }
+                Event::Cancelled { .. } => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::Interrupted,
+                        format!("job {job} cancelled"),
+                    ))
+                }
+                Event::Error { reason, .. } => {
+                    return Err(io::Error::other(format!("job {job} failed: {reason}")))
+                }
+                other => {
+                    return Err(bad_reply(&other.canonical_json()));
+                }
+            }
+        }
+        Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before a terminal event",
+        ))
+    }
+
+    /// Requests cancellation of `job`. `Ok(true)` when the daemon accepted
+    /// it, `Ok(false)` for unknown/finished jobs.
+    pub fn cancel(&self, job: &str) -> io::Result<bool> {
+        match self.roundtrip(&Request::Cancel {
+            job: job.to_string(),
+        })? {
+            Event::Cancelled { .. } => Ok(true),
+            Event::Error { .. } => Ok(false),
+            other => Err(bad_reply(&other.canonical_json())),
+        }
+    }
+
+    /// Fetches the scheduler counters.
+    pub fn status(&self) -> io::Result<StatusCounts> {
+        match self.roundtrip(&Request::Status)? {
+            Event::Status(counts) => Ok(counts),
+            other => Err(bad_reply(&other.canonical_json())),
+        }
+    }
+
+    /// Asks the daemon to drain and stop.
+    pub fn shutdown(&self) -> io::Result<()> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Event::ShuttingDown => Ok(()),
+            other => Err(bad_reply(&other.canonical_json())),
+        }
+    }
+
+    /// One request, one event line back.
+    fn roundtrip(&self, request: &Request) -> io::Result<Event> {
+        let (stream, _) = self.send(request)?;
+        let mut line = String::new();
+        BufReader::new(stream).read_line(&mut line)?;
+        let line = line.trim_end();
+        Event::from_line(line).ok_or_else(|| bad_reply(line))
+    }
+}
+
+fn bad_reply(line: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected daemon reply: {line}"),
+    )
+}
+
+/// Extracts the canonical `result` line from a raw `done` event line —
+/// what byte-for-byte comparisons against the batch path use. `None` when
+/// the line is not a `done` event.
+pub fn done_result_bytes(line: &str) -> Option<String> {
+    match Event::from_line(line)? {
+        Event::Done { result, .. } => Some(json::canonical(&result)),
+        _ => None,
+    }
+}

@@ -1,0 +1,358 @@
+//! The wire protocol: line-delimited canonical JSON over a localhost TCP
+//! connection.
+//!
+//! Every request and every event is one JSON object on one line, encoded
+//! **canonically** (sorted keys, no whitespace) exactly like the journal's
+//! records — `encode(decode(x)) == x` for every valid message, so two equal
+//! responses are byte-equal lines. That property is what turns the daemon's
+//! "warm queries return byte-identical answers" promise into something a
+//! client can check with `==` on raw lines.
+//!
+//! Requests carry their operation in an `op` field; events carry theirs in
+//! an `event` field. A [`Request::Submit`] embeds a full
+//! [`Command`] value in its canonical structured form — the daemon speaks
+//! the same instruction set as the batch CLI and the journal.
+
+use rackfabric_cmd::command::Command;
+use rackfabric_sim::json::{self, JsonValue};
+
+fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn string(s: &str) -> JsonValue {
+    JsonValue::String(s.to_string())
+}
+
+fn uint(v: u64) -> JsonValue {
+    JsonValue::Number(v.to_string())
+}
+
+fn int(v: i64) -> JsonValue {
+    JsonValue::Number(v.to_string())
+}
+
+/// The facade exposes `as_u64`/`as_f64` only; priorities are signed, so
+/// parse the lossless number text directly.
+fn as_i64(value: &JsonValue) -> Option<i64> {
+    match value {
+        JsonValue::Number(text) => text.parse().ok(),
+        _ => None,
+    }
+}
+
+/// One client request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit one [`Command`] for scheduling; the connection then streams
+    /// the job's events until a terminal one.
+    Submit {
+        /// Tenant label (grouping + trace attribution; free-form).
+        tenant: String,
+        /// Scheduling priority: higher runs first, ties in arrival order.
+        priority: i64,
+        /// The operation, in the same form the journal records.
+        command: Command,
+    },
+    /// Cancel a job by id. Queued jobs are dropped; an active campaign is
+    /// interrupted at its next job boundary (completed jobs stay journaled
+    /// and persisted — a clean prefix).
+    Cancel {
+        /// The job id from the `accepted` event.
+        job: String,
+    },
+    /// Ask for scheduler counters.
+    Status,
+    /// Drain and stop the daemon.
+    Shutdown,
+}
+
+impl Request {
+    /// The request as one canonical JSON line (without the newline).
+    pub fn canonical_json(&self) -> String {
+        let value = match self {
+            Request::Submit {
+                tenant,
+                priority,
+                command,
+            } => obj(vec![
+                ("command", command.to_value()),
+                ("op", string("submit")),
+                ("priority", int(*priority)),
+                ("tenant", string(tenant)),
+            ]),
+            Request::Cancel { job } => obj(vec![("job", string(job)), ("op", string("cancel"))]),
+            Request::Status => obj(vec![("op", string("status"))]),
+            Request::Shutdown => obj(vec![("op", string("shutdown"))]),
+        };
+        json::canonical(&value)
+    }
+
+    /// Decodes one request line. `None` marks a malformed or unknown
+    /// request (the server answers with an `error` event).
+    pub fn from_line(line: &str) -> Option<Request> {
+        let value = json::parse(line).ok()?;
+        match value.get("op")?.as_str()? {
+            "submit" => Some(Request::Submit {
+                tenant: value.get("tenant")?.as_str()?.to_string(),
+                priority: as_i64(value.get("priority")?)?,
+                command: Command::from_value(value.get("command")?)?,
+            }),
+            "cancel" => Some(Request::Cancel {
+                job: value.get("job")?.as_str()?.to_string(),
+            }),
+            "status" => Some(Request::Status),
+            "shutdown" => Some(Request::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+/// Scheduler counters reported by a `status` request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatusCounts {
+    /// Jobs waiting in the queue.
+    pub queued: u64,
+    /// Jobs currently on a worker.
+    pub active: u64,
+    /// Jobs that reached a terminal state (done, cancelled or failed).
+    pub completed: u64,
+    /// Completed jobs answered entirely from the store (zero executions).
+    pub warm_hits: u64,
+    /// Submissions refused by queue backpressure.
+    pub rejected: u64,
+    /// Jobs cancelled (queued drops + interrupted campaigns).
+    pub cancelled: u64,
+    /// Submissions that attached to an identical in-flight job instead of
+    /// enqueuing a duplicate.
+    pub dedup_attached: u64,
+}
+
+/// One server event line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// The submission was enqueued (or attached to an identical in-flight
+    /// job) under this id.
+    Accepted {
+        /// Job id, unique within one daemon instance.
+        job: String,
+    },
+    /// The submission was refused (backpressure or shutdown).
+    Rejected {
+        /// Why.
+        reason: String,
+    },
+    /// A worker picked the job up.
+    Started {
+        /// Job id.
+        job: String,
+    },
+    /// The job finished. `result` is the operation's canonical payload —
+    /// byte-identical to what the batch CLI produces for the same command.
+    Done {
+        /// Job id.
+        job: String,
+        /// True when the store answered without any engine execution.
+        cached: bool,
+        /// Canonical structured result payload.
+        result: JsonValue,
+    },
+    /// The job was cancelled (dropped from the queue, or its campaign was
+    /// interrupted at a job boundary).
+    Cancelled {
+        /// Job id.
+        job: String,
+    },
+    /// The request or job failed.
+    Error {
+        /// Job id when the failure is tied to one.
+        job: Option<String>,
+        /// Why.
+        reason: String,
+    },
+    /// Scheduler counters.
+    Status(StatusCounts),
+    /// The daemon acknowledged a shutdown request.
+    ShuttingDown,
+}
+
+impl Event {
+    /// The event as one canonical JSON line (without the newline).
+    pub fn canonical_json(&self) -> String {
+        let value = match self {
+            Event::Accepted { job } => {
+                obj(vec![("event", string("accepted")), ("job", string(job))])
+            }
+            Event::Rejected { reason } => obj(vec![
+                ("event", string("rejected")),
+                ("reason", string(reason)),
+            ]),
+            Event::Started { job } => obj(vec![("event", string("started")), ("job", string(job))]),
+            Event::Done {
+                job,
+                cached,
+                result,
+            } => obj(vec![
+                ("cached", JsonValue::Bool(*cached)),
+                ("event", string("done")),
+                ("job", string(job)),
+                ("result", result.clone()),
+            ]),
+            Event::Cancelled { job } => {
+                obj(vec![("event", string("cancelled")), ("job", string(job))])
+            }
+            Event::Error { job, reason } => obj(vec![
+                ("event", string("error")),
+                (
+                    "job",
+                    match job {
+                        None => JsonValue::Null,
+                        Some(id) => string(id),
+                    },
+                ),
+                ("reason", string(reason)),
+            ]),
+            Event::Status(counts) => obj(vec![
+                ("active", uint(counts.active)),
+                ("cancelled", uint(counts.cancelled)),
+                ("completed", uint(counts.completed)),
+                ("dedup_attached", uint(counts.dedup_attached)),
+                ("event", string("status")),
+                ("queued", uint(counts.queued)),
+                ("rejected", uint(counts.rejected)),
+                ("warm_hits", uint(counts.warm_hits)),
+            ]),
+            Event::ShuttingDown => obj(vec![("event", string("shutting-down"))]),
+        };
+        json::canonical(&value)
+    }
+
+    /// Decodes one event line. `None` marks a malformed or unknown event.
+    pub fn from_line(line: &str) -> Option<Event> {
+        let value = json::parse(line).ok()?;
+        match value.get("event")?.as_str()? {
+            "accepted" => Some(Event::Accepted {
+                job: value.get("job")?.as_str()?.to_string(),
+            }),
+            "rejected" => Some(Event::Rejected {
+                reason: value.get("reason")?.as_str()?.to_string(),
+            }),
+            "started" => Some(Event::Started {
+                job: value.get("job")?.as_str()?.to_string(),
+            }),
+            "done" => Some(Event::Done {
+                job: value.get("job")?.as_str()?.to_string(),
+                cached: value.get("cached")?.as_bool()?,
+                result: value.get("result")?.clone(),
+            }),
+            "cancelled" => Some(Event::Cancelled {
+                job: value.get("job")?.as_str()?.to_string(),
+            }),
+            "error" => Some(Event::Error {
+                job: match value.get("job")? {
+                    JsonValue::Null => None,
+                    id => Some(id.as_str()?.to_string()),
+                },
+                reason: value.get("reason")?.as_str()?.to_string(),
+            }),
+            "status" => Some(Event::Status(StatusCounts {
+                queued: value.get("queued")?.as_u64()?,
+                active: value.get("active")?.as_u64()?,
+                completed: value.get("completed")?.as_u64()?,
+                warm_hits: value.get("warm_hits")?.as_u64()?,
+                rejected: value.get("rejected")?.as_u64()?,
+                cancelled: value.get("cancelled")?.as_u64()?,
+                dedup_attached: value.get("dedup_attached")?.as_u64()?,
+            })),
+            "shutting-down" => Some(Event::ShuttingDown),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_canonically() {
+        let examples = vec![
+            Request::Submit {
+                tenant: "tenant-a".into(),
+                priority: 7,
+                command: Command::RunScenario {
+                    spec_json: "{\"seed\":3}".into(),
+                },
+            },
+            Request::Cancel { job: "j-42".into() },
+            Request::Status,
+            Request::Shutdown,
+        ];
+        for req in examples {
+            let line = req.canonical_json();
+            let back = Request::from_line(&line).unwrap();
+            assert_eq!(back, req);
+            assert_eq!(back.canonical_json(), line, "canonical = idempotent");
+        }
+    }
+
+    #[test]
+    fn events_round_trip_canonically() {
+        let examples = vec![
+            Event::Accepted { job: "j-1".into() },
+            Event::Rejected {
+                reason: "queue full".into(),
+            },
+            Event::Started { job: "j-1".into() },
+            Event::Done {
+                job: "j-1".into(),
+                cached: true,
+                result: json::parse("{\"failed\":\"x\"}").unwrap(),
+            },
+            Event::Cancelled { job: "j-1".into() },
+            Event::Error {
+                job: None,
+                reason: "malformed request".into(),
+            },
+            Event::Error {
+                job: Some("j-2".into()),
+                reason: "boom".into(),
+            },
+            Event::Status(StatusCounts {
+                queued: 1,
+                active: 2,
+                completed: 3,
+                warm_hits: 4,
+                rejected: 5,
+                cancelled: 6,
+                dedup_attached: 7,
+            }),
+            Event::ShuttingDown,
+        ];
+        for event in examples {
+            let line = event.canonical_json();
+            let back = Event::from_line(&line).unwrap();
+            assert_eq!(back, event);
+            assert_eq!(back.canonical_json(), line);
+        }
+    }
+
+    #[test]
+    fn malformed_lines_decode_to_none() {
+        for bad in [
+            "",
+            "not json",
+            "{\"op\":\"fly\"}",
+            "{\"event\":\"warp\"}",
+            "{\"op\":\"submit\",\"tenant\":\"t\"}",
+        ] {
+            assert!(Request::from_line(bad).is_none(), "accepted {bad:?}");
+            assert!(Event::from_line(bad).is_none(), "accepted {bad:?}");
+        }
+    }
+}

@@ -145,6 +145,27 @@ impl Observer {
             registry.counter(name, domain).add(delta);
         }
     }
+
+    /// Sets the named gauge (registering it on first use). No-op when
+    /// metrics are disabled. Gauges carry instantaneous levels — a
+    /// service's queue depth or active-job count — where a counter's
+    /// monotonic total would be meaningless.
+    #[inline]
+    pub fn gauge_set(&self, name: &'static str, domain: TimeDomain, value: i64) {
+        if let Some(registry) = &self.registry {
+            registry.gauge(name, domain).set(value);
+        }
+    }
+
+    /// Records one sample into the named histogram (registering it on first
+    /// use). No-op when metrics are disabled. This is how a service records
+    /// per-request latencies cheaply enough for its hot path.
+    #[inline]
+    pub fn record(&self, name: &'static str, domain: TimeDomain, value: u64) {
+        if let Some(registry) = &self.registry {
+            registry.histogram(name, domain).record(value);
+        }
+    }
 }
 
 /// Convenience re-exports for `use rackfabric_obs::prelude::*`.

@@ -8,6 +8,16 @@
 //! and can be labelled with [`TraceSink::name_lane`] metadata events so the
 //! viewer shows "worker 0 (windows)" instead of a bare number.
 //!
+//! The workspace's lane allocation, so subsystems sharing one sink never
+//! collide:
+//!
+//! | range   | owner                                            |
+//! |---------|--------------------------------------------------|
+//! | 0..1000 | engine shard workers                             |
+//! | 1000+w  | scenario runner job workers (`JOB_LANE_BASE`)    |
+//! | 2000    | sweep orchestrator (`SWEEP_LANE`)                |
+//! | 3000+w  | `rackfabricd` daemon workers (`DAEMON_LANE_BASE`)|
+//!
 //! The sink is **bounded**: past [`TraceSink::with_capacity`]'s event cap it
 //! drops new events (counting them) instead of growing without limit — a
 //! long perf run stays a few tens of MB of JSON instead of eating the disk.

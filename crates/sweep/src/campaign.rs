@@ -23,6 +23,7 @@
 //! where it stopped.
 
 use crate::budget::{converged, rel_halfwidth, BudgetPolicy, CellBudget, StopReason};
+use crate::cancel::CancelToken;
 use crate::key::{canonical_spec_json, job_key};
 use crate::store::ResultStore;
 use rackfabric_obs::{Observer, TimeDomain};
@@ -100,6 +101,12 @@ pub struct Sweep {
     /// cache hit/miss counters). Observability only: outcomes, store records
     /// and exports are byte-identical with it on or off.
     pub observer: Observer,
+    /// Cooperative cancellation: with a token attached, store misses are
+    /// dispatched in runner-thread-sized chunks and the token is checked
+    /// between chunks. A tripped token stops the campaign exactly like
+    /// `max_new_jobs` does — completed jobs persisted, the rest skipped —
+    /// so a cancelled campaign resumes (or recovers) to identical bytes.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Sweep {
@@ -110,6 +117,7 @@ impl Sweep {
             budget: None,
             max_new_jobs: None,
             observer: Observer::off(),
+            cancel: None,
         }
     }
 
@@ -129,6 +137,12 @@ impl Sweep {
     /// Attaches a campaign observer, returning the modified sweep.
     pub fn observed(mut self, observer: Observer) -> Sweep {
         self.observer = observer;
+        self
+    }
+
+    /// Attaches a cancellation token, returning the modified sweep.
+    pub fn cancel(mut self, token: CancelToken) -> Sweep {
+        self.cancel = Some(token);
         self
     }
 
@@ -164,6 +178,7 @@ impl Sweep {
             max_new_jobs: self.max_new_jobs,
             interrupted: false,
             observer: &self.observer,
+            cancel: self.cancel.as_ref(),
         };
         let (records, cell_budgets) = match &self.budget {
             None => (self.run_fixed(&mut dispatcher)?, Vec::new()),
@@ -408,6 +423,7 @@ struct Dispatcher<'a> {
     max_new_jobs: Option<usize>,
     interrupted: bool,
     observer: &'a Observer,
+    cancel: Option<&'a CancelToken>,
 }
 
 impl Dispatcher<'_> {
@@ -453,18 +469,39 @@ impl Dispatcher<'_> {
         if pending.is_empty() {
             return Ok(outcomes);
         }
-        let batch: Vec<Job> = pending.iter().map(|&i| jobs[i].clone()).collect();
-        // The boundary both executes and persists — one span covers the
-        // whole mutation so traces stay meaningful whichever boundary runs.
-        let results = {
-            let mut span = self.observer.span(SWEEP_LANE, "execute", "sweep");
-            span.arg_u64("jobs", batch.len() as u64);
-            self.boundary
-                .execute_batch(&batch, self.store, self.runner)?
+        // Without a cancel token the whole miss set is one batch. With one,
+        // dispatch in runner-thread-sized chunks and check the token between
+        // chunks: jobs already handed to the engine complete and persist, so
+        // cancellation always leaves a clean store (and journal) prefix.
+        let chunk = match self.cancel {
+            Some(_) => self.runner.threads().max(1),
+            None => pending.len(),
         };
-        for (&i, outcome) in pending.iter().zip(results) {
-            self.executed += 1;
-            outcomes[i] = Some(outcome);
+        let mut offset = 0;
+        while offset < pending.len() {
+            if let Some(token) = self.cancel {
+                if token.checkpoint() {
+                    self.interrupted = true;
+                    self.skipped += pending.len() - offset;
+                    break;
+                }
+            }
+            let slice = &pending[offset..(offset + chunk).min(pending.len())];
+            let batch: Vec<Job> = slice.iter().map(|&i| jobs[i].clone()).collect();
+            // The boundary both executes and persists — one span covers the
+            // whole mutation so traces stay meaningful whichever boundary
+            // runs.
+            let results = {
+                let mut span = self.observer.span(SWEEP_LANE, "execute", "sweep");
+                span.arg_u64("jobs", batch.len() as u64);
+                self.boundary
+                    .execute_batch(&batch, self.store, self.runner)?
+            };
+            for (&i, outcome) in slice.iter().zip(results) {
+                self.executed += 1;
+                outcomes[i] = Some(outcome);
+            }
+            offset += slice.len();
         }
         Ok(outcomes)
     }
@@ -568,6 +605,52 @@ mod tests {
         );
         let _ = std::fs::remove_dir_all(&dir_a);
         let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn cancellation_interrupts_cleanly_and_resumes_to_identical_output() {
+        let (dir_a, store_a) = tmp_store("cancel-a");
+        let (dir_b, store_b) = tmp_store("cancel-b");
+        let runner = Runner::single_threaded();
+
+        // Reference: one uninterrupted run.
+        let full = Sweep::new(small_matrix()).run(&store_a, &runner).unwrap();
+
+        // A fuse token cancels deterministically after two dispatch chunks
+        // (chunk = 1 job on a single-threaded runner).
+        let token = CancelToken::after_checks(2);
+        let partial = Sweep::new(small_matrix())
+            .cancel(token.clone())
+            .run(&store_b, &runner)
+            .unwrap();
+        assert!(partial.interrupted);
+        assert!(token.is_cancelled());
+        assert_eq!(partial.executed, 2, "jobs before the trip complete");
+        assert_eq!(partial.skipped, 2, "jobs after it are skipped");
+
+        // A resume (no token) runs only the remainder and reproduces the
+        // uninterrupted campaign byte for byte.
+        let resumed = Sweep::new(small_matrix()).run(&store_b, &runner).unwrap();
+        assert_eq!(resumed.executed, 2);
+        assert_eq!(resumed.cached, 2);
+        assert_eq!(
+            rackfabric_scenario::export::cells_to_csv(&full.cells),
+            rackfabric_scenario::export::cells_to_csv(&resumed.cells)
+        );
+
+        // An already-tripped token stops the campaign before any dispatch.
+        let (dir_c, store_c) = tmp_store("cancel-c");
+        let tripped = CancelToken::new();
+        tripped.cancel();
+        let none = Sweep::new(small_matrix())
+            .cancel(tripped)
+            .run(&store_c, &runner)
+            .unwrap();
+        assert_eq!(none.executed, 0);
+        assert!(none.interrupted);
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+        let _ = std::fs::remove_dir_all(&dir_c);
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! Cooperative campaign cancellation.
+//!
+//! A [`CancelToken`] is a cheap, cloneable flag shared between the party
+//! that wants a campaign stopped (a daemon scheduler, a signal handler, a
+//! test) and the sweep dispatcher that checks it between dispatch chunks.
+//! Cancellation is **cooperative and batch-aligned**: jobs already handed
+//! to the engine run to completion and are persisted, so an interrupted
+//! campaign always leaves a clean prefix in the store (and, behind the
+//! command layer, a clean write-ahead journal prefix). That makes a
+//! cancelled campaign indistinguishable from a `max_new_jobs` interruption:
+//! `Executor::recover` or a plain warm re-run completes it to byte-identical
+//! output.
+//!
+//! For deterministic tests, [`CancelToken::after_checks`] builds a token
+//! that trips itself after a fixed number of dispatcher checkpoints,
+//! removing the race between the cancelling thread and the dispatch loop.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag; clones observe the same state.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    /// Remaining dispatcher checkpoints before the token trips itself;
+    /// negative means "no fuse" (the token only trips via [`cancel`]).
+    ///
+    /// [`cancel`]: CancelToken::cancel
+    fuse: AtomicI64,
+}
+
+impl Default for Inner {
+    fn default() -> Inner {
+        Inner {
+            cancelled: AtomicBool::new(false),
+            fuse: AtomicI64::new(-1),
+        }
+    }
+}
+
+impl CancelToken {
+    /// A token that trips only when [`CancelToken::cancel`] is called.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token that allows exactly `checks` dispatcher checkpoints and then
+    /// trips itself — a deterministic "cancel mid-campaign" for tests,
+    /// independent of thread timing.
+    pub fn after_checks(checks: u64) -> CancelToken {
+        let token = CancelToken::new();
+        token
+            .inner
+            .fuse
+            .store(checks.min(i64::MAX as u64) as i64, Ordering::SeqCst);
+        token
+    }
+
+    /// Trips the token. Idempotent; all clones observe it.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// True once the token has tripped (does not consume fuse checkpoints).
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// A dispatcher checkpoint: returns `true` when the campaign must stop
+    /// dispatching. Counts against an [`after_checks`] fuse, tripping the
+    /// token permanently when it runs out.
+    ///
+    /// [`after_checks`]: CancelToken::after_checks
+    pub fn checkpoint(&self) -> bool {
+        if self.is_cancelled() {
+            return true;
+        }
+        let fuse = self.inner.fuse.load(Ordering::SeqCst);
+        if fuse < 0 {
+            return false;
+        }
+        let remaining = self.inner.fuse.fetch_sub(1, Ordering::SeqCst);
+        if remaining <= 0 {
+            self.cancel();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        assert!(!a.checkpoint(), "an untripped token never interrupts");
+        b.cancel();
+        assert!(a.is_cancelled());
+        assert!(a.checkpoint());
+    }
+
+    #[test]
+    fn fuse_trips_after_the_allowed_checkpoints() {
+        let token = CancelToken::after_checks(2);
+        assert!(!token.checkpoint());
+        assert!(!token.checkpoint());
+        assert!(token.checkpoint(), "third checkpoint trips the fuse");
+        assert!(token.is_cancelled(), "a tripped fuse is permanent");
+        assert!(token.checkpoint());
+    }
+
+    #[test]
+    fn zero_fuse_trips_immediately() {
+        let token = CancelToken::after_checks(0);
+        assert!(!token.is_cancelled(), "pure reads never consume the fuse");
+        assert!(token.checkpoint());
+    }
+}

@@ -59,8 +59,10 @@
 
 pub mod budget;
 pub mod campaign;
+pub mod cancel;
 pub mod emit;
 pub mod key;
+pub mod lock;
 pub mod report;
 pub mod store;
 
@@ -70,13 +72,17 @@ pub mod prelude {
     pub use crate::campaign::{
         CellDistributions, DirectBoundary, EngineBoundary, Sweep, SweepOutcome,
     };
+    pub use crate::cancel::CancelToken;
     pub use crate::emit::{render_files, write_report};
     pub use crate::key::{canonical_spec_json, job_key, JobKey};
+    pub use crate::lock::StoreLock;
     pub use crate::report::{cdf_plot, line_plot, PlotSeries};
-    pub use crate::store::{GcStats, ResultStore, StoreStats};
+    pub use crate::store::{outcome_from_json, outcome_to_json, GcStats, ResultStore, StoreStats};
 }
 
 pub use budget::{BudgetPolicy, CellBudget, StopReason};
 pub use campaign::{CellDistributions, DirectBoundary, EngineBoundary, Sweep, SweepOutcome};
+pub use cancel::CancelToken;
 pub use key::{canonical_spec_json, job_key, JobKey};
-pub use store::{GcStats, ResultStore, StoreStats};
+pub use lock::StoreLock;
+pub use store::{outcome_from_json, outcome_to_json, GcStats, ResultStore, StoreStats};

@@ -19,6 +19,7 @@
 //! are treated as absent and overwritten by the next run.
 
 use crate::key::JobKey;
+use crate::lock::StoreLock;
 use rackfabric::metrics::RunSummary;
 use rackfabric_scenario::runner::{JobOutcome, JobResult};
 use rackfabric_sim::json::{self, JsonValue};
@@ -102,7 +103,12 @@ impl ResultStore {
     ) -> io::Result<ResultStore> {
         let root = dir.into();
         std::fs::create_dir_all(root.join("objects"))?;
-        sweep_orphan_temps(&root.join("objects"), grace)?;
+        {
+            // Maintenance (file deletion) is serialised across every handle
+            // sharing this directory — daemon and CLI included.
+            let _lock = StoreLock::exclusive(&root)?;
+            sweep_orphan_temps(&root.join("objects"), grace)?;
+        }
         Ok(ResultStore {
             root,
             counters: Arc::new(StoreCounters::default()),
@@ -197,6 +203,9 @@ impl ResultStore {
     /// rename), and a file that vanishes mid-pass (the writer's rename won
     /// the race) is skipped rather than failing the collection.
     pub fn gc<'a>(&self, live: impl IntoIterator<Item = &'a JobKey>) -> io::Result<GcStats> {
+        // One collector at a time across every process sharing the
+        // directory; record reads and writes proceed untouched.
+        let _lock = StoreLock::exclusive(&self.root)?;
         let live: std::collections::BTreeSet<u128> = live.into_iter().map(|k| k.0).collect();
         let mut stats = GcStats::default();
         let objects = self.root.join("objects");
@@ -292,6 +301,11 @@ impl ResultStore {
     /// cumulative totals. Call once at the end of a run; draining makes a
     /// second flush a no-op instead of double-counting.
     pub fn flush_stats(&self) -> io::Result<StoreStats> {
+        // The sidecar is read-modify-write: without the lock, two handles
+        // (daemon + CLI on the same directory) could both read the old
+        // totals and the later rename would silently drop the earlier
+        // flush's counts.
+        let _lock = StoreLock::exclusive(&self.root)?;
         let mut total = self.read_stats();
         total.hits += self.counters.hits.swap(0, Ordering::Relaxed);
         total.misses += self.counters.misses.swap(0, Ordering::Relaxed);
@@ -303,13 +317,34 @@ impl ResultStore {
              \"gc_removed\": {}}}\n",
             total.hits, total.misses, total.puts, total.gc_kept, total.gc_removed
         );
-        let tmp = self
-            .stats_path()
-            .with_extension(format!("json.tmp.{}", std::process::id()));
+        static STATS_TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = self.stats_path().with_extension(format!(
+            "json.tmp.{}.{}",
+            std::process::id(),
+            STATS_TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         std::fs::write(&tmp, &out)?;
         std::fs::rename(&tmp, self.stats_path())?;
         Ok(total)
     }
+}
+
+/// Renders a job outcome as **canonical** JSON (sorted keys, no
+/// whitespace, one line): the exact encoding stored in a record's
+/// `outcome` field, re-serialised canonically. Equal outcomes render to
+/// equal bytes, which is what lets a service hand results over a wire and
+/// still promise byte-identical answers to the batch path.
+pub fn outcome_to_json(outcome: &JobOutcome) -> String {
+    let mut raw = String::new();
+    encode_outcome(outcome, &mut raw);
+    let doc = json::parse(&raw).expect("the outcome encoder emits valid JSON");
+    json::canonical(&doc)
+}
+
+/// Parses an outcome rendered by [`outcome_to_json`] (or the `outcome`
+/// field of a store record). `None` on malformed input.
+pub fn outcome_from_json(text: &str) -> Option<JobOutcome> {
+    decode_outcome(&json::parse(text).ok()?)
 }
 
 /// How old a temp file must be before [`ResultStore::gc`] reclaims it — a
@@ -764,6 +799,102 @@ mod tests {
         assert_eq!(reopened.read_stats(), cumulative);
         // The sidecar lives outside the object tree and is not a record.
         assert_eq!(reopened.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn outcome_json_round_trips_canonically() {
+        let spec = ScenarioSpec::new(
+            "store-codec",
+            TopologySpec::grid(2, 2, 2),
+            WorkloadSpec::shuffle(Bytes::from_kib(2)),
+        )
+        .horizon(SimTime::from_millis(20))
+        .seed(5);
+        let outcome = JobOutcome::Completed(Box::new(run_scenario(&spec)));
+        let text = outcome_to_json(&outcome);
+        // Canonical form: parsing and re-rendering is the identity.
+        assert_eq!(json::canonical(&json::parse(&text).unwrap()), text);
+        // Round trip preserves the outcome, so re-encoding reproduces the
+        // exact bytes — the daemon's byte-identical-response guarantee.
+        let back = outcome_from_json(&text).unwrap();
+        assert_eq!(outcome_to_json(&back), text);
+        let failed = JobOutcome::Failed("no compute sleds".into());
+        let failed_text = outcome_to_json(&failed);
+        match outcome_from_json(&failed_text).unwrap() {
+            JobOutcome::Failed(msg) => assert_eq!(msg, "no compute sleds"),
+            _ => panic!("expected a failed outcome"),
+        }
+        assert!(outcome_from_json("{ not json").is_none());
+    }
+
+    #[test]
+    fn concurrent_writers_to_the_same_key_leave_one_clean_record() {
+        // The temp-file writer path under contention: many threads racing
+        // to persist the same key (the daemon's worst case before
+        // single-flight dedup, and the daemon+CLI overlap case after).
+        // Every interleaving of write/rename pairs must end with exactly
+        // one readable record and zero temp droppings.
+        let dir = tmp_dir("contend");
+        let store = ResultStore::open(&dir).unwrap();
+        let key = crate::key::JobKey(0xABCD);
+        let threads: Vec<_> = (0..8)
+            .map(|w| {
+                let store = store.clone();
+                std::thread::spawn(move || {
+                    for i in 0..25 {
+                        let outcome = JobOutcome::Failed(format!("writer {w} pass {i}"));
+                        store.put(&key, "{}", &outcome).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(store.len(), 1, "all writers converge on one record");
+        assert!(store.get(&key).is_some(), "the survivor parses cleanly");
+        let shard = dir.join("objects").join(&key.hex()[..2]);
+        let leftovers: Vec<_> = std::fs::read_dir(&shard)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "no temp files survive the race");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_stats_flushes_from_two_handles_lose_no_counts() {
+        // Two handles on one directory (the daemon + CLI sharing gap):
+        // without the advisory lock the sidecar's read-modify-write could
+        // interleave and drop counts; with it the totals always add up.
+        let dir = tmp_dir("stats-race");
+        let handles: Vec<ResultStore> = (0..4).map(|_| ResultStore::open(&dir).unwrap()).collect();
+        let threads: Vec<_> = handles
+            .into_iter()
+            .enumerate()
+            .map(|(w, store)| {
+                std::thread::spawn(move || {
+                    for i in 0..10u64 {
+                        let key = crate::key::JobKey((w as u128) << 64 | i as u128);
+                        store
+                            .put(&key, "{}", &JobOutcome::Failed("x".into()))
+                            .unwrap();
+                        store.flush_stats().unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let store = ResultStore::open(&dir).unwrap();
+        assert_eq!(
+            store.read_stats().puts,
+            40,
+            "every handle's puts survive concurrent flushes"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

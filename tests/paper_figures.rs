@@ -19,10 +19,13 @@
 //!   per-column diff (the drift detector itself is tested).
 
 use rackfabric_bench::figures::{self, FigureOptions, FigureResolver, Scale};
+use rackfabric_cmd::command::Command;
 use rackfabric_cmd::Executor;
+use rackfabric_daemon::prelude::*;
 use rackfabric_scenario::runner::Runner;
 use rackfabric_sweep::prelude::*;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 fn golden_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("golden")
@@ -122,6 +125,99 @@ fn interrupted_figure_campaign_recovers_from_journal_to_golden_bytes() {
     // A second recovery pass is a no-op: everything journaled is stored.
     let again = exec.recover(&FigureResolver).unwrap();
     assert_eq!(again.cells_replayed, 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn daemon_cancelled_figure_campaign_recovers_from_journal_to_batch_bytes() {
+    // The crash-recovery gate, extended to the daemon path: a figure
+    // campaign cancelled mid-flight through `rackfabricd`'s scheduler
+    // leaves the same clean journal prefix as a `max_new_jobs`
+    // interruption, `Executor::recover` completes it, and the recovered
+    // store answers the daemon byte-identically to the batch path.
+    let dir = tmp_dir("daemon-recover");
+    let exec = Arc::new(
+        Executor::with_journal(
+            ResultStore::open(dir.join("store")).unwrap(),
+            Runner::new(1),
+            dir.join("journal"),
+        )
+        .unwrap(),
+    );
+    let command = Command::RegenerateFigure {
+        id: "e1".to_string(),
+        scale: "tiny".to_string(),
+        budget: None,
+    };
+
+    // Deterministic interruption: the token's fuse trips at the second
+    // job boundary (runner threads = 1, so each dispatch chunk is one
+    // job) — e1 tiny has 8 jobs, leaving 6 unexecuted.
+    let daemon = Daemon::start(
+        exec.clone(),
+        DaemonConfig {
+            workers: 1,
+            ..DaemonConfig::default()
+        },
+    )
+    .unwrap();
+    let token = CancelToken::after_checks(2);
+    let id = daemon
+        .scheduler()
+        .submit_with_token("ci", 0, command.clone(), token)
+        .job_id()
+        .expect("an empty daemon accepts the submission");
+    let mut saw_started = false;
+    let cancelled = loop {
+        match daemon
+            .scheduler()
+            .watch(id, saw_started, std::time::Duration::from_secs(120))
+            .expect("the fused campaign must end, not hang")
+        {
+            rackfabric_daemon::sched::Observed::Started => saw_started = true,
+            rackfabric_daemon::sched::Observed::Ended(end) => break end,
+        }
+    };
+    assert!(
+        matches!(cancelled, JobEnd::Cancelled),
+        "the tripped fuse must surface as a cancellation: {cancelled:?}"
+    );
+    daemon.shutdown();
+    assert_eq!(
+        exec.store().len(),
+        2,
+        "the cancelled campaign persisted exactly its clean prefix"
+    );
+
+    // Recovery replays the journal: both stored jobs cost nothing, the
+    // campaign marker completes the remaining six.
+    let stats = exec.recover(&FigureResolver).unwrap();
+    assert_eq!(stats.cells_replayed, 0, "stored jobs must not re-execute");
+    assert!(stats.campaigns_replayed > 0, "the marker drives completion");
+    assert_eq!(exec.store().len(), 8, "e1 tiny resolves 8 jobs");
+
+    // Reference: the batch path against an independent store, queried
+    // warm so the payload (executed = 0) is comparable.
+    let ref_exec = Executor::new(
+        ResultStore::open(dir.join("ref-store")).unwrap(),
+        Runner::new(1),
+    );
+    execute_oneshot(&ref_exec, &command).expect("cold reference run");
+    let (ref_cached, ref_line) = execute_oneshot(&ref_exec, &command).unwrap();
+    assert!(ref_cached, "the second reference run is warm");
+
+    // The daemon on the recovered store answers warm, byte-identically.
+    let daemon = Daemon::start(exec.clone(), DaemonConfig::default()).unwrap();
+    let client = Client::new(daemon.addr(), std::time::Duration::from_secs(120));
+    let reply = client.submit("ci", 0, command).unwrap();
+    assert!(reply.cached, "recovery must have completed the campaign");
+    assert_eq!(
+        reply.result_json, ref_line,
+        "recovered daemon bytes must match an uninterrupted batch run"
+    );
+    client.shutdown().unwrap();
+    daemon.wait();
 
     let _ = std::fs::remove_dir_all(&dir);
 }
